@@ -1,0 +1,82 @@
+"""Figure 3 — sensitivity of fp16-F3R to the inner iteration counts m2, m3, m4.
+
+Sweeps each parameter around the default (m2, m3, m4) = (8, 4, 2) on a small
+problem subset and reports, for every setting, the convergence speed and the
+modeled performance relative to the default — the two axes of the paper's
+Fig. 3 scatter plots.
+
+Shape assertions (Section 6.1's observations):
+* every swept configuration still converges;
+* increasing m4 beyond 2 does not improve convergence (relative convergence
+  speed <= ~1) — Assumption (ii) breaks for m4 >= 3;
+* the m2/m3 sweeps stay within a moderate band around the default (their
+  effect is much smaller than m4's).
+"""
+
+from __future__ import annotations
+
+from repro.core import F3RConfig
+from repro.experiments import format_table, run_f3r
+from repro.perf import CPU_NODE
+
+from conftest import cached_cpu_preconditioner, cached_problem
+
+PROBLEMS = ["Emilia_923", "hpgmp_7_7_7"]
+
+SWEEP = {
+    "m4": [1, 3, 4],
+    "m3": [2, 6],
+    "m2": [6, 10],
+}
+
+
+def figure3_rows() -> list[dict]:
+    rows = []
+    for name in PROBLEMS:
+        problem = cached_problem(name)
+        precond = cached_cpu_preconditioner(name)
+        default = run_f3r(problem, precond, variant="fp16", config=F3RConfig())
+        assert default.converged, f"default fp16-F3R failed on {name}"
+
+        for param, values in SWEEP.items():
+            for value in values:
+                config = F3RConfig().with_params(**{param: value})
+                record = run_f3r(problem, precond, variant="fp16", config=config)
+                rel_convergence = (default.preconditioner_applications
+                                   / record.preconditioner_applications
+                                   if record.converged else float("nan"))
+                rel_performance = (default.modeled_time / record.modeled_time
+                                   if record.converged else float("nan"))
+                rows.append({
+                    "matrix": name,
+                    "parameter": f"{param}={value}",
+                    "m2-m3-m4": f"{config.m2}-{config.m3}-{config.m4}",
+                    "relative_convergence": rel_convergence,
+                    "relative_performance": rel_performance,
+                    "converged": record.converged,
+                })
+    return rows
+
+
+def _assert_fig3_shape(rows: list[dict]) -> None:
+    assert all(row["converged"] for row in rows)
+    for row in rows:
+        if row["parameter"] in ("m4=3", "m4=4"):
+            # larger m4 does not accelerate convergence (Assumption (ii) fails there)
+            assert row["relative_convergence"] <= 1.3
+        if row["parameter"].startswith(("m2=", "m3=")):
+            assert 0.3 < row["relative_performance"] < 2.0
+
+
+def _run_and_report() -> list[dict]:
+    rows = figure3_rows()
+    print()
+    print(format_table(rows, title="Figure 3: fp16-F3R sensitivity to m2, m3, m4 "
+                                   "(relative to the 8-4-2 default; >1 is better)",
+                       float_fmt="{:.2f}"))
+    return rows
+
+
+def test_benchmark_figure3_parameter_sweep(benchmark):
+    rows = benchmark.pedantic(_run_and_report, rounds=1, iterations=1)
+    _assert_fig3_shape(rows)

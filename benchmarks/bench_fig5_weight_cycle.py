@@ -1,0 +1,69 @@
+"""Figure 5 — effect of the adaptive weight-update cycle c in the Richardson part.
+
+Sweeps c over a subset of the paper's values {1, 16, 256} against the default
+c = 64 and reports relative convergence speed and relative modeled performance.
+
+Shape assertions (Section 6.3):
+* every setting of c converges (the technique is robust to c);
+* c = 1 (refresh every call) pays extra SpMVs/reductions without a matching
+  convergence gain, so its relative performance does not exceed the default's
+  by much;
+* the spread across c values is moderate (no dramatic winner), matching the
+  paper's "no clear trend" observation.
+"""
+
+from __future__ import annotations
+
+from repro.core import F3RConfig
+from repro.experiments import format_table, run_f3r
+
+from conftest import cached_cpu_preconditioner, cached_problem
+
+PROBLEMS = ["Emilia_923", "hpgmp_7_7_7"]
+CYCLES = [1, 16, 256]
+
+
+def figure5_rows() -> list[dict]:
+    rows = []
+    for name in PROBLEMS:
+        problem = cached_problem(name)
+        precond = cached_cpu_preconditioner(name)
+        default = run_f3r(problem, precond, variant="fp16", config=F3RConfig(cycle=64))
+        assert default.converged
+        for cycle in CYCLES:
+            record = run_f3r(problem, precond, variant="fp16",
+                             config=F3RConfig(cycle=cycle))
+            rows.append({
+                "matrix": name,
+                "c": cycle,
+                "converged": record.converged,
+                "relative_convergence": (default.preconditioner_applications
+                                         / record.preconditioner_applications
+                                         if record.converged else float("nan")),
+                "relative_performance": (default.modeled_time / record.modeled_time
+                                         if record.converged else float("nan")),
+            })
+    return rows
+
+
+def _assert_fig5_shape(rows: list[dict]) -> None:
+    assert all(row["converged"] for row in rows)
+    for row in rows:
+        assert 0.3 < row["relative_performance"] < 2.0
+        assert 0.3 < row["relative_convergence"] < 2.0
+    c1_rows = [row for row in rows if row["c"] == 1]
+    # refreshing every call adds work without a matching convergence payoff
+    assert all(row["relative_performance"] < 1.5 for row in c1_rows)
+
+
+def _run_and_report() -> list[dict]:
+    rows = figure5_rows()
+    print()
+    print(format_table(rows, title="Figure 5: weight-update cycle c relative to c=64 "
+                                   "(>1 is better)", float_fmt="{:.2f}"))
+    return rows
+
+
+def test_benchmark_figure5_weight_cycle(benchmark):
+    rows = benchmark.pedantic(_run_and_report, rounds=1, iterations=1)
+    _assert_fig5_shape(rows)

@@ -1,0 +1,80 @@
+"""Headline claims of the abstract / Section 5, plus the cost-model ablation.
+
+* fp16-F3R speeds up fp64-F3R and fp32-F3R without degrading convergence
+  (abstract: up to 1.65x over fp64 on GPU / 2.42x on CPU, up to 1.60x over fp32).
+* The Section 4.1 memory-access model (Eqs. 1-3) predicts the measured traffic
+  ordering: replacing the innermost FGMRES by Richardson reduces traffic, and
+  nesting a long FGMRES cycle reduces traffic (the ablation DESIGN.md calls out).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CostModel, F3RConfig
+from repro.experiments import format_table, geometric_mean, run_f3r, run_variant
+from repro.perf import CPU_NODE, counting
+
+from conftest import cached_cpu_preconditioner, cached_problem
+
+PROBLEMS = ["Emilia_923", "audikw_1"]
+
+
+def headline_rows() -> list[dict]:
+    rows = []
+    for name in PROBLEMS:
+        problem = cached_problem(name)
+        precond = cached_cpu_preconditioner(name)
+        records = {variant: run_f3r(problem, precond, variant=variant)
+                   for variant in ("fp64", "fp32", "fp16")}
+        base = records["fp64"]
+        rows.append({
+            "matrix": name,
+            "fp16_over_fp64": base.modeled_time / records["fp16"].modeled_time,
+            "fp16_over_fp32": records["fp32"].modeled_time / records["fp16"].modeled_time,
+            "fp32_over_fp64": base.modeled_time / records["fp32"].modeled_time,
+            "fp64_apps": base.preconditioner_applications,
+            "fp16_apps": records["fp16"].preconditioner_applications,
+        })
+    return rows
+
+
+def _assert_headline_shape(rows: list[dict]) -> None:
+    for row in rows:
+        # convergence is not degraded by fp16 (within one outer iteration)
+        assert abs(row["fp16_apps"] - row["fp64_apps"]) <= 64
+        assert row["fp32_over_fp64"] > 1.0
+        assert row["fp16_over_fp32"] > 1.0
+    gmean = geometric_mean([row["fp16_over_fp64"] for row in rows])
+    assert 1.3 < gmean < 3.0
+
+
+def test_benchmark_headline_speedups(benchmark):
+    rows = benchmark.pedantic(headline_rows, rounds=1, iterations=1)
+    _assert_headline_shape(rows)
+    print()
+    print(format_table(rows, title="Headline: fp16-F3R speedups "
+                                   "(paper: up to 2.42x over fp64, 1.60x over fp32 on CPU)",
+                       float_fmt="{:.2f}"))
+
+
+def test_cost_model_predicts_measured_traffic_ordering():
+    """Ablation: the Eq. 1-3 model and the instrumented kernels agree on which
+    design choice moves less memory."""
+    name = "hpcg_7_7_7"
+    problem = cached_problem(name)
+    precond = cached_cpu_preconditioner(name)
+    model = CostModel.for_problem(problem.matrix, precond)
+
+    # model prediction: F3R's (F8, F4, R2, M) stack per outer iteration is
+    # cheaper than F4's (F8, F4, F2, M) stack
+    model_f3r = model.nested_fr(4, 2)
+    model_f4 = model.nested_ff(4, 2)
+    assert model_f3r < model_f4
+
+    # measurement: bytes per preconditioning of fp16-F3R < F4
+    f3r = run_f3r(problem, precond, variant="fp16", config=F3RConfig())
+    f4 = run_variant(problem, precond, "F4")
+    measured_f3r = f3r.counter.total_bytes / max(1, f3r.preconditioner_applications)
+    measured_f4 = f4.counter.total_bytes / max(1, f4.preconditioner_applications)
+    assert measured_f3r < measured_f4

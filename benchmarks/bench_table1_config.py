@@ -1,0 +1,70 @@
+"""Table 1 — the F3R precision schedule, and the cost of building the solver.
+
+Regenerates the paper's Table 1 (per-level precisions of fp16-F3R) directly
+from the implementation's configuration objects, so any drift between the code
+and the paper's specification fails here.
+"""
+
+from __future__ import annotations
+
+from repro.core import F3RConfig, build_f3r, precision_schedule
+from repro.experiments import format_table
+from repro.precision import Precision
+
+from conftest import cached_cpu_preconditioner, cached_problem
+
+_PROBLEM = "hpcg_7_7_7"
+
+
+def table1_rows() -> list[dict]:
+    config = F3RConfig(variant="fp16")
+    schedule = precision_schedule("fp16")
+    labels = {1: f"F^m1 (m1={config.m1})", 2: f"F^m2 (m2={config.m2})",
+              3: f"F^m3 (m3={config.m3})", 4: f"R^m4 (m4={config.m4})"}
+    rows = []
+    for level, prec in schedule.items():
+        rows.append({
+            "solver": labels[level],
+            "A": prec.matrix.label,
+            "vectors": prec.vector.label,
+            "M": prec.preconditioner.label if prec.preconditioner else "-",
+        })
+    return rows
+
+
+def test_table1_matches_paper():
+    rows = {row["solver"].split()[0]: row for row in table1_rows()}
+    assert rows["F^m1"] == {"solver": rows["F^m1"]["solver"], "A": "fp64",
+                            "vectors": "fp64", "M": "-"}
+    assert rows["F^m2"]["A"] == "fp32" and rows["F^m2"]["vectors"] == "fp32"
+    assert rows["F^m3"]["A"] == "fp16" and rows["F^m3"]["vectors"] == "fp32"
+    assert rows["R^m4"] == {"solver": rows["R^m4"]["solver"], "A": "fp16",
+                            "vectors": "fp16", "M": "fp16"}
+    print()
+    print(format_table(table1_rows(), title="Table 1: precision schedule of fp16-F3R"))
+
+
+def test_built_solver_matches_table1():
+    problem = cached_problem(_PROBLEM)
+    solver = build_f3r(problem.matrix, cached_cpu_preconditioner(_PROBLEM),
+                       F3RConfig(variant="fp16"))
+    level2 = solver.child
+    level3 = level2.child
+    level4 = level3.child
+    assert solver.matrix.precision is Precision.FP64
+    assert level2.matrix.precision is Precision.FP32
+    assert level3.matrix.precision is Precision.FP16
+    assert level4.matrix.precision is Precision.FP16
+    assert level4.preconditioner.precision is Precision.FP16
+
+
+def test_benchmark_build_f3r(benchmark):
+    """Time the construction of the nested solver (matrix casts included)."""
+    problem = cached_problem(_PROBLEM)
+    precond = cached_cpu_preconditioner(_PROBLEM)
+
+    def build():
+        return build_f3r(problem.matrix, precond, F3RConfig(variant="fp16"))
+
+    solver = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert solver.m == 100

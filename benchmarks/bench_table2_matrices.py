@@ -1,0 +1,53 @@
+"""Table 2 — the test-matrix inventory and its surrogate realization.
+
+Prints, for every matrix of the paper's Table 2, the original metadata
+(n, nnz, nnz/row, αILU, αAINV) next to the surrogate generated at the harness
+scale, and benchmarks the generation of the largest stencil problem.
+"""
+
+from __future__ import annotations
+
+from repro.matgen import MATRIX_REGISTRY, get_matrix, table2_rows
+from repro.experiments import format_table
+
+from conftest import BENCH_SCALE
+
+
+def test_table2_inventory():
+    rows = table2_rows(scale=BENCH_SCALE)
+    assert len(rows) == 31
+
+    # paper metadata spot checks (Table 2 values)
+    by_name = {row["matrix"]: row for row in rows}
+    assert by_name["Queen_4147"]["paper_n"] == 4_147_110
+    assert by_name["stokes"]["paper_nnz"] == 349_321_980
+    assert by_name["audikw_1"]["alpha_ainv"] == 1.6
+    assert by_name["hpcg_8_8_8"]["paper_nnz_per_row"] == 26.79
+
+    # surrogate behaviour-class checks: density ordering follows the paper's
+    for sparse_name in ("G3_circuit", "ecology2", "t2em"):
+        assert by_name[sparse_name]["surrogate_nnz_per_row"] < 10
+    for dense_name in ("Serena", "audikw_1", "hpcg_7_7_7"):
+        assert by_name[dense_name]["surrogate_nnz_per_row"] > 15
+
+    print()
+    print(format_table(
+        rows,
+        columns=["matrix", "paper_n", "paper_nnz_per_row", "alpha_ilu", "alpha_ainv",
+                 "symmetric", "family", "surrogate_n", "surrogate_nnz_per_row"],
+        title=f"Table 2: test matrices (surrogates at scale={BENCH_SCALE!r})",
+    ))
+
+
+def test_symmetry_split_matches_paper():
+    symmetric = [n for n, s in MATRIX_REGISTRY.items() if s.symmetric]
+    nonsymmetric = [n for n, s in MATRIX_REGISTRY.items() if not s.symmetric]
+    assert len(symmetric) == 15
+    assert len(nonsymmetric) == 16
+
+
+def test_benchmark_hpcg_generation(benchmark):
+    matrix = benchmark.pedantic(lambda: get_matrix("hpcg_8_8_8", scale=BENCH_SCALE),
+                                rounds=1, iterations=1)
+    assert matrix.is_symmetric(tol=1e-10)
+    assert matrix.nnz_per_row > 15

@@ -1,0 +1,81 @@
+"""Table 3 — primary-preconditioner invocations until convergence (CPU track).
+
+For a representative subset of the CPU suite (one matrix per behaviour class),
+runs CG or BiCGStab, restarted FGMRES(64), and the three F3R implementations,
+and reports the number of invocations of the primary preconditioner M — the
+paper's precision-independent convergence metric.
+
+Shape assertions (mirroring the paper's observations):
+* the three F3R variants converge within one outer iteration of each other;
+* F3R's count is a multiple of m2*m3*m4 = 64;
+* on the easy stencil problems the one-preconditioning-per-iteration methods
+  (CG / BiCGStab) need fewer invocations than F3R, as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table, run_f3r, run_krylov_baseline
+
+from conftest import cached_cpu_preconditioner, cached_problem
+
+#: (matrix, krylov baseline) pairs: CG for symmetric, BiCGStab for non-symmetric
+CASES = [
+    ("hpcg_7_7_7", "cg"),
+    ("G3_circuit", "cg"),
+    ("Emilia_923", "cg"),
+    ("hpgmp_7_7_7", "bicgstab"),
+    ("atmosmodd", "bicgstab"),
+]
+
+MAX_BASELINE_ITERS = 3000
+
+
+def table3_rows() -> list[dict]:
+    rows = []
+    for name, krylov in CASES:
+        problem = cached_problem(name)
+        precond = cached_cpu_preconditioner(name)
+
+        baseline = run_krylov_baseline(problem, precond, krylov, "fp64",
+                                       max_iterations=MAX_BASELINE_ITERS)
+        fgmres = run_krylov_baseline(problem, precond, "fgmres", "fp64",
+                                     max_iterations=MAX_BASELINE_ITERS)
+        f3r = {variant: run_f3r(problem, precond, variant=variant)
+               for variant in ("fp64", "fp32", "fp16")}
+
+        def _count(record):
+            return record.preconditioner_applications if record.converged else None
+
+        rows.append({
+            "matrix": name,
+            "CG/BiCGStab": _count(baseline) or "-",
+            "fp64-FGMRES(64)": _count(fgmres) or "-",
+            "fp64-F3R": _count(f3r["fp64"]) or "-",
+            "fp32-F3R": _count(f3r["fp32"]) or "-",
+            "fp16-F3R": _count(f3r["fp16"]) or "-",
+        })
+    return rows
+
+
+def _assert_table3_shape(rows: list[dict]) -> None:
+    for row in rows:
+        counts = {k: v for k, v in row.items() if k != "matrix"}
+        # every F3R variant converged on every problem of this subset
+        for variant in ("fp64-F3R", "fp32-F3R", "fp16-F3R"):
+            assert isinstance(counts[variant], int), f"{variant} failed on {row['matrix']}"
+            assert counts[variant] % 64 == 0
+        # low precision does not significantly change F3R's convergence
+        assert abs(counts["fp16-F3R"] - counts["fp64-F3R"]) <= 64
+        assert abs(counts["fp32-F3R"] - counts["fp64-F3R"]) <= 64
+        # the stencil problems are "easy": CG/BiCGStab needs fewer invocations
+        if row["matrix"].startswith("hpcg") and isinstance(counts["CG/BiCGStab"], int):
+            assert counts["CG/BiCGStab"] <= counts["fp16-F3R"]
+
+
+def test_benchmark_table3(benchmark):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    _assert_table3_shape(rows)
+    print()
+    print(format_table(rows, title="Table 3: preconditioner invocations until convergence"))

@@ -1,0 +1,109 @@
+"""Table 4 and Figure 4 — nesting-depth variants F2, fp16-F2, F3, fp16-F3, F4.
+
+Table 4 is the precision schedule of the five comparison solvers; Figure 4
+relates their convergence and modeled performance to fp16-F3R.
+
+Shape assertions (Section 6.2):
+* F4 converges like fp16-F3R (validating Assumption (ii) for m4 = 2) but moves
+  more data per preconditioning step (the Richardson level skips the Arnoldi
+  process);
+* F2 converges but pays the full FGMRES(64) Arnoldi cost per preconditioning,
+  so its per-step traffic exceeds fp16-F3R's;
+* fully-fp16 long inner cycles (fp16-F2) converge more slowly than their
+  fp32-vector counterparts or fail — the "precision overflow" failure mode.
+"""
+
+from __future__ import annotations
+
+from repro.core import VARIANT_SPECS, variant_description
+from repro.experiments import format_table, run_f3r, run_variant
+from repro.perf import CPU_NODE
+
+from conftest import cached_cpu_preconditioner, cached_problem
+
+PROBLEMS = ["Emilia_923", "hpcg_7_7_7"]
+VARIANTS = ["F2", "fp16-F2", "F3", "fp16-F3", "F4"]
+
+
+def table4_rows() -> list[dict]:
+    rows = []
+    for name in VARIANTS:
+        specs = VARIANT_SPECS[name]()
+        for spec in specs:
+            rows.append({
+                "solver": name,
+                "part": spec.label,
+                "A": spec.precisions.matrix.label,
+                "vectors": spec.precisions.vector.label,
+                "M": (spec.precisions.preconditioner.label
+                      if spec.precisions.preconditioner else "-"),
+            })
+    return rows
+
+
+def test_table4_variant_schedules():
+    rows = table4_rows()
+    by = {(r["solver"], r["part"]): r for r in rows}
+    # Table 4 spot checks
+    assert by[("F2", "F64")]["A"] == "fp32" and by[("F2", "F64")]["M"] == "fp16"
+    assert by[("fp16-F2", "F64")]["vectors"] == "fp16"
+    assert by[("F3", "F8")]["A"] in ("fp32", "fp16")
+    assert by[("F4", "F2")]["A"] == "fp16" and by[("F4", "F2")]["M"] == "fp16"
+    print()
+    print(format_table(rows, title="Table 4: nesting-depth comparison solvers"))
+    for name in VARIANTS:
+        print(f"  {name}: {variant_description(name)}")
+
+
+def figure4_rows() -> list[dict]:
+    rows = []
+    for problem_name in PROBLEMS:
+        problem = cached_problem(problem_name)
+        precond = cached_cpu_preconditioner(problem_name)
+        reference = run_f3r(problem, precond, variant="fp16")
+        assert reference.converged
+        for variant in VARIANTS:
+            record = run_variant(problem, precond, variant)
+            rows.append({
+                "matrix": problem_name,
+                "solver": variant,
+                "converged": record.converged,
+                "relative_convergence": (reference.preconditioner_applications
+                                         / record.preconditioner_applications
+                                         if record.converged else float("nan")),
+                "relative_performance": (reference.modeled_time / record.modeled_time
+                                         if record.converged else float("nan")),
+                "bytes_per_precondition": (record.counter.total_bytes
+                                           / max(1, record.preconditioner_applications)),
+                "_f3r_bytes_per_precondition": (reference.counter.total_bytes
+                                                / max(1, reference.preconditioner_applications)),
+            })
+    return rows
+
+
+def _assert_fig4_shape(rows: list[dict]) -> None:
+    by = {(r["matrix"], r["solver"]): r for r in rows}
+    for problem_name in PROBLEMS:
+        f4 = by[(problem_name, "F4")]
+        assert f4["converged"]
+        # Richardson innermost (fp16-F3R) is cheaper per preconditioning than F4
+        assert f4["_f3r_bytes_per_precondition"] < f4["bytes_per_precondition"]
+        f2 = by[(problem_name, "F2")]
+        if f2["converged"]:
+            assert f2["_f3r_bytes_per_precondition"] < f2["bytes_per_precondition"]
+
+
+def _run_and_report() -> list[dict]:
+    rows = figure4_rows()
+    display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+    print()
+    print(format_table(display,
+                       title="Figure 4: nesting-depth variants relative to fp16-F3R "
+                             "(>1 means the variant is better)",
+                       float_fmt="{:.2f}"))
+    return rows
+
+
+def test_benchmark_figure4_nesting_depth(benchmark):
+    rows = benchmark.pedantic(_run_and_report, rounds=1, iterations=1)
+    _assert_fig4_shape(rows)

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  Conventions:
+
+* Problem scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+  (``tiny`` by default so the whole harness runs in a few minutes; ``small`` or
+  ``medium`` reproduce the trends on larger problems).
+* Each module prints its reproduced table/series to stdout (run pytest with
+  ``-s`` to see it) and asserts the qualitative shape the paper reports.
+* pytest-benchmark measures the wall-clock of one representative solve per
+  module (``rounds=1`` — the solves are deterministic and expensive).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+import pytest
+
+from repro.experiments import build_problem
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+#: number of block-Jacobi blocks used throughout the harness (the paper uses
+#: one per hardware thread; at reproduction scale a handful keeps blocks from
+#: becoming trivially small)
+BENCH_NBLOCKS = int(os.environ.get("REPRO_BENCH_NBLOCKS", "16"))
+
+
+@functools.lru_cache(maxsize=None)
+def cached_problem(name: str):
+    """Build (and cache) a problem at the harness scale."""
+    return build_problem(name, scale=BENCH_SCALE, seed=0)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_cpu_preconditioner(name: str):
+    """fp64 block-Jacobi ILU(0)/IC(0) for the named problem (CPU track)."""
+    return cached_problem(name).cpu_preconditioner(nblocks=BENCH_NBLOCKS)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_gpu_preconditioner(name: str):
+    """fp64 SD-AINV for the named problem (GPU track)."""
+    return cached_problem(name).gpu_preconditioner()
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE

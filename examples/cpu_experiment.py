@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CPU-node experiment scenario: reproduce a slice of Table 3 / Figure 1.
+
+Runs the paper's CPU-track comparison — fp64/fp32/fp16-F3R against CG (or
+BiCGStab for non-symmetric matrices) and restarted FGMRES(64) — on a small set
+of surrogate matrices from the Table 2 registry, printing both the iteration
+counts (Table 3) and the modeled speedups over fp64-F3R (Figure 1).
+
+Run with:  python examples/cpu_experiment.py [scale]
+where scale is tiny (default), small, or medium.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    build_problem,
+    format_table,
+    run_f3r,
+    run_krylov_baseline,
+)
+from repro.perf import CPU_NODE
+
+MATRICES = ["hpcg_7_7_7", "Emilia_923", "hpgmp_7_7_7", "vas_stokes_1M"]
+
+
+def main(scale: str = "tiny") -> None:
+    iteration_rows = []
+    speedup_rows = []
+    for name in MATRICES:
+        problem = build_problem(name, scale=scale)
+        preconditioner = problem.cpu_preconditioner(nblocks=16)
+        krylov = "cg" if problem.symmetric else "bicgstab"
+
+        records = {}
+        for variant in ("fp64", "fp32", "fp16"):
+            records[f"{variant}-F3R"] = run_f3r(problem, preconditioner, variant=variant,
+                                                machine=CPU_NODE)
+        records["fp64-" + ("CG" if krylov == "cg" else "BiCGStab")] = run_krylov_baseline(
+            problem, preconditioner, krylov, "fp64", max_iterations=3000)
+        records["fp64-FGMRES(64)"] = run_krylov_baseline(
+            problem, preconditioner, "fgmres", "fp64", max_iterations=3000)
+
+        iteration_rows.append({"matrix": name, **{
+            solver: (r.preconditioner_applications if r.converged else "-")
+            for solver, r in records.items()}})
+
+        base = records["fp64-F3R"]
+        speedup_rows.append({"matrix": name, **{
+            solver: (base.modeled_time / r.modeled_time
+                     if r.converged and base.converged else float("nan"))
+            for solver, r in records.items()}})
+
+    print(format_table(iteration_rows,
+                       title="Preconditioner invocations until convergence (Table 3 slice)"))
+    print()
+    print(format_table(speedup_rows,
+                       title="Modeled speedup over fp64-F3R on the CPU node (Figure 1 slice)",
+                       float_fmt="{:.2f}"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tiny")

@@ -1,0 +1,62 @@
+"""repro — reproduction of "A Nested Krylov Method Using Half-Precision Arithmetic".
+
+The package implements the paper's F3R solver (nested FGMRES + Richardson with
+an fp64 → fp32 → fp16 precision schedule and adaptive Richardson weights), the
+substrates it depends on (mixed-precision sparse kernels, ILU(0)/IC(0),
+block-Jacobi, SD-AINV, HPCG/HPGMP matrix generators), the conventional
+baselines it is compared against (CG, BiCGStab, restarted FGMRES), and the
+experiment harness that regenerates every table and figure of the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import F3RSolver, F3RConfig
+    from repro.matgen import hpcg_matrix
+    from repro.sparse import diagonal_scaling
+
+    A, _ = diagonal_scaling(hpcg_matrix(16))
+    b = np.random.default_rng(0).random(A.nrows)
+    result = F3RSolver(A, preconditioner="auto", config=F3RConfig(variant="fp16")).solve(b)
+    print(result.converged, result.preconditioner_applications)
+"""
+
+from .core import (
+    F3RConfig,
+    F3RSolver,
+    build_f3r,
+    build_variant,
+    solve_f3r,
+    tune_f3r,
+)
+from .precision import Precision
+from .precond import make_primary_preconditioner
+from .solvers import (
+    BiCGStab,
+    ConjugateGradient,
+    LevelSpec,
+    RestartedFGMRES,
+    SolveResult,
+    build_nested_solver,
+)
+from .sparse import CSRMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "F3RConfig",
+    "F3RSolver",
+    "build_f3r",
+    "solve_f3r",
+    "build_variant",
+    "tune_f3r",
+    "Precision",
+    "make_primary_preconditioner",
+    "BiCGStab",
+    "ConjugateGradient",
+    "RestartedFGMRES",
+    "LevelSpec",
+    "build_nested_solver",
+    "SolveResult",
+    "CSRMatrix",
+    "__version__",
+]

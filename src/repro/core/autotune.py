@@ -1,0 +1,109 @@
+"""Parameter search for fp16-F3R-best.
+
+The paper reports, next to the default configuration, an "fp16-F3R-best"
+obtained by optimizing (m2, m3, m4) per problem; the figures list the winning
+triple above every bar.  This module reproduces that search: a small grid of
+candidate triples is run to convergence and ranked by modeled execution time
+on the chosen machine model (tie-broken by preconditioner applications).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perf import CPU_NODE, MachineModel, TrafficCounter, counting
+from ..precond.base import Preconditioner
+from ..sparse import CSRMatrix
+from .config import F3RConfig
+from .f3r import build_f3r
+
+__all__ = ["TuneResult", "default_candidates", "tune_f3r"]
+
+#: The candidate grid the paper's Section 6.1 sweeps (m2, m3, m4 around the default).
+_DEFAULT_M2 = (6, 7, 8, 9, 10)
+_DEFAULT_M3 = (2, 3, 4, 5, 6)
+_DEFAULT_M4 = (1, 2)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of evaluating one candidate configuration."""
+
+    config: F3RConfig
+    converged: bool
+    preconditioner_applications: int
+    modeled_time: float
+    wall_time: float
+
+    @property
+    def params(self) -> tuple[int, int, int]:
+        return (self.config.m2, self.config.m3, self.config.m4)
+
+    def label(self) -> str:
+        return "-".join(str(v) for v in self.params)
+
+
+def default_candidates(base: F3RConfig | None = None,
+                       m2_values=_DEFAULT_M2, m3_values=_DEFAULT_M3,
+                       m4_values=_DEFAULT_M4) -> list[F3RConfig]:
+    """The full grid of Section 6.1 candidates built around ``base``."""
+    base = base or F3RConfig(variant="fp16")
+    configs = []
+    for m2 in m2_values:
+        for m3 in m3_values:
+            for m4 in m4_values:
+                configs.append(base.with_params(m2=m2, m3=m3, m4=m4))
+    return configs
+
+
+def tune_f3r(matrix: CSRMatrix, preconditioner: Preconditioner, b: np.ndarray,
+             candidates: list[F3RConfig] | None = None,
+             machine: MachineModel = CPU_NODE,
+             keep_all: bool = False) -> TuneResult | tuple[TuneResult, list[TuneResult]]:
+    """Evaluate candidate F3R configurations and return the fastest converged one.
+
+    Parameters
+    ----------
+    candidates:
+        Configurations to try; defaults to a compact grid around the paper's
+        default (the full Section 6.1 grid is available via
+        :func:`default_candidates`).
+    machine:
+        Machine model used to convert each run's memory traffic into modeled
+        execution time.
+    keep_all:
+        When ``True``, also return the per-candidate results (for Fig. 3-style
+        scatter plots).
+    """
+    if candidates is None:
+        base = F3RConfig(variant="fp16")
+        candidates = [
+            base,
+            base.with_params(m2=6), base.with_params(m2=10),
+            base.with_params(m3=3), base.with_params(m3=5), base.with_params(m3=6),
+            base.with_params(m4=1),
+            base.with_params(m2=9, m3=4), base.with_params(m2=8, m3=5),
+        ]
+
+    results: list[TuneResult] = []
+    for config in candidates:
+        solver = build_f3r(matrix, preconditioner, config)
+        counter = TrafficCounter()
+        with counting(counter):
+            outcome = solver.solve(b)
+        results.append(TuneResult(
+            config=config,
+            converged=outcome.converged,
+            preconditioner_applications=outcome.preconditioner_applications,
+            modeled_time=machine.time_for(counter),
+            wall_time=outcome.wall_time,
+        ))
+
+    converged = [r for r in results if r.converged]
+    pool = converged if converged else results
+    best = min(pool, key=lambda r: (r.modeled_time, r.preconditioner_applications))
+    if keep_all:
+        return best, results
+    return best

@@ -1,0 +1,129 @@
+"""F3R configuration: iteration counts, precision variant, Richardson options.
+
+The defaults reproduce the paper's default setting
+``(m1, m2, m3, m4) = (100, 8, 4, 2)`` with weight-update cycle ``c = 64``
+(Section 5), and the three precision variants evaluated there:
+
+* ``"fp16"`` — the proposed solver of Table 1 (fp64 → fp32 → fp16/fp32 → fp16),
+* ``"fp32"`` — fp64 outermost, fp32 for all inner solvers,
+* ``"fp64"`` — uniform fp64 (the baseline the speedups are measured against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..precision import LevelPrecision, Precision
+
+__all__ = ["F3RConfig", "precision_schedule"]
+
+_VARIANTS = ("fp16", "fp32", "fp64")
+
+
+def precision_schedule(variant: str) -> dict[int, LevelPrecision]:
+    """Per-level precision assignment for an F3R variant (Table 1 and Section 5)."""
+    if variant == "fp16":
+        return {
+            1: LevelPrecision(Precision.FP64, Precision.FP64),
+            2: LevelPrecision(Precision.FP32, Precision.FP32),
+            3: LevelPrecision(Precision.FP16, Precision.FP32),
+            4: LevelPrecision(Precision.FP16, Precision.FP16, Precision.FP16),
+        }
+    if variant == "fp32":
+        return {
+            1: LevelPrecision(Precision.FP64, Precision.FP64),
+            2: LevelPrecision(Precision.FP32, Precision.FP32),
+            3: LevelPrecision(Precision.FP32, Precision.FP32),
+            4: LevelPrecision(Precision.FP32, Precision.FP32, Precision.FP32),
+        }
+    if variant == "fp64":
+        return {
+            1: LevelPrecision(Precision.FP64, Precision.FP64),
+            2: LevelPrecision(Precision.FP64, Precision.FP64),
+            3: LevelPrecision(Precision.FP64, Precision.FP64),
+            4: LevelPrecision(Precision.FP64, Precision.FP64, Precision.FP64),
+        }
+    raise ValueError(f"unknown F3R variant {variant!r}; choose from {_VARIANTS}")
+
+
+@dataclass(frozen=True)
+class F3RConfig:
+    """Complete parameterization of an F3R solver instance.
+
+    Attributes
+    ----------
+    m1, m2, m3, m4:
+        Iterations of the outermost FGMRES, the two inner FGMRES levels, and
+        the innermost Richardson level.
+    cycle:
+        Weight-update period ``c`` of the adaptive Richardson (Algorithm 1).
+    variant:
+        Precision variant: ``"fp16"`` (proposed), ``"fp32"``, or ``"fp64"``.
+    adaptive_weight:
+        ``False`` selects the static-weight strategy of Fig. 6.
+    fixed_weight:
+        Weight used when ``adaptive_weight`` is ``False`` (and the initial
+        value when it is ``True``).
+    tol:
+        Relative-residual convergence tolerance (the paper uses 1e-8).
+    max_restarts:
+        Number of additional full executions when the outermost cycle is
+        exhausted (the paper allows three executions in total).
+    """
+
+    m1: int = 100
+    m2: int = 8
+    m3: int = 4
+    m4: int = 2
+    cycle: int = 64
+    variant: str = "fp16"
+    adaptive_weight: bool = True
+    fixed_weight: float = 1.0
+    tol: float = 1e-8
+    max_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.variant not in _VARIANTS:
+            raise ValueError(f"unknown F3R variant {self.variant!r}; choose from {_VARIANTS}")
+        for label, value in (("m1", self.m1), ("m2", self.m2), ("m3", self.m3),
+                             ("m4", self.m4), ("cycle", self.cycle)):
+            if value < 1:
+                raise ValueError(f"{label} must be >= 1 (got {value})")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return f"{self.variant}-F3R"
+
+    @property
+    def inner_iterations(self) -> tuple[int, int, int]:
+        return (self.m2, self.m3, self.m4)
+
+    @property
+    def preconditionings_per_outer_iteration(self) -> int:
+        """Primary-preconditioner invocations per outermost FGMRES iteration."""
+        return self.m2 * self.m3 * self.m4
+
+    def schedule(self) -> dict[int, LevelPrecision]:
+        return precision_schedule(self.variant)
+
+    def with_params(self, **changes) -> "F3RConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        sched = self.schedule()
+        lines = [f"{self.name}: (F{self.m1}, F{self.m2}, F{self.m3}, R{self.m4}, M), "
+                 f"c={self.cycle}, tol={self.tol:g}"]
+        labels = {1: f"F{self.m1}", 2: f"F{self.m2}", 3: f"F{self.m3}", 4: f"R{self.m4}"}
+        for level, prec in sched.items():
+            lines.append(f"  level {level} ({labels[level]}): {prec.describe()}")
+        return "\n".join(lines)
+
+
+#: Default configurations matching the paper's three implementations.
+DEFAULT_FP16 = F3RConfig(variant="fp16")
+DEFAULT_FP32 = F3RConfig(variant="fp32")
+DEFAULT_FP64 = F3RConfig(variant="fp64")
+
+__all__ += ["DEFAULT_FP16", "DEFAULT_FP32", "DEFAULT_FP64"]

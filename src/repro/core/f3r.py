@@ -1,0 +1,99 @@
+"""F3R: the paper's proposed nested mixed-precision solver.
+
+``build_f3r`` assembles the four-level nested solver
+``(F^m1, F^m2, F^m3, R^m4, M)`` from an :class:`F3RConfig`, and ``solve_f3r``
+is the one-call convenience wrapper used by the examples and the experiment
+harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..precond import make_primary_preconditioner
+from ..precond.base import Preconditioner
+from ..solvers import LevelSpec, OuterFGMRES, SolveResult, build_nested_solver
+from ..sparse import CSRMatrix
+from .config import F3RConfig
+
+__all__ = ["build_f3r", "solve_f3r", "F3RSolver"]
+
+
+def _level_specs(config: F3RConfig) -> list[LevelSpec]:
+    schedule = config.schedule()
+    return [
+        LevelSpec("fgmres", config.m1, schedule[1]),
+        LevelSpec("fgmres", config.m2, schedule[2]),
+        LevelSpec("fgmres", config.m3, schedule[3]),
+        LevelSpec(
+            "richardson", config.m4, schedule[4],
+            richardson_options={
+                "cycle": config.cycle,
+                "adaptive": config.adaptive_weight,
+                "weight": config.fixed_weight,
+            },
+        ),
+    ]
+
+
+def build_f3r(matrix: CSRMatrix, preconditioner: Preconditioner,
+              config: F3RConfig | None = None) -> OuterFGMRES:
+    """Construct the F3R solver for ``matrix`` with the given primary preconditioner.
+
+    The preconditioner should be constructed in fp64; the builder casts it to
+    the precision required by the innermost level of the chosen variant.
+    """
+    config = config or F3RConfig()
+    levels = _level_specs(config)
+    solver = build_nested_solver(
+        matrix, preconditioner, levels, tol=config.tol,
+        max_restarts=config.max_restarts, name=config.name,
+    )
+    return solver
+
+
+class F3RSolver:
+    """Object-style façade bundling matrix, preconditioner and configuration.
+
+    This is the main public entry point::
+
+        from repro import F3RSolver, F3RConfig
+        solver = F3RSolver(A, preconditioner="auto", config=F3RConfig(variant="fp16"))
+        result = solver.solve(b)
+    """
+
+    def __init__(self, matrix: CSRMatrix, preconditioner="auto",
+                 config: F3RConfig | None = None, nblocks: int | None = None,
+                 alpha: float = 1.0) -> None:
+        self.matrix = matrix
+        self.config = config or F3RConfig()
+        if isinstance(preconditioner, str):
+            preconditioner = make_primary_preconditioner(
+                matrix, kind=preconditioner, nblocks=nblocks, alpha=alpha,
+            )
+        self.preconditioner = preconditioner
+        self._outer = build_f3r(matrix, preconditioner, self.config)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def primary_preconditioner(self):
+        return self._outer.primary_preconditioner
+
+    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
+        return self._outer.solve(b, x0=x0)
+
+    def rebuild(self, config: F3RConfig) -> "F3RSolver":
+        """Return a new solver sharing matrix and preconditioner with a new config."""
+        return F3RSolver(self.matrix, self.preconditioner, config=config)
+
+
+def solve_f3r(matrix: CSRMatrix, b: np.ndarray, preconditioner="auto",
+              config: F3RConfig | None = None, nblocks: int | None = None,
+              alpha: float = 1.0, x0: np.ndarray | None = None) -> SolveResult:
+    """One-call F3R solve: build the preconditioner and solver, then run it."""
+    solver = F3RSolver(matrix, preconditioner=preconditioner, config=config,
+                       nblocks=nblocks, alpha=alpha)
+    return solver.solve(b, x0=x0)

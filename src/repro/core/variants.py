@@ -1,0 +1,100 @@
+"""Nesting-depth variants of Table 4: F2, fp16-F2, F3, fp16-F3, F4.
+
+Section 6.2 of the paper compares F3R against shallower and deeper nestings to
+validate its two assumptions (splitting FGMRES does not hurt convergence;
+a 2-iteration Richardson can replace a 2-iteration FGMRES).  Each variant
+below reproduces one row-group of Table 4, with exactly the precisions listed
+there.
+"""
+
+from __future__ import annotations
+
+from ..precision import LevelPrecision, Precision
+from ..precond.base import Preconditioner
+from ..solvers import LevelSpec, OuterFGMRES, build_nested_solver
+from ..sparse import CSRMatrix
+
+__all__ = ["VARIANT_SPECS", "build_variant", "variant_names", "variant_description"]
+
+_FP64 = Precision.FP64
+_FP32 = Precision.FP32
+_FP16 = Precision.FP16
+
+
+def _specs_f2() -> list[LevelSpec]:
+    """F2 = (F100, F64, M): inner FGMRES in fp32 vectors, fp16 preconditioner."""
+    return [
+        LevelSpec("fgmres", 100, LevelPrecision(_FP64, _FP64)),
+        LevelSpec("fgmres", 64, LevelPrecision(_FP32, _FP32, _FP16)),
+    ]
+
+
+def _specs_fp16_f2() -> list[LevelSpec]:
+    """fp16-F2 = (F100, F64, M) with the inner FGMRES entirely in fp16."""
+    return [
+        LevelSpec("fgmres", 100, LevelPrecision(_FP64, _FP64)),
+        LevelSpec("fgmres", 64, LevelPrecision(_FP16, _FP16, _FP16)),
+    ]
+
+
+def _specs_f3() -> list[LevelSpec]:
+    """F3 = (F100, F8, F8, M): inner-inner FGMRES stores A in fp16, vectors fp32."""
+    return [
+        LevelSpec("fgmres", 100, LevelPrecision(_FP64, _FP64)),
+        LevelSpec("fgmres", 8, LevelPrecision(_FP32, _FP32)),
+        LevelSpec("fgmres", 8, LevelPrecision(_FP16, _FP32, _FP16)),
+    ]
+
+
+def _specs_fp16_f3() -> list[LevelSpec]:
+    """fp16-F3 = (F100, F8, F8, M) with the innermost FGMRES entirely in fp16."""
+    return [
+        LevelSpec("fgmres", 100, LevelPrecision(_FP64, _FP64)),
+        LevelSpec("fgmres", 8, LevelPrecision(_FP32, _FP32)),
+        LevelSpec("fgmres", 8, LevelPrecision(_FP16, _FP16, _FP16)),
+    ]
+
+
+def _specs_f4() -> list[LevelSpec]:
+    """F4 = (F100, F8, F4, F2, M): like fp16-F3R but the innermost level is FGMRES."""
+    return [
+        LevelSpec("fgmres", 100, LevelPrecision(_FP64, _FP64)),
+        LevelSpec("fgmres", 8, LevelPrecision(_FP32, _FP32)),
+        LevelSpec("fgmres", 4, LevelPrecision(_FP16, _FP32)),
+        LevelSpec("fgmres", 2, LevelPrecision(_FP16, _FP16, _FP16)),
+    ]
+
+
+VARIANT_SPECS: dict[str, callable] = {
+    "F2": _specs_f2,
+    "fp16-F2": _specs_fp16_f2,
+    "F3": _specs_f3,
+    "fp16-F3": _specs_fp16_f3,
+    "F4": _specs_f4,
+}
+
+_DESCRIPTIONS = {
+    "F2": "(F100, F64, M) — two-level nested FGMRES, fp32 inner vectors, fp16 M",
+    "fp16-F2": "(F100, F64, M) — two-level nested FGMRES, fully fp16 inner level",
+    "F3": "(F100, F8, F8, M) — three-level nested FGMRES, fp16 A / fp32 vectors innermost",
+    "fp16-F3": "(F100, F8, F8, M) — three-level nested FGMRES, fully fp16 innermost",
+    "F4": "(F100, F8, F4, F2, M) — four-level nested FGMRES (Richardson replaced by F2)",
+}
+
+
+def variant_names() -> list[str]:
+    return list(VARIANT_SPECS)
+
+
+def variant_description(name: str) -> str:
+    return _DESCRIPTIONS[name]
+
+
+def build_variant(name: str, matrix: CSRMatrix, preconditioner: Preconditioner,
+                  tol: float = 1e-8, max_restarts: int = 2) -> OuterFGMRES:
+    """Build one of the Table 4 nesting-depth variants."""
+    if name not in VARIANT_SPECS:
+        raise ValueError(f"unknown variant {name!r}; choose from {variant_names()}")
+    specs = VARIANT_SPECS[name]()
+    return build_nested_solver(matrix, preconditioner, specs, tol=tol,
+                               max_restarts=max_restarts, name=name)

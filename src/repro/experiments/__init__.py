@@ -1,0 +1,29 @@
+"""Experiment harness: problem suites, runners, and report formatting."""
+
+from .problems import SUITES, Problem, build_problem, suite
+from .runner import (
+    RunRecord,
+    run_f3r,
+    run_krylov_baseline,
+    run_solver,
+    run_variant,
+    speedup_table,
+)
+from .report import format_series, format_table, geometric_mean, pivot
+
+__all__ = [
+    "SUITES",
+    "Problem",
+    "build_problem",
+    "suite",
+    "RunRecord",
+    "run_f3r",
+    "run_krylov_baseline",
+    "run_solver",
+    "run_variant",
+    "speedup_table",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "pivot",
+]

@@ -1,0 +1,80 @@
+"""Plain-text table / series formatting for the reproduced experiments.
+
+The benchmark scripts print their results through these helpers so that each
+table and figure of the paper has a recognizable textual counterpart (rows for
+tables, per-problem series for the bar-chart figures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "pivot", "geometric_mean"]
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str = "", float_fmt: str = "{:.3g}") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def format_series(series: dict[str, dict[str, float]], title: str = "",
+                  value_fmt: str = "{:.2f}") -> str:
+    """Render figure-style data: ``{series_name: {x_label: value}}``."""
+    lines = [title] if title else []
+    x_labels: list[str] = []
+    for values in series.values():
+        for x in values:
+            if x not in x_labels:
+                x_labels.append(x)
+    width = max((len(x) for x in x_labels), default=8)
+    name_width = max((len(name) for name in series), default=8)
+    header = " " * (name_width + 2) + "  ".join(x.ljust(width) for x in x_labels)
+    lines.append(header)
+    for name, values in series.items():
+        cells = []
+        for x in x_labels:
+            v = values.get(x)
+            cells.append(("-" if v is None or v != v else value_fmt.format(v)).ljust(width))
+        lines.append(name.ljust(name_width + 2) + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def pivot(rows: Iterable[dict], index: str, column: str, value: str) -> dict[str, dict[str, float]]:
+    """Reshape row dicts into the ``{column_value: {index_value: value}}`` form
+    expected by :func:`format_series`."""
+    out: dict[str, dict[str, float]] = {}
+    for row in rows:
+        out.setdefault(str(row[column]), {})[str(row[index])] = row[value]
+    return out
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean ignoring NaNs; NaN when nothing remains."""
+    import math
+
+    vals = [v for v in values if v == v and v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

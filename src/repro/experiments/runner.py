@@ -1,0 +1,144 @@
+"""Experiment runner: execute solver configurations against problems and
+collect the metrics the paper reports (preconditioner invocations, modeled
+execution time, convergence flags).
+
+Each run wraps the solve in a :class:`~repro.perf.TrafficCounter` scope so that
+the machine models can convert the kernel-level byte counts into the modeled
+times that stand in for the paper's wall-clock measurements (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import F3RConfig, build_f3r, build_variant
+from ..perf import CPU_NODE, MachineModel, TrafficCounter, counting
+from ..solvers import BiCGStab, ConjugateGradient, RestartedFGMRES
+from .problems import Problem
+
+__all__ = ["RunRecord", "run_solver", "run_f3r", "run_variant", "run_krylov_baseline",
+           "speedup_table"]
+
+
+@dataclass
+class RunRecord:
+    """Result of one (solver, problem) execution."""
+
+    problem: str
+    solver: str
+    converged: bool
+    outer_iterations: int
+    preconditioner_applications: int
+    relative_residual: float
+    modeled_time: float
+    wall_time: float
+    fp16_traffic_fraction: float
+    counter: TrafficCounter = field(repr=False, default_factory=TrafficCounter)
+
+    def as_dict(self) -> dict:
+        return {
+            "problem": self.problem,
+            "solver": self.solver,
+            "converged": self.converged,
+            "outer_iterations": self.outer_iterations,
+            "preconditioner_applications": self.preconditioner_applications,
+            "relative_residual": self.relative_residual,
+            "modeled_time": self.modeled_time,
+            "wall_time": self.wall_time,
+            "fp16_traffic_fraction": self.fp16_traffic_fraction,
+        }
+
+
+def run_solver(problem: Problem, solver, solver_name: str,
+               machine: MachineModel = CPU_NODE) -> RunRecord:
+    """Run any object exposing ``solve(b)`` and collect traffic + metrics."""
+    counter = TrafficCounter()
+    with counting(counter):
+        result = solver.solve(problem.rhs)
+    return RunRecord(
+        problem=problem.name,
+        solver=solver_name,
+        converged=result.converged,
+        outer_iterations=result.iterations,
+        preconditioner_applications=result.preconditioner_applications,
+        relative_residual=result.relative_residual,
+        modeled_time=machine.time_for(counter),
+        wall_time=result.wall_time,
+        fp16_traffic_fraction=counter.low_precision_fraction(),
+        counter=counter,
+    )
+
+
+def run_f3r(problem: Problem, preconditioner, variant: str = "fp16",
+            config: F3RConfig | None = None, machine: MachineModel = CPU_NODE,
+            tol: float = 1e-8, max_restarts: int = 2) -> RunRecord:
+    """Run one of the three F3R implementations (fp64-/fp32-/fp16-F3R)."""
+    config = (config or F3RConfig()).with_params(variant=variant, tol=tol,
+                                                 max_restarts=max_restarts)
+    solver = build_f3r(problem.matrix, preconditioner, config)
+    return run_solver(problem, solver, config.name, machine=machine)
+
+
+def run_variant(problem: Problem, preconditioner, name: str,
+                machine: MachineModel = CPU_NODE, tol: float = 1e-8) -> RunRecord:
+    """Run one of the Table 4 nesting-depth variants (F2, fp16-F2, F3, fp16-F3, F4)."""
+    solver = build_variant(name, problem.matrix, preconditioner, tol=tol)
+    return run_solver(problem, solver, name, machine=machine)
+
+
+def run_krylov_baseline(problem: Problem, preconditioner, method: str,
+                        precond_precision: str = "fp64",
+                        machine: MachineModel = CPU_NODE, tol: float = 1e-8,
+                        max_iterations: int = 2000, restart: int = 64) -> RunRecord:
+    """Run one of the conventional baselines: ``"cg"``, ``"bicgstab"``, ``"fgmres"``.
+
+    ``precond_precision`` selects the storage precision of the preconditioner,
+    producing the fp64-/fp32-/fp16-prefixed baselines of Figures 1-2.
+    """
+    m = preconditioner.astype(precond_precision)
+    label_prefix = {"fp64": "fp64", "fp32": "fp32", "fp16": "fp16"}[str(precond_precision)]
+    if method == "cg":
+        solver = ConjugateGradient(problem.matrix, m, tol=tol, max_iterations=max_iterations)
+        label = f"{label_prefix}-CG"
+    elif method == "bicgstab":
+        solver = BiCGStab(problem.matrix, m, tol=tol, max_iterations=max_iterations)
+        label = f"{label_prefix}-BiCGStab"
+    elif method == "fgmres":
+        solver = RestartedFGMRES(problem.matrix, m, restart=restart, tol=tol,
+                                 max_iterations=max_iterations)
+        label = f"{label_prefix}-FGMRES({restart})"
+    else:
+        raise ValueError(f"unknown baseline method {method!r}")
+    return run_solver(problem, solver, label, machine=machine)
+
+
+def speedup_table(records: list[RunRecord], baseline_solver: str) -> list[dict]:
+    """Per-problem speedup of every solver relative to ``baseline_solver``.
+
+    Mirrors the presentation of Figures 1-2: modeled time of the baseline
+    divided by modeled time of each solver (NaN when either failed).
+    """
+    by_problem: dict[str, dict[str, RunRecord]] = {}
+    for record in records:
+        by_problem.setdefault(record.problem, {})[record.solver] = record
+
+    rows = []
+    for problem, solvers in by_problem.items():
+        base = solvers.get(baseline_solver)
+        for name, record in solvers.items():
+            if base is None or not base.converged or not record.converged \
+                    or record.modeled_time <= 0.0:
+                speedup = float("nan")
+            else:
+                speedup = base.modeled_time / record.modeled_time
+            rows.append({
+                "problem": problem,
+                "solver": name,
+                "speedup_vs_" + baseline_solver: speedup,
+                "converged": record.converged,
+                "modeled_time": record.modeled_time,
+                "preconditioner_applications": record.preconditioner_applications,
+            })
+    return rows

@@ -1,0 +1,52 @@
+"""Matrix generators: HPCG/HPGMP stencils, PDE model problems, SuiteSparse surrogates."""
+
+from .stencil import hpcg_matrix, hpgmp_matrix, stencil27_matrix
+from .poisson import laplacian_1d, poisson2d, poisson3d
+from .convdiff import (
+    anisotropic_diffusion_3d,
+    convection_diffusion_2d,
+    convection_diffusion_3d,
+)
+from .suitesparse_like import circuit_like, elasticity_like, flow_like, stokes_like
+from .random_matrices import (
+    random_diagonally_dominant,
+    random_sparse,
+    random_spd,
+    random_tridiagonal,
+)
+from .registry import (
+    MATRIX_REGISTRY,
+    MatrixSpec,
+    get_matrix,
+    list_matrices,
+    nonsymmetric_matrices,
+    symmetric_matrices,
+    table2_rows,
+)
+
+__all__ = [
+    "hpcg_matrix",
+    "hpgmp_matrix",
+    "stencil27_matrix",
+    "laplacian_1d",
+    "poisson2d",
+    "poisson3d",
+    "anisotropic_diffusion_3d",
+    "convection_diffusion_2d",
+    "convection_diffusion_3d",
+    "circuit_like",
+    "elasticity_like",
+    "flow_like",
+    "stokes_like",
+    "random_diagonally_dominant",
+    "random_sparse",
+    "random_spd",
+    "random_tridiagonal",
+    "MATRIX_REGISTRY",
+    "MatrixSpec",
+    "get_matrix",
+    "list_matrices",
+    "nonsymmetric_matrices",
+    "symmetric_matrices",
+    "table2_rows",
+]

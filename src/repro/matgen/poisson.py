@@ -1,0 +1,80 @@
+"""Classical Poisson / Laplacian model problems (5-point and 7-point stencils).
+
+These are the standard SPD model problems used as surrogates for the "easy"
+symmetric SuiteSparse matrices (ecology2, apache2, tmt_sym, thermal2, ...):
+low nnz/row (5-7), diagonally dominant or nearly so, condition number growing
+with the grid size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import COOMatrix, CSRMatrix
+
+__all__ = ["poisson2d", "poisson3d", "laplacian_1d"]
+
+
+def laplacian_1d(n: int, scale: float = 1.0) -> CSRMatrix:
+    """Tridiagonal 1-D Laplacian ``tridiag(-1, 2, -1) * scale``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    rows = []
+    cols = []
+    vals = []
+    idx = np.arange(n, dtype=np.int64)
+    rows.append(idx); cols.append(idx); vals.append(np.full(n, 2.0 * scale))
+    rows.append(idx[1:]); cols.append(idx[:-1]); vals.append(np.full(n - 1, -1.0 * scale))
+    rows.append(idx[:-1]); cols.append(idx[1:]); vals.append(np.full(n - 1, -1.0 * scale))
+    coo = COOMatrix(np.concatenate(rows).astype(np.int32), np.concatenate(cols).astype(np.int32),
+                    np.concatenate(vals), (n, n))
+    return coo.to_csr()
+
+
+def _stencil_nd(dims: tuple[int, ...], diag: float, offs: dict[tuple[int, ...], float]) -> CSRMatrix:
+    """Assemble an arbitrary axis-aligned stencil on a tensor grid."""
+    n = int(np.prod(dims))
+    ndim = len(dims)
+    coords = np.unravel_index(np.arange(n, dtype=np.int64), dims)
+
+    rows_list = [np.arange(n, dtype=np.int64)]
+    cols_list = [np.arange(n, dtype=np.int64)]
+    vals_list = [np.full(n, diag, dtype=np.float64)]
+
+    for offset, value in offs.items():
+        shifted = [coords[d] + offset[d] for d in range(ndim)]
+        valid = np.ones(n, dtype=bool)
+        for d in range(ndim):
+            valid &= (shifted[d] >= 0) & (shifted[d] < dims[d])
+        rows = np.flatnonzero(valid)
+        cols = np.ravel_multi_index(tuple(s[valid] for s in shifted), dims)
+        rows_list.append(rows)
+        cols_list.append(cols)
+        vals_list.append(np.full(rows.size, value, dtype=np.float64))
+
+    coo = COOMatrix(
+        np.concatenate(rows_list).astype(np.int32),
+        np.concatenate(cols_list).astype(np.int32),
+        np.concatenate(vals_list),
+        (n, n),
+    )
+    return coo.to_csr()
+
+
+def poisson2d(nx: int, ny: int | None = None) -> CSRMatrix:
+    """5-point 2-D Poisson matrix (diag 4, neighbours −1) on an nx × ny grid."""
+    ny = nx if ny is None else ny
+    offs = {(-1, 0): -1.0, (1, 0): -1.0, (0, -1): -1.0, (0, 1): -1.0}
+    return _stencil_nd((nx, ny), 4.0, offs)
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+    """7-point 3-D Poisson matrix (diag 6, neighbours −1) on an nx × ny × nz grid."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    offs = {
+        (-1, 0, 0): -1.0, (1, 0, 0): -1.0,
+        (0, -1, 0): -1.0, (0, 1, 0): -1.0,
+        (0, 0, -1): -1.0, (0, 0, 1): -1.0,
+    }
+    return _stencil_nd((nx, ny, nz), 6.0, offs)

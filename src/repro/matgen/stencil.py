@@ -1,0 +1,113 @@
+"""HPCG and HPGMP benchmark matrix generators.
+
+The paper's regular test problems come from the HPCG benchmark (27-point
+stencil on a 3-D grid: diagonal 26, off-diagonals −1) and from the HPGMP
+benchmark, which modifies HPCG by replacing the couplings to the forward and
+backward neighbours along the z-axis with ``−1 + β`` and ``−1 − β`` (β = 0.5
+in the paper's experiments), making the matrix non-symmetric.
+
+Both constructions are fully specified in the paper, so they are reimplemented
+here exactly (at reproduction-scale grid sizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import COOMatrix, CSRMatrix
+
+__all__ = ["hpcg_matrix", "hpgmp_matrix", "stencil27_matrix"]
+
+
+def _grid_indices(nx: int, ny: int, nz: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(ix, iy, iz) coordinates of every grid point in lexicographic order."""
+    idx = np.arange(nx * ny * nz, dtype=np.int64)
+    ix = idx % nx
+    iy = (idx // nx) % ny
+    iz = idx // (nx * ny)
+    return ix, iy, iz
+
+
+def stencil27_matrix(
+    nx: int,
+    ny: int,
+    nz: int,
+    diag_value: float = 26.0,
+    off_value: float = -1.0,
+    z_forward_value: float | None = None,
+    z_backward_value: float | None = None,
+) -> CSRMatrix:
+    """General 27-point stencil matrix on an ``nx × ny × nz`` grid.
+
+    ``z_forward_value`` / ``z_backward_value`` override the coupling to the
+    (0, 0, +1) and (0, 0, −1) neighbours respectively, which is how HPGMP
+    breaks symmetry; left as ``None`` they default to ``off_value``.
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError("grid dimensions must be positive")
+    zf = off_value if z_forward_value is None else z_forward_value
+    zb = off_value if z_backward_value is None else z_backward_value
+
+    n = nx * ny * nz
+    ix, iy, iz = _grid_indices(nx, ny, nz)
+
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    vals_list: list[np.ndarray] = []
+
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                jx = ix + dx
+                jy = iy + dy
+                jz = iz + dz
+                valid = (
+                    (jx >= 0) & (jx < nx)
+                    & (jy >= 0) & (jy < ny)
+                    & (jz >= 0) & (jz < nz)
+                )
+                rows = np.flatnonzero(valid)
+                cols = jx[valid] + nx * (jy[valid] + ny * jz[valid])
+                if dx == 0 and dy == 0 and dz == 0:
+                    value = diag_value
+                elif dx == 0 and dy == 0 and dz == 1:
+                    value = zf
+                elif dx == 0 and dy == 0 and dz == -1:
+                    value = zb
+                else:
+                    value = off_value
+                rows_list.append(rows)
+                cols_list.append(cols)
+                vals_list.append(np.full(rows.size, value, dtype=np.float64))
+
+    coo = COOMatrix(
+        np.concatenate(rows_list).astype(np.int32),
+        np.concatenate(cols_list).astype(np.int32),
+        np.concatenate(vals_list),
+        (n, n),
+    )
+    return coo.to_csr()
+
+
+def hpcg_matrix(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+    """HPCG benchmark matrix: symmetric 27-point stencil, diag 26, off-diag −1.
+
+    With a single argument, a cube ``nx³`` grid is generated, matching the
+    paper's ``hpcg_x_y_z`` naming where the suffix is log2 of each dimension.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    return stencil27_matrix(nx, ny, nz, diag_value=26.0, off_value=-1.0)
+
+
+def hpgmp_matrix(nx: int, ny: int | None = None, nz: int | None = None,
+                 beta: float = 0.5) -> CSRMatrix:
+    """HPGMP benchmark matrix: HPCG with z-axis couplings −1+β (forward) and
+    −1−β (backward), non-symmetric for β ≠ 0.  The paper uses β = 0.5."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    return stencil27_matrix(
+        nx, ny, nz,
+        diag_value=26.0, off_value=-1.0,
+        z_forward_value=-1.0 + beta, z_backward_value=-1.0 - beta,
+    )

@@ -1,0 +1,47 @@
+"""Performance accounting: traffic counters, machine models, timers.
+
+See DESIGN.md §5: convergence results are measured by actually running the
+emulated-precision solvers, while execution-time results (Figures 1-2) are
+derived from memory-traffic counts through a bandwidth/latency machine model,
+matching the paper's own premise that the kernels are memory-bound.
+"""
+
+from .counters import (
+    TrafficCounter,
+    counting,
+    current_counter,
+    global_counter,
+    record_bytes,
+    record_flops,
+    record_kernel,
+    reset_global_counter,
+)
+from .machine import (
+    CPU_NODE,
+    CPU_NODE_FULL,
+    GPU_NODE,
+    GPU_NODE_FULL,
+    MachineModel,
+    modeled_time,
+)
+from .timer import StageTimer, Timer, timed
+
+__all__ = [
+    "TrafficCounter",
+    "counting",
+    "current_counter",
+    "global_counter",
+    "record_bytes",
+    "record_flops",
+    "record_kernel",
+    "reset_global_counter",
+    "MachineModel",
+    "CPU_NODE",
+    "GPU_NODE",
+    "CPU_NODE_FULL",
+    "GPU_NODE_FULL",
+    "modeled_time",
+    "Timer",
+    "StageTimer",
+    "timed",
+]

@@ -1,0 +1,145 @@
+"""Machine performance models for converting memory traffic into modeled time.
+
+The paper evaluates on two testbeds:
+
+* **CPU node** — Camphor 3 at Kyoto University: two Intel Sapphire Rapids CPUs
+  (2 × 56 cores), block-Jacobi ILU(0)/IC(0) preconditioning, CSR SpMV.
+* **GPU node** — Gardenia: one NVIDIA A100, SD-AINV preconditioning, sliced
+  ELLPACK SpMV.
+
+Sparse iterative kernels are memory-bandwidth bound on both (the paper's own
+premise), so modeled execution time is
+
+    time = value_bytes / stream_bandwidth
+         + index_bytes / stream_bandwidth
+         + kernel_calls * kernel_launch_latency
+         + reduction_calls * reduction_latency
+
+The two latency terms capture the paper's observed second-order effects: on the
+GPU, kernel-launch overhead and reduction (dot/norm) latency damp the benefit
+of cutting traffic (Sec. 5.2 reports smaller precision speedups on the GPU,
+1.55× vs 1.87× on CPU); on the CPU, OpenMP barrier costs play the same role at
+a smaller magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..precision import Precision
+from .counters import TrafficCounter
+
+__all__ = ["MachineModel", "CPU_NODE", "GPU_NODE", "CPU_NODE_FULL", "GPU_NODE_FULL",
+           "modeled_time"]
+
+#: kernels that end in a global reduction (latency-sensitive on GPUs)
+_REDUCTION_KERNELS = ("dot", "norm")
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A simple roofline-style machine model.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used in reports.
+    stream_bandwidth:
+        Sustainable memory bandwidth in bytes/second for streaming kernels.
+    kernel_latency:
+        Fixed overhead per kernel invocation (launch / fork-join barrier), in
+        seconds.
+    reduction_latency:
+        Additional fixed overhead for kernels ending in a global reduction
+        (dot products, norms), in seconds.
+    flop_rate:
+        Peak effective flop/s per precision; only matters for the rare
+        compute-bound corner (dense Hessenberg updates at large restart
+        lengths).  Keys absent from the dict fall back to fp64's rate.
+    """
+
+    name: str
+    stream_bandwidth: float
+    kernel_latency: float = 0.0
+    reduction_latency: float = 0.0
+    flop_rate: dict[Precision, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def time_for(self, counter: TrafficCounter) -> float:
+        """Modeled execution time (seconds) for the traffic in ``counter``."""
+        traffic_time = (counter.total_value_bytes + counter.index_bytes) / self.stream_bandwidth
+
+        compute_time = 0.0
+        default_rate = self.flop_rate.get(Precision.FP64, 0.0)
+        for precision, flops in counter.flops_by_precision.items():
+            rate = self.flop_rate.get(precision, default_rate)
+            if rate > 0:
+                compute_time += flops / rate
+
+        launch_time = 0.0
+        reduction_time = 0.0
+        for kernel, calls in counter.kernel_calls.items():
+            launch_time += calls * self.kernel_latency
+            if any(kernel.startswith(prefix) for prefix in _REDUCTION_KERNELS):
+                reduction_time += calls * self.reduction_latency
+
+        # Bandwidth-bound kernels overlap compute with traffic; take the max of
+        # the two rather than their sum, then add the latency terms.
+        return max(traffic_time, compute_time) + launch_time + reduction_time
+
+    def bandwidth_gbs(self) -> float:
+        return self.stream_bandwidth / 1e9
+
+
+#: CPU node model: 2 × Sapphire Rapids, ~300 GB/s sustained STREAM per socket.
+#: The default presets are pure bandwidth rooflines (zero latency) because the
+#: paper's problems are large enough that per-kernel launch/barrier costs are
+#: negligible; the reproduction's surrogates are much smaller, so charging
+#: realistic latencies against them would swamp the traffic term they stand in
+#: for.  The ``*_FULL`` presets keep the latency terms for ablation studies of
+#: exactly that effect (Section 5.2's discussion of moderated GPU speedups).
+CPU_NODE = MachineModel(
+    name="cpu-node (2x Sapphire Rapids, roofline)",
+    stream_bandwidth=600e9,
+    flop_rate={
+        Precision.FP64: 3.0e12,
+        Precision.FP32: 6.0e12,
+        Precision.FP16: 12.0e12,
+    },
+)
+
+#: GPU node model: one A100 (HBM2e ~1.6 TB/s, ~1.4 TB/s sustained).
+GPU_NODE = MachineModel(
+    name="gpu-node (1x A100, roofline)",
+    stream_bandwidth=1400e9,
+    flop_rate={
+        Precision.FP64: 9.7e12,
+        Precision.FP32: 19.5e12,
+        Precision.FP16: 78e12,
+    },
+)
+
+#: Latency-bearing variants: OpenMP fork/join barriers on the CPU node; kernel
+#: launch and device-wide reduction latencies on the GPU node.  The GPU's
+#: latencies are relatively larger, which is one of the reasons the paper's
+#: Fig. 2 speedups from reduced precision are more moderate than Fig. 1's.
+CPU_NODE_FULL = MachineModel(
+    name="cpu-node (2x Sapphire Rapids, with latency)",
+    stream_bandwidth=600e9,
+    kernel_latency=4e-6,
+    reduction_latency=6e-6,
+    flop_rate=CPU_NODE.flop_rate,
+)
+
+GPU_NODE_FULL = MachineModel(
+    name="gpu-node (1x A100, with latency)",
+    stream_bandwidth=1400e9,
+    kernel_latency=8e-6,
+    reduction_latency=18e-6,
+    flop_rate=GPU_NODE.flop_rate,
+)
+
+
+def modeled_time(counter: TrafficCounter, machine: MachineModel = CPU_NODE) -> float:
+    """Convenience wrapper: modeled seconds for ``counter`` on ``machine``."""
+    return machine.time_for(counter)

@@ -1,0 +1,78 @@
+"""Wall-clock timing helpers.
+
+Wall-clock time of the emulated solvers is recorded for completeness (and used
+by the pytest-benchmark harness), but the reproduction's Figure 1/2 speedups
+come from the machine model in :mod:`repro.perf.machine`, because Python-level
+fp16 emulation is slower — not faster — than fp64.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageTimer", "timed"]
+
+
+@dataclass
+class Timer:
+    """A simple accumulating stopwatch."""
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+
+@dataclass
+class StageTimer:
+    """Accumulates elapsed time per named stage (spmv, precond, orthogonalize, ...)."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + time.perf_counter() - start
+
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def fraction(self, name: str) -> float:
+        total = self.total()
+        return self.stages.get(name, 0.0) / total if total > 0 else 0.0
+
+
+@contextmanager
+def timed():
+    """``with timed() as t: ...; t.elapsed`` — one-shot scope timer."""
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer.running:
+            timer.stop()

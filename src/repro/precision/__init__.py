@@ -1,0 +1,57 @@
+"""Emulated mixed-precision arithmetic (fp64 / fp32 / fp16).
+
+This package is the substrate that lets the reproduction run the paper's
+precision schedule on commodity hardware: NumPy's ``float16``/``float32``
+implement the same IEEE-754 formats the paper targets, so rounding — the only
+precision effect that influences convergence — is reproduced exactly.
+"""
+
+from .dtypes import (
+    BYTES_PER_INDEX,
+    BYTES_PER_VALUE,
+    Precision,
+    PrecisionTraits,
+    as_precision,
+    dtype_of,
+    precision_of_dtype,
+    promote,
+    traits,
+)
+from .rounding import cast_array, cast_like, chop_chain, representable, round_to, saturate
+from .spec import F3R_PRECISIONS, LevelPrecision, PrecisionSpec, uniform_spec
+from .analysis import (
+    CastReport,
+    analyze_cast,
+    axpy_error_bound,
+    dot_error_bound,
+    relative_rounding_error,
+    spmv_error_bound,
+)
+
+__all__ = [
+    "Precision",
+    "PrecisionTraits",
+    "PrecisionSpec",
+    "LevelPrecision",
+    "F3R_PRECISIONS",
+    "BYTES_PER_INDEX",
+    "BYTES_PER_VALUE",
+    "as_precision",
+    "dtype_of",
+    "precision_of_dtype",
+    "promote",
+    "traits",
+    "uniform_spec",
+    "round_to",
+    "cast_array",
+    "cast_like",
+    "chop_chain",
+    "representable",
+    "saturate",
+    "CastReport",
+    "analyze_cast",
+    "dot_error_bound",
+    "axpy_error_bound",
+    "spmv_error_bound",
+    "relative_rounding_error",
+]

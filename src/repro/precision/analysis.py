@@ -1,0 +1,133 @@
+"""Round-off error analysis and overflow accounting utilities.
+
+These helpers support two things:
+
+1. Tests that verify emulated low-precision kernels obey standard forward
+   error bounds (e.g. a dot product computed in precision ``u`` satisfies
+   ``|fl(x·y) − x·y| ≤ n·u·|x|·|y| / (1 − n·u)``).
+2. Diagnostics the solvers can attach to their convergence histories: how many
+   values overflowed/underflowed when cast to fp16, and how much information a
+   cast destroyed.  Section 6.2 of the paper attributes the failure of
+   fp16-F2 to exactly this kind of "precision overflow"; the accounting makes
+   that observable in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dtypes import Precision, as_precision
+
+__all__ = [
+    "dot_error_bound",
+    "axpy_error_bound",
+    "spmv_error_bound",
+    "CastReport",
+    "analyze_cast",
+    "relative_rounding_error",
+]
+
+
+def _gamma(n: int, u: float) -> float:
+    """Higham's gamma_n = n*u / (1 - n*u); inf when n*u >= 1."""
+    nu = n * u
+    if nu >= 1.0:
+        return float("inf")
+    return nu / (1.0 - nu)
+
+
+def dot_error_bound(n: int, precision: Precision | str) -> float:
+    """Forward error bound constant for an n-term dot product in ``precision``.
+
+    ``|fl(x^T y) - x^T y| <= gamma_n * |x|^T |y|`` with ``gamma_n = n u/(1-n u)``.
+    """
+    p = as_precision(precision)
+    return _gamma(n, p.eps)
+
+
+def axpy_error_bound(precision: Precision | str) -> float:
+    """Error bound constant for y <- a*x + y (two rounding errors per element)."""
+    p = as_precision(precision)
+    return _gamma(2, p.eps)
+
+
+def spmv_error_bound(max_nnz_per_row: int, precision: Precision | str) -> float:
+    """Row-wise forward error bound constant for sparse mat-vec in ``precision``.
+
+    Each output element is a dot product over at most ``max_nnz_per_row``
+    terms, so the bound constant is ``gamma_{nnz_row}``.
+    """
+    p = as_precision(precision)
+    return _gamma(max(1, max_nnz_per_row), p.eps)
+
+
+def relative_rounding_error(x, precision: Precision | str) -> np.ndarray:
+    """Element-wise relative error of rounding ``x`` to ``precision``.
+
+    Zero elements have zero error by convention.  Overflowing elements report
+    ``inf``.
+    """
+    p = as_precision(precision)
+    x64 = np.asarray(x, dtype=np.float64)
+    rounded = x64.astype(p.dtype).astype(np.float64)
+    err = np.zeros_like(x64)
+    nz = x64 != 0
+    err[nz] = np.abs(rounded[nz] - x64[nz]) / np.abs(x64[nz])
+    return err
+
+
+@dataclass(frozen=True)
+class CastReport:
+    """Summary of what happens when an array is cast to a lower precision."""
+
+    precision: Precision
+    total: int
+    overflowed: int
+    underflowed_to_zero: int
+    max_relative_error: float
+
+    @property
+    def overflow_fraction(self) -> float:
+        return self.overflowed / self.total if self.total else 0.0
+
+    @property
+    def lossless(self) -> bool:
+        return self.overflowed == 0 and self.max_relative_error == 0.0
+
+
+def analyze_cast(x, precision: Precision | str) -> CastReport:
+    """Analyze the effect of casting ``x`` down to ``precision``.
+
+    Counts values whose magnitude exceeds the target's finite range (overflow
+    to ±inf) and nonzero values that flush to zero (magnitude below the
+    smallest subnormal), and records the worst relative rounding error among
+    the surviving elements.
+    """
+    p = as_precision(precision)
+    x64 = np.asarray(x, dtype=np.float64).ravel()
+    total = x64.size
+    if total == 0:
+        return CastReport(p, 0, 0, 0, 0.0)
+
+    finite = np.isfinite(x64)
+    overflow = finite & (np.abs(x64) > p.max)
+    smallest_subnormal = float(np.finfo(p.dtype).smallest_subnormal)
+    underflow = finite & (x64 != 0) & (np.abs(x64) < smallest_subnormal / 2.0)
+
+    survivors = finite & ~overflow & ~underflow & (x64 != 0)
+    if np.any(survivors):
+        rounded = x64[survivors].astype(p.dtype).astype(np.float64)
+        rel = np.abs(rounded - x64[survivors]) / np.abs(x64[survivors])
+        max_rel = float(np.max(rel))
+    else:
+        max_rel = 0.0
+
+    return CastReport(
+        precision=p,
+        total=int(total),
+        overflowed=int(np.count_nonzero(overflow)),
+        underflowed_to_zero=int(np.count_nonzero(underflow)),
+        max_relative_error=max_rel,
+    )

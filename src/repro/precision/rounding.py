@@ -1,0 +1,102 @@
+"""Rounding and casting helpers for emulated mixed-precision arithmetic.
+
+Every kernel in :mod:`repro` that claims to run "in fp16" or "in fp32" routes
+its results through these helpers so the stored values are bit-identical to
+what native low-precision hardware would hold.  NumPy's ``astype`` performs
+IEEE round-to-nearest-even, matching the conversion instructions used on the
+paper's CPU (``vcvtps2ph``-family) and GPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtypes import Precision, as_precision
+
+__all__ = [
+    "round_to",
+    "cast_array",
+    "cast_like",
+    "representable",
+    "saturate",
+    "chop_chain",
+]
+
+
+def round_to(x, precision: Precision | str) -> np.ndarray:
+    """Round ``x`` to ``precision`` and return it in that dtype.
+
+    Scalars are returned as 0-d arrays of the target dtype; arrays are
+    converted with round-to-nearest-even.  Values exceeding the target range
+    become ``inf`` exactly as they would on hardware (fp16 overflows at 65504).
+    """
+    p = as_precision(precision)
+    arr = np.asarray(x)
+    if arr.dtype == p.dtype:
+        return arr
+    return arr.astype(p.dtype)
+
+
+def cast_array(x: np.ndarray, precision: Precision | str, copy: bool = False) -> np.ndarray:
+    """Cast an array to the storage dtype of ``precision``.
+
+    Unlike :func:`round_to` this always returns an ``ndarray`` (never a view of
+    a scalar) and can force a copy, which is what the preconditioner-storage
+    casting in the paper does ("we first construct it in fp64 and then cast its
+    values to fp32 or fp16").
+    """
+    p = as_precision(precision)
+    arr = np.asarray(x)
+    if arr.dtype == p.dtype and not copy:
+        return arr
+    return arr.astype(p.dtype, copy=True)
+
+
+def cast_like(x: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Cast ``x`` to the dtype of ``reference``."""
+    if x.dtype == reference.dtype:
+        return x
+    return x.astype(reference.dtype)
+
+
+def representable(x, precision: Precision | str) -> bool:
+    """True when every finite element of ``x`` survives a round-trip to ``precision``
+    without overflowing to infinity.
+
+    Used by tests and by the overflow accounting to detect when an fp16 cast
+    destroys information catastrophically (the paper's "precision overflow"
+    failure mode of fp16-F2).
+    """
+    p = as_precision(precision)
+    arr = np.asarray(x, dtype=np.float64)
+    finite = np.isfinite(arr)
+    if not np.any(finite):
+        return True
+    return bool(np.all(np.abs(arr[finite]) <= p.max))
+
+
+def saturate(x, precision: Precision | str) -> np.ndarray:
+    """Cast to ``precision`` but clamp overflowing magnitudes to the largest
+    finite value instead of producing infinities.
+
+    The paper's solvers do not saturate (hardware fp16 overflows to inf), but
+    saturation is offered as an opt-in robustness feature and exercised in the
+    failure-injection tests.
+    """
+    p = as_precision(precision)
+    arr = np.asarray(x, dtype=np.float64)
+    clipped = np.clip(arr, -p.max, p.max)
+    return clipped.astype(p.dtype)
+
+
+def chop_chain(x, *precisions: Precision | str) -> np.ndarray:
+    """Round ``x`` through a chain of precisions in order.
+
+    ``chop_chain(v, "fp32", "fp16")`` models storing a value to fp32 memory and
+    then re-storing to fp16 — the double-rounding path taken when a fp64
+    preconditioner is cast first to fp32 then to fp16.
+    """
+    arr = np.asarray(x)
+    for p in precisions:
+        arr = round_to(arr, p)
+    return arr

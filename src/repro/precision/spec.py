@@ -1,0 +1,111 @@
+"""Precision specifications for kernels and solver levels.
+
+A :class:`PrecisionSpec` bundles the *storage* precision of the operands
+(matrix values, vectors, preconditioner values) with the *compute* precision
+used for arithmetic.  This mirrors Table 1 of the paper, where e.g. the F^m3
+level stores ``A`` in fp16 but keeps its Arnoldi vectors in fp32 and therefore
+performs SpMV in fp32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .dtypes import Precision, as_precision, promote
+
+__all__ = ["PrecisionSpec", "LevelPrecision", "F3R_PRECISIONS", "uniform_spec"]
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Storage + compute precision for a single kernel invocation.
+
+    Parameters
+    ----------
+    matrix:
+        Storage precision of sparse-matrix values.
+    vector:
+        Storage precision of vectors produced by the kernel.
+    compute:
+        Precision of the arithmetic.  Defaults to the promotion of matrix and
+        vector precisions, matching the paper's promotion rule.
+    """
+
+    matrix: Precision = Precision.FP64
+    vector: Precision = Precision.FP64
+    compute: Precision | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "matrix", as_precision(self.matrix))
+        object.__setattr__(self, "vector", as_precision(self.vector))
+        if self.compute is None:
+            object.__setattr__(self, "compute", promote(self.matrix, self.vector))
+        else:
+            object.__setattr__(self, "compute", as_precision(self.compute))
+
+    # ------------------------------------------------------------------ #
+    def with_matrix(self, precision: Precision | str) -> "PrecisionSpec":
+        return replace(self, matrix=as_precision(precision), compute=None)
+
+    def with_vector(self, precision: Precision | str) -> "PrecisionSpec":
+        return replace(self, vector=as_precision(precision), compute=None)
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.matrix == self.vector == self.compute
+
+    def describe(self) -> str:
+        return f"A={self.matrix.label}, vec={self.vector.label}, compute={self.compute.label}"
+
+
+def uniform_spec(precision: Precision | str) -> PrecisionSpec:
+    """A spec with matrix, vector and compute all in the same precision."""
+    p = as_precision(precision)
+    return PrecisionSpec(matrix=p, vector=p, compute=p)
+
+
+@dataclass(frozen=True)
+class LevelPrecision:
+    """Precision assignment of one level of a nested solver (one row of Table 1).
+
+    Parameters
+    ----------
+    matrix:
+        Precision the coefficient matrix ``A`` is stored in at this level.
+    vector:
+        Precision of the level's own vectors (Arnoldi basis, residuals, ...).
+    preconditioner:
+        Precision of the primary preconditioner values when this level applies
+        it directly (``None`` for levels whose preconditioner is an inner
+        solver, shown as "-" in Table 1).
+    """
+
+    matrix: Precision = Precision.FP64
+    vector: Precision = Precision.FP64
+    preconditioner: Precision | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "matrix", as_precision(self.matrix))
+        object.__setattr__(self, "vector", as_precision(self.vector))
+        if self.preconditioner is not None:
+            object.__setattr__(self, "preconditioner", as_precision(self.preconditioner))
+
+    def spmv_spec(self) -> PrecisionSpec:
+        """PrecisionSpec for SpMV at this level (A storage vs vector storage)."""
+        return PrecisionSpec(matrix=self.matrix, vector=self.vector)
+
+    def describe(self) -> str:
+        m = "-" if self.preconditioner is None else self.preconditioner.label
+        return f"A={self.matrix.label}, vectors={self.vector.label}, M={m}"
+
+
+#: The default F3R precision schedule of Table 1, keyed by level index (1-based:
+#: level 1 = outermost FGMRES, level 4 = innermost Richardson).
+F3R_PRECISIONS: dict[int, LevelPrecision] = {
+    1: LevelPrecision(matrix=Precision.FP64, vector=Precision.FP64),
+    2: LevelPrecision(matrix=Precision.FP32, vector=Precision.FP32),
+    3: LevelPrecision(matrix=Precision.FP16, vector=Precision.FP32),
+    4: LevelPrecision(
+        matrix=Precision.FP16, vector=Precision.FP16, preconditioner=Precision.FP16
+    ),
+}

@@ -1,0 +1,87 @@
+"""Preconditioner interface.
+
+A preconditioner approximates ``M ≈ A`` and exposes ``apply(r) ≈ M^{-1} r``.
+Two aspects matter for the reproduction:
+
+* **Precision** — the paper constructs every preconditioner in fp64 and then
+  casts its stored values to fp32 or fp16 (:meth:`Preconditioner.astype`), and
+  the application kernels run in the stored precision.
+* **Application counting** — the paper's Table 3 reports the number of
+  invocations of the *primary* preconditioner ``M`` until convergence, which
+  is the precision-independent measure of convergence speed for nested
+  solvers.  Every ``apply`` increments :attr:`Preconditioner.num_applications`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..precision import Precision, as_precision
+
+__all__ = ["Preconditioner", "IdentityPreconditioner"]
+
+
+class Preconditioner(abc.ABC):
+    """Abstract base class for all primary preconditioners."""
+
+    def __init__(self, precision: Precision | str = Precision.FP64) -> None:
+        self.precision = as_precision(precision)
+        self.num_applications = 0
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _apply(self, r: np.ndarray) -> np.ndarray:
+        """Implementation hook: return ``M^{-1} r`` (no counting)."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Apply the preconditioner and count the invocation."""
+        self.num_applications += 1
+        return self._apply(np.asarray(r))
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def astype(self, precision: Precision | str) -> "Preconditioner":
+        """Return a copy whose stored values are cast to ``precision``.
+
+        The copy shares structural arrays with the original (pattern, level
+        schedules) but has its own application counter.
+        """
+
+    def reset_counter(self) -> None:
+        self.num_applications = 0
+
+    @property
+    @abc.abstractmethod
+    def shape(self) -> tuple[int, int]:
+        """Dimensions of the operator the preconditioner approximates."""
+
+    def memory_bytes(self) -> int:
+        """Bytes occupied by the preconditioner's stored values (0 if unknown)."""
+        return 0
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(shape={self.shape}, precision={self.precision.label})"
+
+
+class IdentityPreconditioner(Preconditioner):
+    """The do-nothing preconditioner (``M = I``); useful as a baseline and in tests."""
+
+    def __init__(self, n: int, precision: Precision | str = Precision.FP64) -> None:
+        super().__init__(precision)
+        self._n = int(n)
+
+    def _apply(self, r: np.ndarray) -> np.ndarray:
+        return r.astype(self.precision.dtype, copy=True)
+
+    def astype(self, precision: Precision | str) -> "IdentityPreconditioner":
+        return IdentityPreconditioner(self._n, precision)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._n, self._n)

@@ -1,0 +1,93 @@
+"""Block-Jacobi ILU(0) / IC(0) preconditioner.
+
+The paper's CPU experiments use block-Jacobi ILU(0) (IC(0) when the matrix is
+symmetric) with one block per hardware thread (112 blocks on the 2 × 56-core
+node) so that each block factorization and triangular solve is independent and
+therefore thread-parallel.  Couplings between blocks are simply discarded.
+
+The αILU stabilization — scaling the diagonal of ``A`` by a problem-dependent
+factor during the factorization only — is applied per block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..precision import Precision, as_precision
+from ..sparse import BlockPartition, CSRMatrix, partition_rows
+from .base import Preconditioner
+from .ilu0 import IC0Preconditioner, ILU0Preconditioner
+
+__all__ = ["BlockJacobiILU0", "BlockJacobiIC0"]
+
+
+class _BlockJacobiBase(Preconditioner):
+    """Shared machinery of the ILU(0)- and IC(0)-based block-Jacobi variants."""
+
+    _block_factory: type[Preconditioner]
+
+    def __init__(self, matrix: CSRMatrix, nblocks: int | None = None,
+                 alpha: float = 1.0, precision: Precision | str = Precision.FP64,
+                 partition: BlockPartition | None = None) -> None:
+        super().__init__(precision)
+        if matrix.nrows != matrix.ncols:
+            raise ValueError("block-Jacobi requires a square matrix")
+        self._n = matrix.nrows
+        self.alpha = float(alpha)
+        if partition is None:
+            partition = partition_rows(matrix.nrows, nblocks=nblocks or 1)
+        self.partition = partition
+        self._blocks: list[Preconditioner] = []
+        for start, stop in partition.blocks():
+            block = matrix.extract_block(start, stop)
+            self._blocks.append(
+                self._block_factory(block, alpha=alpha, precision=self.precision)
+            )
+
+    @classmethod
+    def _from_blocks(cls, blocks, partition, alpha, precision, n):
+        obj = object.__new__(cls)
+        Preconditioner.__init__(obj, precision)
+        obj._n = n
+        obj.alpha = alpha
+        obj.partition = partition
+        obj._blocks = blocks
+        return obj
+
+    # ------------------------------------------------------------------ #
+    def _apply(self, r: np.ndarray) -> np.ndarray:
+        z = np.empty(self._n, dtype=r.dtype)
+        for block, (start, stop) in zip(self._blocks, self.partition.blocks()):
+            # block preconditioners do their own traffic accounting; only the
+            # outer object counts as "one invocation of the primary M"
+            z[start:stop] = block._apply(r[start:stop])
+        return z
+
+    def astype(self, precision: Precision | str):
+        p = as_precision(precision)
+        blocks = [block.astype(p) for block in self._blocks]
+        return type(self)._from_blocks(blocks, self.partition, self.alpha, p, self._n)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._n, self._n)
+
+    @property
+    def nblocks(self) -> int:
+        return self.partition.nblocks
+
+    def memory_bytes(self) -> int:
+        return sum(block.memory_bytes() for block in self._blocks)
+
+
+class BlockJacobiILU0(_BlockJacobiBase):
+    """Block-Jacobi with an ILU(0) factorization of each diagonal block."""
+
+    _block_factory = ILU0Preconditioner
+
+
+class BlockJacobiIC0(_BlockJacobiBase):
+    """Block-Jacobi with an IC(0)-style factorization of each diagonal block
+    (for symmetric matrices; stores roughly half the values of ILU(0))."""
+
+    _block_factory = IC0Preconditioner

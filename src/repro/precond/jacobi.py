@@ -1,0 +1,59 @@
+"""Jacobi (diagonal) preconditioner.
+
+Not used as the primary preconditioner in the paper's experiments (its
+matrices are diagonally scaled, so Jacobi degenerates to the identity), but it
+is the simplest preconditioner with nontrivial stored values and therefore the
+reference case for precision-casting tests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import record_bytes, record_flops, record_kernel
+from ..precision import Precision, as_precision, precision_of_dtype, promote
+from ..sparse import CSRMatrix, extract_diagonal
+from .base import Preconditioner
+
+__all__ = ["JacobiPreconditioner"]
+
+
+class JacobiPreconditioner(Preconditioner):
+    """``M = diag(A)``; application is an element-wise multiply by 1/diag."""
+
+    def __init__(self, matrix: CSRMatrix, precision: Precision | str = Precision.FP64) -> None:
+        super().__init__(precision)
+        diag = extract_diagonal(matrix)
+        if np.any(diag == 0.0):
+            raise ValueError("Jacobi preconditioner requires a zero-free diagonal")
+        self._n = matrix.nrows
+        self.inv_diag = (1.0 / diag).astype(self.precision.dtype)
+
+    @classmethod
+    def _from_inv_diag(cls, inv_diag: np.ndarray, precision: Precision) -> "JacobiPreconditioner":
+        obj = object.__new__(cls)
+        Preconditioner.__init__(obj, precision)
+        obj._n = inv_diag.size
+        obj.inv_diag = inv_diag.astype(precision.dtype)
+        return obj
+
+    def _apply(self, r: np.ndarray) -> np.ndarray:
+        vec_prec = precision_of_dtype(r.dtype)
+        compute = promote(self.precision, vec_prec)
+        z = (r.astype(compute.dtype) * self.inv_diag.astype(compute.dtype))
+        record_kernel("precond_jacobi")
+        record_bytes(self.precision, self._n * self.precision.bytes)
+        record_bytes(vec_prec, 2 * self._n * vec_prec.bytes)
+        record_flops(compute, self._n)
+        return z.astype(vec_prec.dtype, copy=False)
+
+    def astype(self, precision: Precision | str) -> "JacobiPreconditioner":
+        p = as_precision(precision)
+        return JacobiPreconditioner._from_inv_diag(self.inv_diag, p)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._n, self._n)
+
+    def memory_bytes(self) -> int:
+        return self._n * self.precision.bytes

@@ -1,0 +1,35 @@
+"""Iterative solvers: FGMRES, Richardson, CG, BiCGStab, and nested composition."""
+
+from .base import (
+    ConvergenceHistory,
+    InnerSolver,
+    SolveResult,
+    count_primary_applications,
+    reset_primary_counter,
+)
+from .richardson import RichardsonLevel, richardson_solve
+from .fgmres import FGMRESLevel, OuterFGMRES, fgmres_cycle
+from .gmres import RestartedFGMRES
+from .cg import ConjugateGradient
+from .bicgstab import BiCGStab
+from .nested import LevelSpec, NestedSolverBuilder, build_nested_solver, tuple_notation
+
+__all__ = [
+    "ConvergenceHistory",
+    "InnerSolver",
+    "SolveResult",
+    "count_primary_applications",
+    "reset_primary_counter",
+    "RichardsonLevel",
+    "richardson_solve",
+    "FGMRESLevel",
+    "OuterFGMRES",
+    "fgmres_cycle",
+    "RestartedFGMRES",
+    "ConjugateGradient",
+    "BiCGStab",
+    "LevelSpec",
+    "NestedSolverBuilder",
+    "build_nested_solver",
+    "tuple_notation",
+]

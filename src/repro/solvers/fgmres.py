@@ -1,0 +1,281 @@
+"""Flexible GMRES (FGMRES): the inner-level building block and the outermost solver.
+
+The paper's nested solvers are built from FGMRES cycles (Saad 1993) using
+classical Gram-Schmidt orthogonalization and Givens rotations for the QR
+factorization of the Hessenberg matrix, exactly as described in Section 4.2.
+Flexibility means the preconditioning step may change from iteration to
+iteration — which is what allows a nonlinear inner solver (another FGMRES or
+the adaptive Richardson) to act as the preconditioner.
+
+Two classes share the cycle implementation:
+
+* :class:`FGMRESLevel` — an inner level: runs exactly ``m`` iterations per
+  invocation with a zero initial guess and no convergence check, returning the
+  correction ``z ≈ A^{-1} v``.
+* :class:`OuterFGMRES` — the outermost level (``F^{m1}``): fp64, convergence
+  checked against the true relative residual, restarted (the whole nested
+  solver re-executed) when the cycle is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..precision import LevelPrecision, Precision
+from ..sparse import residual_norm
+from ..sparse import vectorops as vo
+from .base import ConvergenceHistory, InnerSolver, SolveResult, count_primary_applications
+
+__all__ = ["FGMRESLevel", "OuterFGMRES", "fgmres_cycle"]
+
+
+def _apply_child(child, v: np.ndarray) -> np.ndarray:
+    """Apply the preconditioning step of a level (inner solver, M, or nothing)."""
+    if child is None:
+        return v.copy()
+    return child.apply(v)
+
+
+def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
+                 rel_tol: float | None = None, collect_residuals: list | None = None):
+    """One FGMRES(m) cycle with zero initial guess.
+
+    Parameters
+    ----------
+    matrix:
+        Operator providing ``matvec`` (stored at the level's matrix precision).
+    rhs:
+        Right-hand side ``v`` of the correction equation ``A z = v`` (already in
+        the level's vector precision).
+    child:
+        The preconditioning step (inner solver / primary preconditioner /
+        ``None`` for unpreconditioned GMRES).
+    m:
+        Maximum number of iterations for this cycle.
+    vec_prec:
+        Vector/scalar storage precision of this level.
+    rel_tol:
+        If given, the cycle stops early once the GMRES residual estimate drops
+        below ``rel_tol * ||rhs||`` (used only by the outermost level).
+    collect_residuals:
+        Optional list receiving the per-iteration residual estimates.
+
+    Returns
+    -------
+    (z, iterations, estimated_residual):
+        ``z`` is the correction in the level's vector precision.
+    """
+    dtype = vec_prec.dtype
+    n = rhs.size
+    beta = vo.nrm2(rhs)
+    if beta == 0.0 or not np.isfinite(beta):
+        return np.zeros(n, dtype=dtype), 0, 0.0
+
+    basis: list[np.ndarray] = [vo.scal(1.0 / beta, rhs)]
+    z_vectors: list[np.ndarray] = []
+    # Hessenberg in the level's scalar precision; Givens rotations and the
+    # reduced RHS g likewise (the paper keeps these in fp32 for inner levels).
+    hessenberg = np.zeros((m + 1, m), dtype=dtype)
+    cs = np.zeros(m, dtype=dtype)
+    sn = np.zeros(m, dtype=dtype)
+    g = np.zeros(m + 1, dtype=dtype)
+    g[0] = dtype.type(beta)
+
+    iterations = 0
+    estimated = beta
+    for j in range(m):
+        zj = _apply_child(child, basis[j])
+        zj = vo.cast_vector(zj, vec_prec)
+        w = matrix.matvec(zj, out_precision=vec_prec)
+
+        # classical Gram-Schmidt
+        h_col = np.zeros(j + 2, dtype=dtype)
+        for i in range(j + 1):
+            h_col[i] = dtype.type(vo.dot(basis[i], w))
+        for i in range(j + 1):
+            w = vo.axpy(-float(h_col[i]), basis[i], w, out_precision=vec_prec)
+        h_norm = vo.nrm2(w)
+        h_col[j + 1] = dtype.type(h_norm)
+
+        # apply the previous Givens rotations to the new column
+        for i in range(j):
+            temp = cs[i] * h_col[i] + sn[i] * h_col[i + 1]
+            h_col[i + 1] = -sn[i] * h_col[i] + cs[i] * h_col[i + 1]
+            h_col[i] = temp
+        # new rotation annihilating h_col[j+1]
+        denom = np.sqrt(np.float64(h_col[j]) ** 2 + np.float64(h_col[j + 1]) ** 2)
+        if denom == 0.0 or not np.isfinite(denom):
+            cs_j, sn_j = 1.0, 0.0
+        else:
+            cs_j = float(h_col[j]) / denom
+            sn_j = float(h_col[j + 1]) / denom
+        cs[j] = dtype.type(cs_j)
+        sn[j] = dtype.type(sn_j)
+        h_col[j] = dtype.type(cs_j * float(h_col[j]) + sn_j * float(h_col[j + 1]))
+        h_col[j + 1] = dtype.type(0.0)
+
+        g[j + 1] = dtype.type(-sn_j * float(g[j]))
+        g[j] = dtype.type(cs_j * float(g[j]))
+
+        hessenberg[: j + 2, j] = h_col
+        z_vectors.append(zj)
+        iterations = j + 1
+        estimated = abs(float(g[j + 1]))
+        if collect_residuals is not None:
+            collect_residuals.append(estimated)
+
+        lucky_breakdown = h_norm == 0.0 or not np.isfinite(h_norm)
+        if lucky_breakdown:
+            break
+        if rel_tol is not None and estimated < rel_tol * beta:
+            break
+        if j + 1 < m:
+            basis.append(vo.scal(1.0 / h_norm, w))
+
+    # back substitution R y = g (in fp64 for robustness; y is tiny)
+    k = iterations
+    if k == 0:
+        return np.zeros(n, dtype=dtype), 0, float(estimated)
+    r_mat = hessenberg[:k, :k].astype(np.float64)
+    g_vec = g[:k].astype(np.float64)
+    y = np.zeros(k, dtype=np.float64)
+    for i in range(k - 1, -1, -1):
+        s = g_vec[i] - np.dot(r_mat[i, i + 1:k], y[i + 1:k])
+        diag = r_mat[i, i]
+        y[i] = s / diag if diag != 0.0 else 0.0
+
+    z = vo.vzeros(n, vec_prec)
+    for i in range(k):
+        z = vo.axpy(float(y[i]), z_vectors[i], z, out_precision=vec_prec)
+    return z, iterations, float(estimated)
+
+
+class FGMRESLevel(InnerSolver):
+    """An inner FGMRES level: ``m`` iterations per invocation, no convergence check."""
+
+    def __init__(self, matrix, child, m: int,
+                 precisions: LevelPrecision | None = None) -> None:
+        if m < 1:
+            raise ValueError("FGMRES level requires m >= 1")
+        self.matrix = matrix
+        self.child = child
+        self.m = int(m)
+        self.precisions = precisions or LevelPrecision(
+            matrix=Precision.FP32, vector=Precision.FP32
+        )
+
+    @property
+    def primary_preconditioner(self):
+        child = self.child
+        while child is not None and not hasattr(child, "num_applications"):
+            child = getattr(child, "child", None) or getattr(child, "preconditioner", None)
+        return child
+
+    @property
+    def depth_label(self) -> str:
+        return f"F{self.m}"
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        vec_prec = self.precisions.vector
+        v_level = vo.cast_vector(np.asarray(v), vec_prec)
+        z, _, _ = fgmres_cycle(self.matrix, v_level, self.child, self.m, vec_prec)
+        return z
+
+
+class OuterFGMRES:
+    """The outermost FGMRES level: fp64, convergence checking, restarting.
+
+    Convergence is declared when the fp64 true relative residual
+    ``||b − A x||/||b||`` drops below ``tol``; if the cycle of ``m`` iterations
+    is exhausted the entire nested solver is re-executed from the current
+    iterate ("in the manner of the restarting technique"), up to
+    ``max_restarts`` additional times.
+    """
+
+    def __init__(self, matrix, child, m: int = 100, tol: float = 1e-8,
+                 max_restarts: int = 2,
+                 precisions: LevelPrecision | None = None, name: str = "") -> None:
+        self.matrix = matrix
+        self.child = child
+        self.m = int(m)
+        self.tol = float(tol)
+        self.max_restarts = int(max_restarts)
+        self.precisions = precisions or LevelPrecision(
+            matrix=Precision.FP64, vector=Precision.FP64
+        )
+        self.name = name or f"(F{m}, ...)"
+
+    @property
+    def primary_preconditioner(self):
+        child = self.child
+        while child is not None and not hasattr(child, "num_applications"):
+            child = getattr(child, "child", None) or getattr(child, "preconditioner", None)
+        return child
+
+    @property
+    def depth_label(self) -> str:
+        return f"F{self.m}"
+
+    # ------------------------------------------------------------------ #
+    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
+        start_time = time.perf_counter()
+        vec_prec = self.precisions.vector
+        b64 = np.asarray(b, dtype=np.float64)
+        norm_b = float(np.linalg.norm(b64))
+        if norm_b == 0.0:
+            norm_b = 1.0
+
+        x = (np.zeros_like(b64) if x0 is None
+             else np.asarray(x0, dtype=np.float64).copy())
+        history = ConvergenceHistory()
+        primary = self.primary_preconditioner
+        start_applications = count_primary_applications(primary) if primary is not None else 0
+
+        total_iterations = 0
+        restarts = 0
+        converged = False
+        relres = residual_norm(self.matrix, x, b64) / norm_b
+        history.append(relres)
+        if relres < self.tol:
+            converged = True
+
+        while not converged and restarts <= self.max_restarts:
+            r = b64 - self.matrix.astype(Precision.FP64).matvec(x, record=False) \
+                if x.any() else b64.copy()
+            r_level = vo.cast_vector(r, vec_prec)
+            cycle_residuals: list[float] = []
+            z, iters, _ = fgmres_cycle(
+                self.matrix, r_level, self.child, self.m, vec_prec,
+                rel_tol=self.tol * norm_b / max(float(np.linalg.norm(r)), 1e-300),
+                collect_residuals=cycle_residuals,
+            )
+            x = x + z.astype(np.float64)
+            total_iterations += iters
+
+            # record the outer-iteration residual estimates scaled to ||b||
+            r_norm = float(np.linalg.norm(r))
+            for est in cycle_residuals:
+                history.append(est * r_norm / (float(np.linalg.norm(r_level)) or 1.0) / norm_b)
+
+            relres = residual_norm(self.matrix, x, b64) / norm_b
+            if relres < self.tol:
+                converged = True
+                break
+            restarts += 1
+
+        history.append(relres)
+        applications = (count_primary_applications(primary) - start_applications
+                        if primary is not None else 0)
+        return SolveResult(
+            x=x,
+            converged=converged,
+            iterations=total_iterations,
+            preconditioner_applications=applications,
+            relative_residual=relres,
+            history=history,
+            restarts=restarts,
+            solver_name=self.name,
+            wall_time=time.perf_counter() - start_time,
+        )

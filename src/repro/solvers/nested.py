@@ -1,0 +1,132 @@
+"""Nested-Krylov composition: build a solver from the paper's tuple notation.
+
+A nested solver ``(S1, S2, ..., SD, M)`` is described by a list of
+:class:`LevelSpec` entries — one per solver level, outermost first — plus the
+primary preconditioner ``M``.  The builder wires each level to the next one as
+its flexible preconditioner, gives each level a matrix cast to that level's
+storage precision (sharing casts between levels that use the same precision),
+and returns the outermost solver.
+
+This is the machinery shared by F3R, the F2/F3/F4 variants of Table 4, and any
+user-defined configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..precision import LevelPrecision, Precision, as_precision
+from ..sparse import CSRMatrix
+from .fgmres import FGMRESLevel, OuterFGMRES
+from .richardson import RichardsonLevel
+
+__all__ = ["LevelSpec", "NestedSolverBuilder", "build_nested_solver", "tuple_notation"]
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Description of one level of a nested solver.
+
+    Parameters
+    ----------
+    method:
+        ``"fgmres"`` or ``"richardson"``.
+    iterations:
+        Iterations per invocation of this level (``m_d``).
+    precisions:
+        Matrix / vector / preconditioner precisions of this level (a row of
+        Table 1 or Table 4).
+    richardson_options:
+        Extra keyword arguments forwarded to :class:`RichardsonLevel`
+        (``cycle``, ``adaptive``, ``weight``).
+    """
+
+    method: str
+    iterations: int
+    precisions: LevelPrecision
+    richardson_options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.method not in ("fgmres", "richardson"):
+            raise ValueError(f"unknown level method {self.method!r}")
+        if self.iterations < 1:
+            raise ValueError("each level needs at least one iteration")
+
+    @property
+    def label(self) -> str:
+        prefix = "F" if self.method == "fgmres" else "R"
+        return f"{prefix}{self.iterations}"
+
+
+class NestedSolverBuilder:
+    """Builds an :class:`OuterFGMRES`-rooted nested solver from level specs."""
+
+    def __init__(self, matrix: CSRMatrix, primary_preconditioner,
+                 tol: float = 1e-8, max_restarts: int = 2, name: str = "") -> None:
+        if matrix.precision != Precision.FP64:
+            matrix = matrix.astype(Precision.FP64)
+        self.matrix = matrix
+        self.primary_preconditioner = primary_preconditioner
+        self.tol = float(tol)
+        self.max_restarts = int(max_restarts)
+        self.name = name
+        self._matrix_cache: dict[Precision, CSRMatrix] = {Precision.FP64: matrix}
+
+    def _matrix_for(self, precision: Precision | str) -> CSRMatrix:
+        p = as_precision(precision)
+        if p not in self._matrix_cache:
+            self._matrix_cache[p] = self.matrix.astype(p)
+        return self._matrix_cache[p]
+
+    def build(self, levels: list[LevelSpec]) -> OuterFGMRES:
+        if not levels:
+            raise ValueError("a nested solver needs at least one level")
+        if levels[0].method != "fgmres":
+            raise ValueError("the outermost level must be FGMRES (it checks convergence)")
+
+        # Cast the primary preconditioner to the precision of the level that
+        # applies it (the innermost level).
+        innermost = levels[-1]
+        m_precision = innermost.precisions.preconditioner or Precision.FP64
+        primary = self.primary_preconditioner
+        if primary is not None and primary.precision != m_precision:
+            primary = primary.astype(m_precision)
+        self.effective_preconditioner = primary
+
+        # Build from the innermost level outwards.
+        child = primary
+        for spec in reversed(levels[1:]):
+            level_matrix = self._matrix_for(spec.precisions.matrix)
+            if spec.method == "richardson":
+                child = RichardsonLevel(
+                    level_matrix, child, m=spec.iterations,
+                    precisions=spec.precisions, **spec.richardson_options,
+                )
+            else:
+                child = FGMRESLevel(level_matrix, child, m=spec.iterations,
+                                    precisions=spec.precisions)
+
+        outer_spec = levels[0]
+        outer = OuterFGMRES(
+            self._matrix_for(outer_spec.precisions.matrix), child,
+            m=outer_spec.iterations, tol=self.tol, max_restarts=self.max_restarts,
+            precisions=outer_spec.precisions,
+            name=self.name or tuple_notation(levels),
+        )
+        return outer
+
+
+def build_nested_solver(matrix: CSRMatrix, primary_preconditioner,
+                        levels: list[LevelSpec], tol: float = 1e-8,
+                        max_restarts: int = 2, name: str = "") -> OuterFGMRES:
+    """Convenience wrapper around :class:`NestedSolverBuilder`."""
+    builder = NestedSolverBuilder(matrix, primary_preconditioner, tol=tol,
+                                  max_restarts=max_restarts, name=name)
+    return builder.build(levels)
+
+
+def tuple_notation(levels: list[LevelSpec], preconditioner_symbol: str = "M") -> str:
+    """Render the paper's tuple notation, e.g. ``(F100, F8, F4, R2, M)``."""
+    parts = [spec.label for spec in levels]
+    parts.append(preconditioner_symbol)
+    return "(" + ", ".join(parts) + ")"

@@ -1,0 +1,152 @@
+"""Richardson iteration with adaptive weight updating (Algorithm 1 of the paper).
+
+The innermost level of F3R is a preconditioned Richardson solver:
+
+    z_k = z_{k-1} + ω M (v − A z_{k-1}),   k = 1..m4,  z_0 = 0.
+
+Because Richardson is a stationary method its convergence hinges on the weight
+ω.  The paper's Algorithm 1 keeps one weight ω_k per inner iteration, shared
+**globally across all invocations** of the Richardson level, and refreshes the
+weights every ``c`` invocations using the locally optimal value
+
+    ω'_k = (r_{k-1}, A M r_{k-1}) / (A M r_{k-1}, A M r_{k-1}),
+
+blended by a cumulative average (Eq. 5).  On refresh invocations ω'_k itself is
+used for the update (it minimizes that step's residual); on the other
+invocations the blended ω_k is used and no extra SpMV/dots are needed.
+
+Precision: the Richardson recurrence runs entirely in the level's precision
+(fp16 in F3R) but the ω'_k computation is carried out in fp32, exactly as
+stated in Section 4.3 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..precision import LevelPrecision, Precision, as_precision
+from ..sparse import vectorops as vo
+from .base import InnerSolver
+
+__all__ = ["RichardsonLevel", "richardson_solve"]
+
+
+class RichardsonLevel(InnerSolver):
+    """The paper's Algorithm 1 as a reusable inner-solver level.
+
+    Parameters
+    ----------
+    matrix:
+        Coefficient matrix stored at the level's matrix precision (fp16 in
+        F3R's default configuration).
+    preconditioner:
+        The primary preconditioner ``M`` (values typically stored in fp16).
+    m:
+        Number of Richardson iterations per invocation (``m4``; default 2).
+    cycle:
+        Weight-refresh period ``c`` (default 64).  Ignored when ``adaptive`` is
+        ``False``.
+    adaptive:
+        If ``False``, the fixed ``weight`` is used for every iteration and no
+        ω' computations are performed (the "static" strategy of Fig. 6).
+    weight:
+        Initial / fixed weight (the paper initializes the adaptive weights to 1).
+    precisions:
+        :class:`LevelPrecision` for the level (vectors fp16 by default).
+    weight_precision:
+        Precision of the ω' computation (fp32 per the paper).
+    """
+
+    def __init__(self, matrix, preconditioner, m: int = 2, cycle: int = 64,
+                 adaptive: bool = True, weight: float = 1.0,
+                 precisions: LevelPrecision | None = None,
+                 weight_precision: Precision | str = Precision.FP32) -> None:
+        if m < 1:
+            raise ValueError("Richardson requires at least one iteration per invocation")
+        if cycle < 1:
+            raise ValueError("the weight-update cycle c must be >= 1")
+        self.matrix = matrix
+        self.preconditioner = preconditioner
+        self.m = int(m)
+        self.cycle = int(cycle)
+        self.adaptive = bool(adaptive)
+        self.precisions = precisions or LevelPrecision(
+            matrix=Precision.FP16, vector=Precision.FP16, preconditioner=Precision.FP16
+        )
+        self.weight_precision = as_precision(weight_precision)
+
+        # Global state retained across invocations (Algorithm 1's globals).
+        self.weights = np.full(self.m, float(weight), dtype=np.float64)
+        self.call_count = 0          # cntr in Algorithm 1 (number of completed calls)
+        self.update_count = 0        # l in Eq. (5)
+        self.weight_history: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def primary_preconditioner(self):
+        return self.preconditioner
+
+    @property
+    def depth_label(self) -> str:
+        return f"R{self.m}"
+
+    def reset_state(self) -> None:
+        """Forget the adapted weights (used between independent experiments)."""
+        self.weights.fill(1.0)
+        self.call_count = 0
+        self.update_count = 0
+        self.weight_history.clear()
+
+    # ------------------------------------------------------------------ #
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        vec_prec = self.precisions.vector
+        wp = self.weight_precision
+        cntr = self.call_count + 1          # 1-based call index, as in Algorithm 1
+        refresh = self.adaptive and (cntr % self.cycle == 0)
+
+        v_level = vo.cast_vector(np.asarray(v), vec_prec)
+        z = vo.vzeros(v_level.size, vec_prec)
+        r = v_level                          # r_0 = v because z_0 = 0
+
+        for k in range(self.m):
+            if k > 0:
+                az = self.matrix.matvec(z, out_precision=vec_prec)
+                r = vo.axpy(-1.0, az, v_level, out_precision=vec_prec)
+
+            mr = self.preconditioner.apply(r)
+            mr = vo.cast_vector(mr, vec_prec)
+
+            if refresh:
+                # ω'_k computed in fp32: one extra SpMV and two reductions.
+                mr32 = vo.cast_vector(mr, wp)
+                amr = self.matrix.matvec(mr32, out_precision=wp)
+                r32 = vo.cast_vector(r, wp)
+                denom = vo.dot(amr, amr)
+                numer = vo.dot(r32, amr)
+                omega_prime = numer / denom if denom > 0.0 else self.weights[k]
+                z = vo.axpy(omega_prime, mr, z, out_precision=vec_prec)
+                l = cntr // self.cycle
+                self.weights[k] = (l * self.weights[k] + omega_prime) / (l + 1)
+            else:
+                z = vo.axpy(float(self.weights[k]), mr, z, out_precision=vec_prec)
+
+        if refresh:
+            self.update_count += 1
+            self.weight_history.append(self.weights.copy())
+        self.call_count = cntr
+        return z
+
+
+def richardson_solve(matrix, b, preconditioner, m: int, weight: float = 1.0,
+                     precision: Precision | str = Precision.FP64) -> np.ndarray:
+    """Plain fixed-weight preconditioned Richardson: m steps from a zero guess.
+
+    A convenience wrapper used by tests and the cost-model validation; the
+    solver levels use :class:`RichardsonLevel`.
+    """
+    level = RichardsonLevel(
+        matrix, preconditioner, m=m, adaptive=False, weight=weight,
+        precisions=LevelPrecision(matrix=precision, vector=precision,
+                                  preconditioner=precision),
+    )
+    return level.apply(np.asarray(b))

@@ -1,0 +1,302 @@
+"""Compressed Sparse Row (CSR) matrix with mixed-precision SpMV.
+
+This is the primary storage format of the paper's CPU experiments ("The
+coefficient matrix and preconditioner were stored in the compressed sparse row
+format").  Values may be stored in fp64, fp32 or fp16; column indices and row
+pointers are always 32-bit integers, matching the paper.
+
+The SpMV kernel emulates the paper's precision rule: arithmetic is carried out
+in the promotion of the matrix-storage and vector precisions, and the result is
+rounded to the requested output precision.  Every call records its memory
+traffic with :mod:`repro.perf.counters`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import record_bytes, record_flops, record_kernel
+from ..precision import (
+    BYTES_PER_INDEX,
+    Precision,
+    as_precision,
+    precision_of_dtype,
+    promote,
+)
+
+__all__ = ["CSRMatrix", "spmv_csr"]
+
+
+def _row_sums(products: np.ndarray, indptr: np.ndarray, out_dtype) -> np.ndarray:
+    """Sum ``products`` over CSR row segments, robust to empty rows.
+
+    ``reduceat`` is evaluated only at the starts of non-empty rows: the segment
+    from one non-empty row's start to the next automatically skips interleaved
+    empty rows because those contribute no elements.
+    """
+    n = indptr.size - 1
+    counts = np.diff(indptr)
+    y = np.zeros(n, dtype=products.dtype)
+    if products.size:
+        nonempty = counts > 0
+        starts = indptr[:-1][nonempty]
+        if starts.size:
+            y[nonempty] = np.add.reduceat(products, starts)
+    return y.astype(out_dtype, copy=False)
+
+
+def spmv_csr(
+    values: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    x: np.ndarray,
+    out_precision: Precision | str | None = None,
+    record: bool = True,
+) -> np.ndarray:
+    """y = A @ x for a CSR matrix given by (values, indices, indptr).
+
+    Arithmetic runs in the promotion of ``values.dtype`` and ``x.dtype``; the
+    result is rounded to ``out_precision`` (default: the vector precision).
+    """
+    mat_prec = precision_of_dtype(values.dtype)
+    vec_prec = precision_of_dtype(x.dtype)
+    compute = promote(mat_prec, vec_prec)
+    out_prec = as_precision(out_precision) if out_precision is not None else vec_prec
+
+    vals_c = values if values.dtype == compute.dtype else values.astype(compute.dtype)
+    x_c = x if x.dtype == compute.dtype else x.astype(compute.dtype)
+
+    products = vals_c * x_c[indices]
+    y = _row_sums(products, indptr, compute.dtype)
+    y = y.astype(out_prec.dtype, copy=False)
+
+    if record:
+        n = indptr.size - 1
+        nnz = values.size
+        record_kernel("spmv")
+        record_bytes(mat_prec, nnz * mat_prec.bytes,
+                     index_bytes=nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX)
+        record_bytes(vec_prec, n * vec_prec.bytes)          # read of x (streamed once)
+        record_bytes(out_prec, n * out_prec.bytes)          # write of y
+        record_flops(compute, 2 * nnz)
+    return y
+
+
+class CSRMatrix:
+    """Sparse matrix in CSR format with 32-bit indices.
+
+    Parameters
+    ----------
+    values, indices, indptr:
+        Standard CSR arrays.  Column indices within each row must be sorted
+        (the constructor sorts them if necessary).
+    shape:
+        ``(nrows, ncols)``.
+    """
+
+    __slots__ = ("values", "indices", "indptr", "shape")
+
+    def __init__(self, values, indices, indptr, shape) -> None:
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int32)
+        values = np.ascontiguousarray(values)
+        if values.dtype not in (np.float16, np.float32, np.float64):
+            values = values.astype(np.float64)
+        self.values = values
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indptr.size != self.shape[0] + 1:
+            raise ValueError("indptr length must be nrows + 1")
+        if self.indices.size != self.values.size:
+            raise ValueError("indices and values must have the same length")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.values.size:
+            raise ValueError("malformed indptr")
+        self._sort_rows()
+
+    # ------------------------------------------------------------------ #
+    def _sort_rows(self) -> None:
+        """Ensure column indices are sorted within each row."""
+        indptr = self.indptr
+        diffs = np.diff(self.indices)
+        row_boundaries = np.zeros(self.indices.size, dtype=bool)
+        if self.indices.size:
+            starts = indptr[1:-1]
+            row_boundaries[starts[starts < self.indices.size]] = True
+        unsorted = np.any((diffs < 0) & ~row_boundaries[1:]) if self.indices.size > 1 else False
+        if not unsorted:
+            return
+        for i in range(self.shape[0]):
+            lo, hi = indptr[i], indptr[i + 1]
+            if hi - lo > 1:
+                order = np.argsort(self.indices[lo:hi], kind="stable")
+                self.indices[lo:hi] = self.indices[lo:hi][order]
+                self.values[lo:hi] = self.values[lo:hi][order]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def precision(self) -> Precision:
+        return precision_of_dtype(self.values.dtype)
+
+    @property
+    def nnz_per_row(self) -> float:
+        return self.nnz / max(1, self.nrows)
+
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def memory_bytes(self) -> int:
+        """Bytes occupied by values + indices + row pointers."""
+        return (self.values.size * self.precision.bytes
+                + self.indices.size * BYTES_PER_INDEX
+                + self.indptr.size * BYTES_PER_INDEX)
+
+    # ------------------------------------------------------------------ #
+    def matvec(self, x: np.ndarray, out_precision: Precision | str | None = None,
+               record: bool = True) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x`` with precision emulation."""
+        x = np.asarray(x)
+        if x.shape != (self.ncols,):
+            raise ValueError(f"dimension mismatch: A is {self.shape}, x has shape {x.shape}")
+        return spmv_csr(self.values, self.indices, self.indptr, x,
+                        out_precision=out_precision, record=record)
+
+    __matmul__ = matvec
+
+    def rmatvec(self, x: np.ndarray, record: bool = True) -> np.ndarray:
+        """Transpose product ``A.T @ x`` (used by AINV construction and tests)."""
+        return self.transpose().matvec(np.asarray(x), record=record)
+
+    # ------------------------------------------------------------------ #
+    def diagonal(self) -> np.ndarray:
+        """Main diagonal as a dense fp64 vector (zeros where absent)."""
+        n = min(self.shape)
+        diag = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            cols = self.indices[lo:hi]
+            pos = np.searchsorted(cols, i)
+            if pos < cols.size and cols[pos] == i:
+                diag[i] = self.values[lo + pos]
+        return diag
+
+    def transpose(self) -> "CSRMatrix":
+        """Return A^T as a new CSR matrix (values keep their dtype)."""
+        nrows, ncols = self.shape
+        nnz = self.nnz
+        row_ids = np.repeat(np.arange(nrows, dtype=np.int32), np.diff(self.indptr))
+        order = np.lexsort((row_ids, self.indices))
+        t_indices = row_ids[order]
+        t_values = self.values[order]
+        t_indptr = np.zeros(ncols + 1, dtype=np.int32)
+        np.add.at(t_indptr, self.indices + 1, 1)
+        np.cumsum(t_indptr, out=t_indptr)
+        assert t_indptr[-1] == nnz
+        return CSRMatrix(t_values, t_indices, t_indptr, (ncols, nrows))
+
+    def astype(self, precision: Precision | str) -> "CSRMatrix":
+        """Copy with values cast to ``precision`` (indices shared)."""
+        p = as_precision(precision)
+        return CSRMatrix(self.values.astype(p.dtype), self.indices, self.indptr, self.shape)
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(self.values.copy(), self.indices.copy(), self.indptr.copy(), self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for i in range(self.nrows):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            dense[i, self.indices[lo:hi]] = self.values[lo:hi].astype(np.float64)
+        return dense
+
+    def to_coo(self):
+        from .coo import COOMatrix
+
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int32), np.diff(self.indptr))
+        return COOMatrix(rows, self.indices.copy(), self.values.astype(np.float64),
+                         self.shape)
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (fp64 values) for testing."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.values.astype(np.float64), self.indices, self.indptr), shape=self.shape
+        )
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        csr = mat.tocsr()
+        return cls(csr.data, csr.indices, csr.indptr, csr.shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        from .coo import COOMatrix
+
+        return COOMatrix.from_dense(dense).to_csr()
+
+    @classmethod
+    def identity(cls, n: int, precision: Precision | str = Precision.FP64) -> "CSRMatrix":
+        p = as_precision(precision)
+        values = np.ones(n, dtype=p.dtype)
+        indices = np.arange(n, dtype=np.int32)
+        indptr = np.arange(n + 1, dtype=np.int32)
+        return cls(values, indices, indptr, (n, n))
+
+    @classmethod
+    def from_diagonal(cls, diag: np.ndarray,
+                      precision: Precision | str = Precision.FP64) -> "CSRMatrix":
+        diag = np.asarray(diag, dtype=np.float64)
+        n = diag.size
+        p = as_precision(precision)
+        return cls(diag.astype(p.dtype), np.arange(n, dtype=np.int32),
+                   np.arange(n + 1, dtype=np.int32), (n, n))
+
+    # ------------------------------------------------------------------ #
+    def extract_block(self, start: int, stop: int) -> "CSRMatrix":
+        """Return the square diagonal block ``A[start:stop, start:stop]``.
+
+        Used by the block-Jacobi preconditioner: couplings outside the block
+        are discarded, exactly as in the paper's block-Jacobi ILU(0).
+        """
+        rows_values = []
+        rows_indices = []
+        indptr = [0]
+        for i in range(start, stop):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            cols = self.indices[lo:hi]
+            mask = (cols >= start) & (cols < stop)
+            rows_indices.append(cols[mask] - start)
+            rows_values.append(self.values[lo:hi][mask])
+            indptr.append(indptr[-1] + int(np.count_nonzero(mask)))
+        values = np.concatenate(rows_values) if rows_values else np.empty(0, dtype=self.values.dtype)
+        indices = np.concatenate(rows_indices) if rows_indices else np.empty(0, dtype=np.int32)
+        m = stop - start
+        return CSRMatrix(values, indices, np.asarray(indptr, dtype=np.int32), (m, m))
+
+    def is_symmetric(self, tol: float = 1e-12) -> bool:
+        """Check structural+numerical symmetry (within ``tol``) via A - A^T."""
+        if self.nrows != self.ncols:
+            return False
+        at = self.transpose()
+        a_sp = self.to_scipy()
+        at_sp = at.to_scipy()
+        diff = (a_sp - at_sp).tocoo()
+        if diff.nnz == 0:
+            return True
+        scale = max(1.0, float(np.max(np.abs(self.values.astype(np.float64)))))
+        return bool(np.max(np.abs(diff.data)) <= tol * scale)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+                f"precision={self.precision.label})")

@@ -1,0 +1,172 @@
+"""Sliced ELLPACK sparse format.
+
+The paper's GPU experiments store matrices in sliced ELLPACK (Monakov et al.,
+2010) with a chunk (slice) size of 32: rows are grouped into chunks, each chunk
+is padded to the width of its longest row, and values are laid out
+column-major within the chunk so that consecutive threads read consecutive
+addresses.  Here the format matters because its padding changes the memory
+traffic, which is what the GPU machine model consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import record_bytes, record_flops, record_kernel
+from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype, promote
+
+__all__ = ["SlicedEllMatrix"]
+
+
+class SlicedEllMatrix:
+    """Sparse matrix in sliced-ELLPACK layout.
+
+    Parameters
+    ----------
+    csr:
+        Source :class:`~repro.sparse.csr.CSRMatrix`.
+    chunk_size:
+        Number of rows per slice (the paper uses 32).
+    """
+
+    __slots__ = ("shape", "chunk_size", "chunk_widths", "chunk_offsets",
+                 "values", "indices", "_source_nnz")
+
+    def __init__(self, csr, chunk_size: int = 32) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        nrows, ncols = csr.shape
+        self.shape = (nrows, ncols)
+        self.chunk_size = int(chunk_size)
+        self._source_nnz = csr.nnz
+
+        row_nnz = np.diff(csr.indptr)
+        nchunks = (nrows + chunk_size - 1) // chunk_size
+
+        chunk_widths = np.zeros(nchunks, dtype=np.int32)
+        for c in range(nchunks):
+            lo = c * chunk_size
+            hi = min(lo + chunk_size, nrows)
+            chunk_widths[c] = int(row_nnz[lo:hi].max()) if hi > lo else 0
+        self.chunk_widths = chunk_widths
+
+        offsets = np.zeros(nchunks + 1, dtype=np.int64)
+        np.cumsum(chunk_widths.astype(np.int64) * chunk_size, out=offsets[1:])
+        self.chunk_offsets = offsets
+
+        total = int(offsets[-1])
+        values = np.zeros(total, dtype=csr.values.dtype)
+        indices = np.zeros(total, dtype=np.int32)
+
+        # Column-major layout within each chunk: element (row r, slot j) of
+        # chunk c lives at offset[c] + j*chunk_size + (r - c*chunk_size).
+        for c in range(nchunks):
+            lo = c * chunk_size
+            hi = min(lo + chunk_size, nrows)
+            width = chunk_widths[c]
+            base = offsets[c]
+            for local, i in enumerate(range(lo, hi)):
+                a, b = csr.indptr[i], csr.indptr[i + 1]
+                k = b - a
+                slots = base + np.arange(k, dtype=np.int64) * chunk_size + local
+                values[slots] = csr.values[a:b]
+                indices[slots] = csr.indices[a:b]
+                # padding slots keep value 0 and column 0 (harmless: 0 * x[0])
+        self.values = values
+        self.indices = indices
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of *stored* (padded) entries."""
+        return int(self.values.size)
+
+    @property
+    def source_nnz(self) -> int:
+        """Number of structural nonzeros of the source matrix."""
+        return self._source_nnz
+
+    @property
+    def padding_ratio(self) -> float:
+        """stored entries / structural nonzeros (>= 1)."""
+        return self.nnz / max(1, self._source_nnz)
+
+    @property
+    def precision(self) -> Precision:
+        return precision_of_dtype(self.values.dtype)
+
+    def memory_bytes(self) -> int:
+        return (self.values.size * self.precision.bytes
+                + self.indices.size * BYTES_PER_INDEX
+                + self.chunk_offsets.size * 8)
+
+    def astype(self, precision: Precision | str) -> "SlicedEllMatrix":
+        p = as_precision(precision)
+        out = object.__new__(SlicedEllMatrix)
+        out.shape = self.shape
+        out.chunk_size = self.chunk_size
+        out.chunk_widths = self.chunk_widths
+        out.chunk_offsets = self.chunk_offsets
+        out.values = self.values.astype(p.dtype)
+        out.indices = self.indices
+        out._source_nnz = self._source_nnz
+        return out
+
+    # ------------------------------------------------------------------ #
+    def matvec(self, x: np.ndarray, out_precision: Precision | str | None = None,
+               record: bool = True) -> np.ndarray:
+        """y = A @ x using the sliced-ELLPACK layout.
+
+        Traffic accounting includes the padded entries — the whole point of
+        modelling this format for the GPU experiments.
+        """
+        x = np.asarray(x)
+        if x.shape != (self.ncols,):
+            raise ValueError("dimension mismatch in sliced-ELLPACK matvec")
+        mat_prec = self.precision
+        vec_prec = precision_of_dtype(x.dtype)
+        compute = promote(mat_prec, vec_prec)
+        out_prec = as_precision(out_precision) if out_precision is not None else vec_prec
+
+        vals = self.values if self.values.dtype == compute.dtype else self.values.astype(compute.dtype)
+        x_c = x if x.dtype == compute.dtype else x.astype(compute.dtype)
+
+        y = np.zeros(self.nrows, dtype=compute.dtype)
+        nchunks = self.chunk_widths.size
+        cs = self.chunk_size
+        for c in range(nchunks):
+            lo = c * cs
+            hi = min(lo + cs, self.nrows)
+            rows_in_chunk = hi - lo
+            width = int(self.chunk_widths[c])
+            if width == 0:
+                continue
+            base = int(self.chunk_offsets[c])
+            block_vals = vals[base:base + width * cs].reshape(width, cs)[:, :rows_in_chunk]
+            block_cols = self.indices[base:base + width * cs].reshape(width, cs)[:, :rows_in_chunk]
+            y[lo:hi] = (block_vals * x_c[block_cols]).sum(axis=0, dtype=compute.dtype)
+        y = y.astype(out_prec.dtype, copy=False)
+
+        if record:
+            stored = self.nnz
+            record_kernel("spmv")
+            record_bytes(mat_prec, stored * mat_prec.bytes,
+                         index_bytes=stored * BYTES_PER_INDEX)
+            record_bytes(vec_prec, self.nrows * vec_prec.bytes)
+            record_bytes(out_prec, self.nrows * out_prec.bytes)
+            record_flops(compute, 2 * stored)
+        return y
+
+    __matmul__ = matvec
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SlicedEllMatrix(shape={self.shape}, chunk_size={self.chunk_size}, "
+                f"padding_ratio={self.padding_ratio:.2f}, precision={self.precision.label})")

@@ -1,0 +1,150 @@
+"""Dense vector kernels with precision emulation and traffic accounting.
+
+The Krylov solvers are built exclusively on these primitives (dot, nrm2, axpy,
+scal, copy, xpby, waxpby), so every flop and byte the solvers execute flows
+through a single instrumented code path.  Each kernel:
+
+* promotes its operands to the wider precision for the arithmetic (the paper's
+  promotion rule),
+* rounds the result to the requested output precision, and
+* records bytes moved / flops with :mod:`repro.perf.counters`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.counters import record_bytes, record_flops, record_kernel
+from ..precision import Precision, as_precision, precision_of_dtype, promote
+
+__all__ = ["dot", "nrm2", "axpy", "xpby", "waxpby", "scal", "vcopy", "vzeros", "cast_vector"]
+
+
+def _prec(x: np.ndarray) -> Precision:
+    return precision_of_dtype(x.dtype)
+
+
+def vzeros(n: int, precision: Precision | str) -> np.ndarray:
+    """Zero vector of length n in the storage dtype of ``precision``."""
+    return np.zeros(n, dtype=as_precision(precision).dtype)
+
+
+def cast_vector(x: np.ndarray, precision: Precision | str, record: bool = True) -> np.ndarray:
+    """Round a vector to ``precision`` (a read + write of the vector)."""
+    p = as_precision(precision)
+    src = _prec(x)
+    if record and p != src:
+        record_kernel("cast")
+        record_bytes(src, x.size * src.bytes)
+        record_bytes(p, x.size * p.bytes)
+    if x.dtype == p.dtype:
+        return x
+    return x.astype(p.dtype)
+
+
+def dot(x: np.ndarray, y: np.ndarray, record: bool = True) -> float:
+    """Inner product computed in the promoted precision, returned as float."""
+    px, py = _prec(x), _prec(y)
+    compute = promote(px, py)
+    xc = x if x.dtype == compute.dtype else x.astype(compute.dtype)
+    yc = y if y.dtype == compute.dtype else y.astype(compute.dtype)
+    result = np.dot(xc, yc)
+    if record:
+        record_kernel("dot")
+        record_bytes(px, x.size * px.bytes)
+        record_bytes(py, y.size * py.bytes)
+        record_flops(compute, 2 * x.size)
+    return float(result)
+
+
+def nrm2(x: np.ndarray, record: bool = True) -> float:
+    """Euclidean norm computed in the operand precision."""
+    p = _prec(x)
+    result = np.sqrt(np.dot(x, x).astype(np.float64))
+    if record:
+        record_kernel("norm")
+        record_bytes(p, x.size * p.bytes)
+        record_flops(p, 2 * x.size)
+    return float(result)
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray,
+         out_precision: Precision | str | None = None, record: bool = True) -> np.ndarray:
+    """Return ``alpha * x + y`` rounded to ``out_precision`` (default: y's precision)."""
+    px, py = _prec(x), _prec(y)
+    compute = promote(px, py)
+    out = as_precision(out_precision) if out_precision is not None else py
+    alpha_c = compute.dtype.type(alpha)
+    xc = x if x.dtype == compute.dtype else x.astype(compute.dtype)
+    yc = y if y.dtype == compute.dtype else y.astype(compute.dtype)
+    result = (alpha_c * xc + yc).astype(out.dtype, copy=False)
+    if record:
+        record_kernel("axpy")
+        record_bytes(px, x.size * px.bytes)
+        record_bytes(py, y.size * py.bytes)
+        record_bytes(out, result.size * out.bytes)
+        record_flops(compute, 2 * x.size)
+    return result
+
+
+def xpby(x: np.ndarray, beta: float, y: np.ndarray,
+         out_precision: Precision | str | None = None, record: bool = True) -> np.ndarray:
+    """Return ``x + beta * y`` (the BiCGStab/CG search-direction update shape)."""
+    px, py = _prec(x), _prec(y)
+    compute = promote(px, py)
+    out = as_precision(out_precision) if out_precision is not None else px
+    beta_c = compute.dtype.type(beta)
+    xc = x if x.dtype == compute.dtype else x.astype(compute.dtype)
+    yc = y if y.dtype == compute.dtype else y.astype(compute.dtype)
+    result = (xc + beta_c * yc).astype(out.dtype, copy=False)
+    if record:
+        record_kernel("axpy")
+        record_bytes(px, x.size * px.bytes)
+        record_bytes(py, y.size * py.bytes)
+        record_bytes(out, result.size * out.bytes)
+        record_flops(compute, 2 * x.size)
+    return result
+
+
+def waxpby(alpha: float, x: np.ndarray, beta: float, y: np.ndarray,
+           out_precision: Precision | str | None = None, record: bool = True) -> np.ndarray:
+    """Return ``alpha * x + beta * y`` (general two-vector update)."""
+    px, py = _prec(x), _prec(y)
+    compute = promote(px, py)
+    out = as_precision(out_precision) if out_precision is not None else promote(px, py)
+    a = compute.dtype.type(alpha)
+    b = compute.dtype.type(beta)
+    xc = x if x.dtype == compute.dtype else x.astype(compute.dtype)
+    yc = y if y.dtype == compute.dtype else y.astype(compute.dtype)
+    result = (a * xc + b * yc).astype(out.dtype, copy=False)
+    if record:
+        record_kernel("waxpby")
+        record_bytes(px, x.size * px.bytes)
+        record_bytes(py, y.size * py.bytes)
+        record_bytes(out, result.size * out.bytes)
+        record_flops(compute, 3 * x.size)
+    return result
+
+
+def scal(alpha: float, x: np.ndarray, record: bool = True) -> np.ndarray:
+    """Return ``alpha * x`` in x's precision."""
+    p = _prec(x)
+    result = (p.dtype.type(alpha) * x).astype(p.dtype, copy=False)
+    if record:
+        record_kernel("scal")
+        record_bytes(p, 2 * x.size * p.bytes)
+        record_flops(p, x.size)
+    return result
+
+
+def vcopy(x: np.ndarray, precision: Precision | str | None = None,
+          record: bool = True) -> np.ndarray:
+    """Copy ``x``, optionally into a different storage precision."""
+    p = as_precision(precision) if precision is not None else _prec(x)
+    src = _prec(x)
+    result = x.astype(p.dtype, copy=True)
+    if record:
+        record_kernel("copy")
+        record_bytes(src, x.size * src.bytes)
+        record_bytes(p, x.size * p.bytes)
+    return result

@@ -1,0 +1,145 @@
+"""Tests for the memory-access cost model (Eqs. 1-3) and the F3R-best tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostModel,
+    F3RConfig,
+    cost_fgmres,
+    cost_nested_ff,
+    cost_nested_fr,
+    cost_richardson,
+    default_candidates,
+    nesting_benefit,
+    optimal_split,
+    preconditioner_constant,
+    traffic_constant,
+    tune_f3r,
+)
+from repro.precond import JacobiPreconditioner
+
+
+class TestCostFormulas:
+    def test_fgmres_formula(self):
+        # cA*m + cM*m + 2.5*m^2 with cA=45, cM=0, m=4 -> 180 + 40 = 220
+        assert cost_fgmres(4, 45.0, 0.0) == pytest.approx(45 * 4 + 2.5 * 16)
+
+    def test_richardson_formula(self):
+        # cA*(m-1) + cM*m + 4*(m-1)
+        assert cost_richardson(2, 45.0, 10.0) == pytest.approx(45 + 20 + 4)
+
+    def test_richardson_single_iteration_has_no_spmv(self):
+        # m=1: zero initial guess means r0 = v, so no SpMV and no vector update
+        assert cost_richardson(1, 45.0, 10.0) == pytest.approx(10.0)
+
+    def test_richardson_cheaper_than_fgmres_same_m(self):
+        for m in (1, 2, 3, 4):
+            assert cost_richardson(m, 45.0, 45.0) < cost_fgmres(m, 45.0, 45.0)
+
+    def test_nested_ff_consistency_with_eq2(self):
+        """Eq. (2): O(F^m̄,F^m̿,M) − O(F^m,M) = cA m̄ + 2.5 m̿² m̄ + 2.5 m̄² − 2.5 m²."""
+        c_a, c_m = 45.0, 45.0
+        m_outer, m_inner = 8, 8
+        m = m_outer * m_inner
+        lhs = cost_nested_ff(m_outer, m_inner, c_a, c_m) - cost_fgmres(m, c_a, c_m)
+        rhs = (c_a * m_outer + 2.5 * m_inner ** 2 * m_outer
+               + 2.5 * m_outer ** 2 - 2.5 * m ** 2)
+        assert lhs == pytest.approx(rhs)
+
+    def test_nested_fr_consistency_with_eq3(self):
+        c_a, c_m = 45.0, 45.0
+        m_outer, m_inner = 4, 2
+        m = m_outer * m_inner
+        lhs = cost_nested_fr(m_outer, m_inner, c_a, c_m) - cost_fgmres(m, c_a, c_m)
+        rhs = (4.0 * (m_inner - 1) * m_outer + 2.5 * m_outer ** 2 - 2.5 * m ** 2)
+        assert lhs == pytest.approx(rhs)
+
+    def test_paper_example_m64_nesting_beneficial(self):
+        """The paper: with cA = 45 and m = 64, nesting wins for most m̄, and
+        m̄ = 10 minimizes the two-level cost."""
+        c_a, c_m = 45.0, 45.0
+        benefits = [nesting_benefit(64, m_outer, c_a, c_m)
+                    for m_outer in (2, 4, 8, 16, 32)]
+        assert all(b > 0 for b in benefits)
+        best_outer, _ = optimal_split(64, c_a, c_m)
+        assert best_outer == 10
+
+    def test_paper_example_best_divisor_of_64_is_8(self):
+        """Restricted to divisors of 64, m̄ = 8 is the near-optimal choice used by F3R."""
+        best_outer, _ = optimal_split(64, 45.0, 45.0, divisors_only=True)
+        assert best_outer == 8
+
+    def test_small_m_nesting_increases_traffic(self):
+        """Eq. (2) for small m: splitting a short FGMRES into nested FGMRES adds traffic."""
+        assert nesting_benefit(8, 4, 45.0, 45.0, inner="fgmres") < 0
+
+    def test_richardson_replacement_recovers_benefit(self):
+        """Eq. (3): replacing the inner FGMRES with Richardson reduces traffic for m >= 3."""
+        for m, m_outer in ((8, 4), (6, 3), (4, 2)):
+            assert nesting_benefit(m, m_outer, 45.0, 45.0, inner="richardson") > 0
+
+    def test_nesting_benefit_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            nesting_benefit(10, 3, 45.0, 45.0)
+
+    def test_optimal_split_rejects_tiny_m(self):
+        with pytest.raises(ValueError):
+            optimal_split(2, 45.0, 45.0)
+
+
+class TestTrafficConstants:
+    def test_ca_matches_paper_example(self):
+        """30 nnz/row, fp64 values, 32-bit indices -> cA = 45."""
+        from repro.sparse import CSRMatrix
+
+        n = 100
+        rng = np.random.default_rng(0)
+        rows = np.repeat(np.arange(n), 30)
+        cols = rng.integers(0, n, size=30 * n)
+        vals = rng.standard_normal(30 * n)
+        from repro.sparse import COOMatrix
+
+        mat = COOMatrix(rows.astype(np.int32), cols.astype(np.int32), vals, (n, n)).to_csr()
+        ca = traffic_constant(mat, "fp64")
+        assert ca == pytest.approx(mat.nnz_per_row * 1.5, rel=1e-12)
+        assert 35 <= ca <= 45  # random duplicate columns push nnz/row a bit below 30
+
+    def test_ca_halves_for_fp32(self, spd_matrix):
+        ca64 = traffic_constant(spd_matrix, "fp64")
+        ca32 = traffic_constant(spd_matrix, "fp32")
+        # value bytes halve but index bytes stay, so the ratio is between 1 and 2
+        assert 1.0 < ca64 / ca32 < 2.0
+
+    def test_cm_for_jacobi(self, dd_matrix):
+        m = JacobiPreconditioner(dd_matrix)
+        assert preconditioner_constant(m, dd_matrix.nrows) == pytest.approx(1.0)
+
+    def test_cost_model_for_problem(self, spd_matrix, spd_precond):
+        model = CostModel.for_problem(spd_matrix, spd_precond)
+        assert model.c_a > 0 and model.c_m > 0
+        assert model.f3r_per_outer_iteration(8, 4, 2) > 0
+        assert model.fgmres(8) > model.richardson(8)
+
+
+class TestAutotune:
+    def test_default_candidates_cover_grid(self):
+        candidates = default_candidates()
+        assert len(candidates) == 5 * 5 * 2
+        params = {(c.m2, c.m3, c.m4) for c in candidates}
+        assert (8, 4, 2) in params and (10, 6, 1) in params
+
+    def test_tune_returns_converged_best(self, spd_matrix, spd_rhs, spd_precond):
+        base = F3RConfig(variant="fp16")
+        candidates = [base, base.with_params(m3=2), base.with_params(m4=1)]
+        best, records = tune_f3r(spd_matrix, spd_precond, spd_rhs,
+                                 candidates=candidates, keep_all=True)
+        assert len(records) == 3
+        assert best.converged
+        assert best.modeled_time == min(r.modeled_time for r in records if r.converged)
+
+    def test_tune_label_format(self, spd_matrix, spd_rhs, spd_precond):
+        best = tune_f3r(spd_matrix, spd_precond, spd_rhs,
+                        candidates=[F3RConfig(variant="fp16")])
+        assert best.label() == "8-4-2"
+        assert best.params == (8, 4, 2)

@@ -1,0 +1,206 @@
+"""Tests for the F3R configuration, builder, solver façade, and Table 4 variants."""
+
+import numpy as np
+import pytest
+
+from repro import F3RConfig, F3RSolver, build_f3r, build_variant, solve_f3r
+from repro.core.config import DEFAULT_FP16, precision_schedule
+from repro.core.variants import variant_description, variant_names
+from repro.precision import Precision
+from repro.solvers import count_primary_applications
+from repro.sparse import residual_norm
+
+
+class TestF3RConfig:
+    def test_paper_defaults(self):
+        cfg = F3RConfig()
+        assert (cfg.m1, cfg.m2, cfg.m3, cfg.m4) == (100, 8, 4, 2)
+        assert cfg.cycle == 64
+        assert cfg.variant == "fp16"
+        assert cfg.tol == 1e-8
+
+    def test_preconditionings_per_outer_iteration(self):
+        # the paper: the innermost solver performs m2*m3*m4 iterations per outer one
+        assert F3RConfig().preconditionings_per_outer_iteration == 64
+
+    def test_table1_schedule_fp16(self):
+        sched = precision_schedule("fp16")
+        assert sched[1].matrix is Precision.FP64
+        assert sched[2].matrix is Precision.FP32
+        assert sched[3].matrix is Precision.FP16
+        assert sched[3].vector is Precision.FP32
+        assert sched[4].matrix is Precision.FP16
+        assert sched[4].preconditioner is Precision.FP16
+
+    def test_fp32_variant_schedule(self):
+        sched = precision_schedule("fp32")
+        assert all(level.matrix in (Precision.FP64, Precision.FP32)
+                   for level in sched.values())
+        assert sched[4].preconditioner is Precision.FP32
+
+    def test_fp64_variant_uniform(self):
+        sched = precision_schedule("fp64")
+        assert all(level.matrix is Precision.FP64 for level in sched.values())
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            F3RConfig(variant="bf16")
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            F3RConfig(m4=0)
+
+    def test_with_params(self):
+        cfg = F3RConfig().with_params(m3=6, variant="fp32")
+        assert cfg.m3 == 6 and cfg.variant == "fp32"
+        assert cfg.m2 == 8  # untouched
+
+    def test_name(self):
+        assert F3RConfig(variant="fp32").name == "fp32-F3R"
+        assert DEFAULT_FP16.name == "fp16-F3R"
+
+    def test_describe_lists_all_levels(self):
+        text = F3RConfig().describe()
+        assert "F100" in text and "R2" in text and "fp16" in text
+
+
+class TestBuildF3R:
+    def test_structure_matches_tuple_notation(self, spd_matrix, spd_precond):
+        solver = build_f3r(spd_matrix, spd_precond, F3RConfig())
+        assert solver.m == 100
+        level2 = solver.child
+        level3 = level2.child
+        level4 = level3.child
+        assert level2.m == 8 and level3.m == 4 and level4.m == 2
+        assert level4.depth_label == "R2"
+
+    def test_precisions_follow_table1(self, spd_matrix, spd_precond):
+        solver = build_f3r(spd_matrix, spd_precond, F3RConfig(variant="fp16"))
+        level2 = solver.child
+        level3 = level2.child
+        level4 = level3.child
+        assert solver.matrix.precision is Precision.FP64
+        assert level2.matrix.precision is Precision.FP32
+        assert level3.matrix.precision is Precision.FP16
+        assert level4.matrix.precision is Precision.FP16
+        assert level4.preconditioner.precision is Precision.FP16
+
+    def test_richardson_options_forwarded(self, spd_matrix, spd_precond):
+        cfg = F3RConfig(cycle=16, adaptive_weight=False, fixed_weight=0.9)
+        solver = build_f3r(spd_matrix, spd_precond, cfg)
+        richardson = solver.child.child.child
+        assert richardson.cycle == 16
+        assert richardson.adaptive is False
+        assert richardson.weights[0] == pytest.approx(0.9)
+
+
+@pytest.mark.parametrize("variant", ["fp64", "fp32", "fp16"])
+class TestF3RSolve:
+    def test_converges_spd(self, variant, spd_matrix, spd_rhs, spd_precond):
+        result = F3RSolver(spd_matrix, spd_precond,
+                           config=F3RConfig(variant=variant)).solve(spd_rhs)
+        assert result.converged
+        relres = residual_norm(spd_matrix, result.x, spd_rhs) / np.linalg.norm(spd_rhs)
+        assert relres < 1e-7
+
+    def test_converges_nonsymmetric(self, variant, nonsym_matrix, nonsym_rhs, nonsym_precond):
+        result = F3RSolver(nonsym_matrix, nonsym_precond,
+                           config=F3RConfig(variant=variant)).solve(nonsym_rhs)
+        assert result.converged
+        relres = residual_norm(nonsym_matrix, result.x, nonsym_rhs) / np.linalg.norm(nonsym_rhs)
+        assert relres < 1e-7
+
+
+class TestF3RBehaviour:
+    def test_preconditionings_are_multiples_of_64(self, spd_matrix, spd_rhs, spd_precond):
+        """Each outermost iteration invokes M exactly m2*m3*m4 = 64 times."""
+        result = F3RSolver(spd_matrix, spd_precond, config=F3RConfig()).solve(spd_rhs)
+        assert result.preconditioner_applications % 64 == 0
+        assert result.preconditioner_applications == 64 * result.iterations
+
+    def test_low_precision_does_not_change_convergence_much(self, spd_matrix, spd_rhs,
+                                                            spd_precond):
+        """The paper's headline convergence claim (Table 3): fp16-F3R needs at most
+        a few percent more preconditionings than fp64-F3R.  At test scale the
+        granularity is one outermost iteration (64 preconditionings), so the
+        allowed slack is one outer iteration."""
+        apps = {}
+        for variant in ("fp64", "fp16"):
+            result = F3RSolver(spd_matrix, spd_precond,
+                               config=F3RConfig(variant=variant)).solve(spd_rhs)
+            assert result.converged
+            apps[variant] = result.preconditioner_applications
+        slack = F3RConfig().preconditionings_per_outer_iteration
+        assert apps["fp16"] <= apps["fp64"] + slack
+
+    def test_fp16_traffic_dominates_in_fp16_variant(self, spd_matrix, spd_rhs, spd_precond):
+        from repro.perf import counting
+
+        solver = F3RSolver(spd_matrix, spd_precond, config=F3RConfig(variant="fp16"))
+        with counting() as counter:
+            solver.solve(spd_rhs)
+        assert counter.low_precision_fraction() > 0.3
+
+    def test_fp64_variant_has_no_fp16_traffic(self, spd_matrix, spd_rhs, spd_precond):
+        from repro.perf import counting
+        from repro.precision import Precision
+
+        solver = F3RSolver(spd_matrix, spd_precond, config=F3RConfig(variant="fp64"))
+        with counting() as counter:
+            solver.solve(spd_rhs)
+        assert counter.bytes_for(Precision.FP16) == 0
+
+    def test_string_preconditioner_spec(self, spd_matrix, spd_rhs):
+        solver = F3RSolver(spd_matrix, preconditioner="auto", nblocks=4)
+        result = solver.solve(spd_rhs)
+        assert result.converged
+
+    def test_solve_f3r_helper(self, spd_matrix, spd_rhs):
+        result = solve_f3r(spd_matrix, spd_rhs, preconditioner="jacobi",
+                           config=F3RConfig(variant="fp32"))
+        assert result.relative_residual < 1e-6 or result.converged
+
+    def test_rebuild_with_new_config(self, spd_matrix, spd_rhs, spd_precond):
+        solver = F3RSolver(spd_matrix, spd_precond)
+        rebuilt = solver.rebuild(F3RConfig(variant="fp64", m3=2))
+        assert rebuilt.config.m3 == 2
+        assert rebuilt.solve(spd_rhs).converged
+
+
+class TestVariants:
+    def test_all_variants_registered(self):
+        assert set(variant_names()) == {"F2", "fp16-F2", "F3", "fp16-F3", "F4"}
+
+    def test_descriptions_mention_tuples(self):
+        for name in variant_names():
+            assert "F100" in variant_description(name)
+
+    @pytest.mark.parametrize("name", ["F2", "F3", "F4"])
+    def test_variants_converge(self, name, spd_matrix, spd_rhs, spd_precond):
+        solver = build_variant(name, spd_matrix, spd_precond, tol=1e-8)
+        result = solver.solve(spd_rhs)
+        assert result.converged
+
+    def test_f4_structure(self, spd_matrix, spd_precond):
+        solver = build_variant("F4", spd_matrix, spd_precond)
+        # four FGMRES levels: 100, 8, 4, 2
+        ms = [solver.m]
+        child = solver.child
+        while child is not None and hasattr(child, "m"):
+            ms.append(child.m)
+            child = getattr(child, "child", None)
+        assert ms == [100, 8, 4, 2]
+
+    def test_f2_inner_precision(self, spd_matrix, spd_precond):
+        solver = build_variant("F2", spd_matrix, spd_precond)
+        inner = solver.child
+        assert inner.matrix.precision is Precision.FP32
+        assert inner.m == 64
+
+    def test_fp16_f2_inner_precision(self, spd_matrix, spd_precond):
+        solver = build_variant("fp16-F2", spd_matrix, spd_precond)
+        assert solver.child.matrix.precision is Precision.FP16
+
+    def test_unknown_variant_raises(self, spd_matrix, spd_precond):
+        with pytest.raises(ValueError):
+            build_variant("F9", spd_matrix, spd_precond)

@@ -1,0 +1,156 @@
+"""Tests for the experiment harness (problems, runner, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import F3RConfig
+from repro.experiments import (
+    SUITES,
+    build_problem,
+    format_series,
+    format_table,
+    geometric_mean,
+    pivot,
+    run_f3r,
+    run_krylov_baseline,
+    run_variant,
+    speedup_table,
+    suite,
+)
+from repro.perf import GPU_NODE
+
+
+@pytest.fixture(scope="module")
+def demo_problem():
+    return build_problem("hpcg_7_7_7", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="module")
+def demo_precond(demo_problem):
+    return demo_problem.cpu_preconditioner(nblocks=4)
+
+
+class TestProblems:
+    def test_suites_reference_registered_matrices(self):
+        from repro.matgen import MATRIX_REGISTRY
+
+        for names in SUITES.values():
+            for name in names:
+                assert name in MATRIX_REGISTRY
+
+    def test_build_problem_fields(self, demo_problem):
+        assert demo_problem.symmetric
+        assert demo_problem.n == demo_problem.matrix.nrows
+        assert demo_problem.rhs.shape == (demo_problem.n,)
+        assert 0.0 <= demo_problem.rhs.min() and demo_problem.rhs.max() < 1.0
+
+    def test_matrix_is_diagonally_scaled(self, demo_problem):
+        from repro.sparse import extract_diagonal
+
+        assert np.allclose(extract_diagonal(demo_problem.matrix), 1.0)
+
+    def test_cpu_preconditioner_kind(self, demo_problem):
+        from repro.precond import BlockJacobiIC0
+
+        assert isinstance(demo_problem.cpu_preconditioner(nblocks=2), BlockJacobiIC0)
+
+    def test_gpu_preconditioner_kind(self, demo_problem):
+        from repro.precond import SDAINVPreconditioner
+
+        assert isinstance(demo_problem.gpu_preconditioner(), SDAINVPreconditioner)
+
+    def test_nonsymmetric_problem_uses_ilu(self):
+        from repro.precond import BlockJacobiILU0
+
+        problem = build_problem("hpgmp_7_7_7", scale="tiny")
+        assert isinstance(problem.cpu_preconditioner(nblocks=2), BlockJacobiILU0)
+
+    def test_suite_builder(self):
+        problems = suite("demo", scale="tiny")
+        assert [p.name for p in problems] == SUITES["demo"]
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            suite("nonexistent")
+
+    def test_rhs_is_deterministic_per_seed(self):
+        a = build_problem("hpcg_7_7_7", scale="tiny", seed=3)
+        b = build_problem("hpcg_7_7_7", scale="tiny", seed=3)
+        assert np.array_equal(a.rhs, b.rhs)
+
+
+class TestRunner:
+    def test_run_f3r_record(self, demo_problem, demo_precond):
+        record = run_f3r(demo_problem, demo_precond, variant="fp16")
+        assert record.converged
+        assert record.solver == "fp16-F3R"
+        assert record.preconditioner_applications > 0
+        assert record.modeled_time > 0
+        assert 0.0 <= record.fp16_traffic_fraction <= 1.0
+        assert record.as_dict()["problem"] == "hpcg_7_7_7"
+
+    def test_fp16_f3r_modeled_time_beats_fp64(self, demo_problem, demo_precond):
+        """The reproduction's analogue of Fig. 1: the fp16 variant moves fewer
+        bytes, so its modeled time is smaller when iteration counts match."""
+        r64 = run_f3r(demo_problem, demo_precond, variant="fp64")
+        r16 = run_f3r(demo_problem, demo_precond, variant="fp16")
+        assert r64.converged and r16.converged
+        if r16.preconditioner_applications <= r64.preconditioner_applications:
+            assert r16.modeled_time < r64.modeled_time
+
+    def test_run_baselines(self, demo_problem, demo_precond):
+        cg = run_krylov_baseline(demo_problem, demo_precond, "cg", "fp64",
+                                 max_iterations=2000)
+        assert cg.converged and cg.solver == "fp64-CG"
+        fgmres = run_krylov_baseline(demo_problem, demo_precond, "fgmres", "fp16",
+                                     max_iterations=2000)
+        assert fgmres.solver == "fp16-FGMRES(64)"
+        with pytest.raises(ValueError):
+            run_krylov_baseline(demo_problem, demo_precond, "gauss-seidel")
+
+    def test_run_variant(self, demo_problem, demo_precond):
+        record = run_variant(demo_problem, demo_precond, "F3")
+        assert record.solver == "F3"
+        assert record.converged
+
+    def test_gpu_machine_model_gives_smaller_times(self, demo_problem, demo_precond):
+        cpu = run_f3r(demo_problem, demo_precond, variant="fp64")
+        gpu = run_f3r(demo_problem, demo_precond, variant="fp64", machine=GPU_NODE)
+        # same traffic, higher bandwidth -> smaller traffic term (latency may
+        # partially offset, but at this size traffic dominates)
+        assert gpu.modeled_time != cpu.modeled_time
+
+    def test_speedup_table(self, demo_problem, demo_precond):
+        records = [run_f3r(demo_problem, demo_precond, variant=v)
+                   for v in ("fp64", "fp16")]
+        rows = speedup_table(records, baseline_solver="fp64-F3R")
+        by_solver = {row["solver"]: row for row in rows}
+        assert by_solver["fp64-F3R"]["speedup_vs_fp64-F3R"] == pytest.approx(1.0)
+        assert by_solver["fp16-F3R"]["speedup_vs_fp64-F3R"] > 0
+
+
+class TestReporting:
+    def test_format_table(self):
+        rows = [{"matrix": "a", "speedup": 1.5, "converged": True},
+                {"matrix": "bb", "speedup": float("nan"), "converged": False}]
+        text = format_table(rows, title="Figure X")
+        assert "Figure X" in text and "matrix" in text and "bb" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_series(self):
+        series = {"fp16-F3R": {"hpcg": 1.8, "hpgmp": 1.6}, "fp64-CG": {"hpcg": 0.9}}
+        text = format_series(series, title="speedups")
+        assert "fp16-F3R" in text and "hpcg" in text and "-" in text
+
+    def test_pivot(self):
+        rows = [{"problem": "p1", "solver": "s1", "value": 1.0},
+                {"problem": "p2", "solver": "s1", "value": 2.0}]
+        out = pivot(rows, index="problem", column="solver", value="value")
+        assert out == {"s1": {"p1": 1.0, "p2": 2.0}}
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, float("nan"), 8.0]) == pytest.approx(4.0)
+        assert np.isnan(geometric_mean([]))

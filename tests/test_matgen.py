@@ -1,0 +1,255 @@
+"""Tests for the matrix generators (HPCG/HPGMP stencils, model PDEs, surrogates)."""
+
+import numpy as np
+import pytest
+
+from repro.matgen import (
+    MATRIX_REGISTRY,
+    anisotropic_diffusion_3d,
+    circuit_like,
+    convection_diffusion_2d,
+    convection_diffusion_3d,
+    elasticity_like,
+    flow_like,
+    get_matrix,
+    hpcg_matrix,
+    hpgmp_matrix,
+    laplacian_1d,
+    list_matrices,
+    nonsymmetric_matrices,
+    poisson2d,
+    poisson3d,
+    random_diagonally_dominant,
+    random_spd,
+    random_tridiagonal,
+    stokes_like,
+    symmetric_matrices,
+    table2_rows,
+)
+from repro.sparse import extract_diagonal
+
+
+class TestHPCG:
+    def test_size(self):
+        assert hpcg_matrix(4).shape == (64, 64)
+
+    def test_symmetric(self):
+        assert hpcg_matrix(5).is_symmetric()
+
+    def test_diagonal_is_26(self):
+        a = hpcg_matrix(4)
+        assert np.allclose(extract_diagonal(a), 26.0)
+
+    def test_offdiagonals_are_minus_one(self):
+        a = hpcg_matrix(4)
+        dense = a.to_dense()
+        off = dense[~np.eye(64, dtype=bool)]
+        assert set(np.unique(off)) <= {0.0, -1.0}
+
+    def test_interior_point_has_27_nonzeros(self):
+        a = hpcg_matrix(5)
+        # the centre of a 5^3 grid touches all 27 stencil points
+        centre = 2 + 5 * (2 + 5 * 2)
+        assert a.row_nnz()[centre] == 27
+
+    def test_corner_has_8_nonzeros(self):
+        a = hpcg_matrix(5)
+        assert a.row_nnz()[0] == 8
+
+    def test_nnz_per_row_approaches_27(self):
+        # for the paper's large grids nnz/row is ~26.6; at 8^3 it is already > 20
+        assert hpcg_matrix(8).nnz_per_row > 20
+
+    def test_rectangular_grid(self):
+        a = hpcg_matrix(4, 3, 2)
+        assert a.shape == (24, 24)
+        assert a.is_symmetric()
+
+    def test_positive_definite_small(self):
+        eigs = np.linalg.eigvalsh(hpcg_matrix(3).to_dense())
+        assert eigs.min() > 0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            hpcg_matrix(0)
+
+
+class TestHPGMP:
+    def test_nonsymmetric(self):
+        assert not hpgmp_matrix(4).is_symmetric()
+
+    def test_beta_zero_reduces_to_hpcg(self):
+        a = hpgmp_matrix(4, beta=0.0)
+        b = hpcg_matrix(4)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_z_couplings_shifted(self):
+        nx = 4
+        a = hpgmp_matrix(nx, beta=0.5).to_dense()
+        # row of an interior point: coupling to +z neighbour is -0.5, to -z is -1.5
+        i = 1 + nx * (1 + nx * 1)
+        j_fwd = 1 + nx * (1 + nx * 2)
+        j_bwd = 1 + nx * (1 + nx * 0)
+        assert a[i, j_fwd] == pytest.approx(-0.5)
+        assert a[i, j_bwd] == pytest.approx(-1.5)
+
+    def test_same_pattern_as_hpcg(self):
+        a = hpgmp_matrix(4)
+        b = hpcg_matrix(4)
+        assert a.nnz == b.nnz
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestModelProblems:
+    def test_laplacian_1d(self):
+        a = laplacian_1d(5).to_dense()
+        assert np.allclose(np.diag(a), 2.0)
+        assert a[0, 1] == -1.0 and a[1, 0] == -1.0
+
+    def test_poisson2d_row_sums(self):
+        a = poisson2d(6).to_dense()
+        # interior rows sum to zero, boundary rows are positive
+        sums = a.sum(axis=1)
+        assert np.all(sums >= -1e-12)
+        assert np.any(sums > 0)
+
+    def test_poisson2d_spd(self):
+        eigs = np.linalg.eigvalsh(poisson2d(5).to_dense())
+        assert eigs.min() > 0
+
+    def test_poisson3d_shape_and_symmetry(self):
+        a = poisson3d(4)
+        assert a.shape == (64, 64)
+        assert a.is_symmetric()
+        assert np.allclose(extract_diagonal(a), 6.0)
+
+    def test_convection_diffusion_2d_nonsymmetric(self):
+        a = convection_diffusion_2d(8, peclet=20.0)
+        assert not a.is_symmetric()
+
+    def test_convection_diffusion_2d_zero_peclet_symmetric(self):
+        a = convection_diffusion_2d(6, peclet=0.0)
+        assert a.is_symmetric()
+
+    def test_convection_diffusion_3d_diagonally_dominant(self):
+        a = convection_diffusion_3d(5, peclet=10.0).to_dense()
+        diag = np.abs(np.diag(a))
+        off = np.sum(np.abs(a), axis=1) - diag
+        assert np.all(diag >= off - 1e-10)
+
+    def test_anisotropic_symmetric(self):
+        a = anisotropic_diffusion_3d(4, epsilon_y=1e-2, epsilon_z=1e-3)
+        assert a.is_symmetric()
+
+    def test_anisotropic_couplings(self):
+        a = anisotropic_diffusion_3d(4, epsilon_y=1e-2, epsilon_z=1e-4).to_dense()
+        # x-coupling is -1, y-coupling is -1e-2, z-coupling is -1e-4
+        assert a[1, 0] == pytest.approx(-1.0)
+        assert a[4, 0] == pytest.approx(-1e-2)
+        assert a[16, 0] == pytest.approx(-1e-4)
+
+
+class TestSurrogates:
+    def test_circuit_like_symmetric(self):
+        a = circuit_like(200, symmetric=True, seed=1)
+        assert a.is_symmetric()
+        assert 3.0 < a.nnz_per_row < 10.0
+
+    def test_circuit_like_nonsymmetric(self):
+        assert not circuit_like(200, symmetric=False, seed=2).is_symmetric()
+
+    def test_circuit_like_diagonally_dominant(self):
+        dense = circuit_like(150, symmetric=True, seed=3).to_dense()
+        diag = np.abs(np.diag(dense))
+        off = np.sum(np.abs(dense), axis=1) - diag
+        assert np.all(diag >= off)
+
+    def test_elasticity_like_symmetric_and_dense_stencil(self):
+        a = elasticity_like(5, contrast=100.0, seed=1)
+        assert a.is_symmetric(tol=1e-8)
+        assert a.nnz_per_row > 10
+
+    def test_elasticity_like_positive_definite(self):
+        a = elasticity_like(4, contrast=50.0, seed=2)
+        eigs = np.linalg.eigvalsh(a.to_dense())
+        assert eigs.min() > 0
+
+    def test_flow_like_nonsymmetric(self):
+        assert not flow_like(5, peclet=10.0, seed=1).is_symmetric()
+
+    def test_stokes_like_nonsymmetric(self):
+        assert not stokes_like(5, seed=1).is_symmetric()
+
+    def test_stokes_like_nonsingular(self):
+        a = stokes_like(4, seed=2).to_dense()
+        assert abs(np.linalg.det(a)) > 0
+
+
+class TestRandomMatrices:
+    def test_random_spd_is_spd(self):
+        a = random_spd(40, seed=1)
+        assert a.is_symmetric()
+        assert np.linalg.eigvalsh(a.to_dense()).min() > 0
+
+    def test_random_dd_is_dominant(self):
+        dense = random_diagonally_dominant(60, seed=2).to_dense()
+        diag = np.abs(np.diag(dense))
+        off = np.sum(np.abs(dense), axis=1) - diag
+        assert np.all(diag > off)
+
+    def test_random_tridiagonal_structure(self):
+        a = random_tridiagonal(10, seed=3)
+        dense = a.to_dense()
+        assert np.allclose(np.triu(dense, 2), 0)
+        assert np.allclose(np.tril(dense, -2), 0)
+
+    def test_reproducible_with_seed(self):
+        a = random_spd(30, seed=7).to_dense()
+        b = random_spd(30, seed=7).to_dense()
+        assert np.array_equal(a, b)
+
+
+class TestRegistry:
+    def test_registry_has_31_matrices(self):
+        # Table 2 lists 31 matrices (15 symmetric + 16 non-symmetric)
+        assert len(MATRIX_REGISTRY) == 31
+
+    def test_symmetric_nonsymmetric_partition(self):
+        assert len(symmetric_matrices()) == 15
+        assert len(nonsymmetric_matrices()) == 16
+        assert set(symmetric_matrices()) | set(nonsymmetric_matrices()) == set(MATRIX_REGISTRY)
+
+    def test_surrogate_symmetry_matches_spec(self):
+        for name in ["hpcg_7_7_7", "G3_circuit", "Serena"]:
+            assert get_matrix(name, scale="tiny").is_symmetric(tol=1e-8)
+        for name in ["hpgmp_7_7_7", "atmosmodd", "vas_stokes_1M"]:
+            assert not get_matrix(name, scale="tiny").is_symmetric()
+
+    def test_alpha_values_from_table2(self):
+        assert MATRIX_REGISTRY["audikw_1"].alpha_ainv == pytest.approx(1.6)
+        assert MATRIX_REGISTRY["Bump_2911"].alpha_ilu == pytest.approx(1.1)
+        assert MATRIX_REGISTRY["hpcg_8_8_8"].paper_n == 16_777_216
+
+    def test_scales_are_ordered(self):
+        tiny = get_matrix("hpcg_7_7_7", scale="tiny")
+        small = get_matrix("hpcg_7_7_7", scale="small")
+        assert small.nrows > tiny.nrows
+
+    def test_unknown_matrix_raises(self):
+        with pytest.raises(KeyError):
+            get_matrix("not_a_matrix")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            MATRIX_REGISTRY["hpcg_7_7_7"].build(scale="huge")
+
+    def test_list_matrices_by_family(self):
+        assert "hpcg_7_7_7" in list_matrices(family="hpcg")
+        assert "atmosmodd" not in list_matrices(family="hpcg")
+
+    def test_table2_rows_contents(self):
+        rows = table2_rows(scale="tiny")
+        assert len(rows) == 31
+        row = next(r for r in rows if r["matrix"] == "Queen_4147")
+        assert row["paper_nnz_per_row"] == pytest.approx(76.33, abs=0.01)
+        assert row["surrogate_n"] > 0

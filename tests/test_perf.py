@@ -1,0 +1,214 @@
+"""Tests for the traffic counters, machine models, and timers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    CPU_NODE,
+    GPU_NODE,
+    MachineModel,
+    StageTimer,
+    Timer,
+    TrafficCounter,
+    counting,
+    current_counter,
+    global_counter,
+    modeled_time,
+    record_bytes,
+    record_flops,
+    record_kernel,
+    reset_global_counter,
+    timed,
+)
+from repro.precision import Precision
+
+
+class TestTrafficCounter:
+    def test_accumulation(self):
+        c = TrafficCounter()
+        c.add_bytes(Precision.FP16, 100)
+        c.add_bytes(Precision.FP16, 50)
+        c.add_bytes(Precision.FP64, 200)
+        c.add_index_bytes(40)
+        assert c.bytes_for("fp16") == 150
+        assert c.total_value_bytes == 350
+        assert c.total_bytes == 390
+
+    def test_flops_and_calls(self):
+        c = TrafficCounter()
+        c.add_flops(Precision.FP32, 1000)
+        c.add_call("spmv")
+        c.add_call("spmv", 2)
+        assert c.total_flops == 1000
+        assert c.calls_for("spmv") == 3
+
+    def test_fp16_fraction(self):
+        c = TrafficCounter()
+        c.add_bytes(Precision.FP16, 300)
+        c.add_bytes(Precision.FP64, 100)
+        assert c.low_precision_fraction() == pytest.approx(0.75)
+
+    def test_fp16_fraction_empty(self):
+        assert TrafficCounter().low_precision_fraction() == 0.0
+
+    def test_merge_and_copy(self):
+        a = TrafficCounter()
+        a.add_bytes(Precision.FP32, 10)
+        b = TrafficCounter()
+        b.add_bytes(Precision.FP32, 5)
+        b.add_call("dot")
+        a.merge(b)
+        assert a.bytes_for("fp32") == 15
+        clone = a.copy()
+        clone.add_bytes(Precision.FP32, 100)
+        assert a.bytes_for("fp32") == 15
+
+    def test_reset(self):
+        c = TrafficCounter()
+        c.add_bytes(Precision.FP16, 10)
+        c.reset()
+        assert c.total_bytes == 0
+
+    def test_summary_keys(self):
+        c = TrafficCounter()
+        c.add_bytes(Precision.FP16, 10)
+        c.add_call("spmv")
+        summary = c.summary()
+        assert summary["bytes"]["fp16"] == 10
+        assert summary["kernel_calls"]["spmv"] == 1
+        assert "fp16_fraction" in summary
+
+
+class TestCountingScopes:
+    def test_scoped_counter_receives_traffic(self):
+        with counting() as counter:
+            record_bytes("fp32", 64)
+            record_kernel("spmv")
+            record_flops("fp32", 10)
+        assert counter.bytes_for("fp32") == 64
+        assert counter.calls_for("spmv") == 1
+        assert counter.total_flops == 10
+
+    def test_nested_scopes_both_receive(self):
+        with counting() as outer:
+            with counting() as inner:
+                record_bytes("fp16", 8)
+            record_bytes("fp16", 4)
+        assert inner.bytes_for("fp16") == 8
+        assert outer.bytes_for("fp16") == 12
+
+    def test_current_counter(self):
+        assert current_counter() is None
+        with counting() as c:
+            assert current_counter() is c
+        assert current_counter() is None
+
+    def test_global_counter_always_accumulates(self):
+        reset_global_counter()
+        record_bytes("fp64", 16)
+        assert global_counter().bytes_for("fp64") == 16
+        reset_global_counter()
+
+    def test_index_bytes_recorded(self):
+        with counting() as counter:
+            record_bytes("fp64", 8, index_bytes=4)
+        assert counter.index_bytes == 4
+
+
+class TestMachineModel:
+    def test_time_proportional_to_traffic(self):
+        c1 = TrafficCounter(); c1.add_bytes(Precision.FP64, 10**9)
+        c2 = TrafficCounter(); c2.add_bytes(Precision.FP64, 2 * 10**9)
+        m = MachineModel(name="test", stream_bandwidth=1e9)
+        assert m.time_for(c2) == pytest.approx(2 * m.time_for(c1))
+
+    def test_fp16_traffic_is_cheaper_for_same_element_count(self):
+        n = 10**7
+        c16 = TrafficCounter(); c16.add_bytes(Precision.FP16, 2 * n)
+        c64 = TrafficCounter(); c64.add_bytes(Precision.FP64, 8 * n)
+        assert CPU_NODE.time_for(c16) < CPU_NODE.time_for(c64)
+
+    def test_latency_terms(self):
+        c = TrafficCounter()
+        c.add_call("dot", 10)
+        c.add_call("spmv", 10)
+        m = MachineModel(name="lat", stream_bandwidth=1e12,
+                         kernel_latency=1e-6, reduction_latency=1e-5)
+        # 20 launches + 10 reductions
+        assert m.time_for(c) == pytest.approx(20e-6 + 10e-5)
+
+    def test_gpu_has_higher_bandwidth_and_latency(self):
+        from repro.perf import CPU_NODE_FULL, GPU_NODE_FULL
+
+        assert GPU_NODE.stream_bandwidth > CPU_NODE.stream_bandwidth
+        assert GPU_NODE_FULL.reduction_latency > CPU_NODE_FULL.reduction_latency
+
+    def test_default_models_are_rooflines(self):
+        """The default presets charge traffic only (see machine.py rationale)."""
+        assert CPU_NODE.kernel_latency == 0.0 and CPU_NODE.reduction_latency == 0.0
+        assert GPU_NODE.kernel_latency == 0.0 and GPU_NODE.reduction_latency == 0.0
+
+    def test_latency_compresses_precision_speedups(self):
+        """The Section 5.2 effect: adding per-kernel latency reduces the benefit
+        of halving the traffic."""
+        from repro.perf import CPU_NODE_FULL
+
+        small = TrafficCounter()
+        small.add_bytes(Precision.FP16, 10**6)
+        small.add_call("spmv", 100)
+        big = TrafficCounter()
+        big.add_bytes(Precision.FP64, 4 * 10**6)
+        big.add_call("spmv", 100)
+        roofline_speedup = CPU_NODE.time_for(big) / CPU_NODE.time_for(small)
+        latency_speedup = CPU_NODE_FULL.time_for(big) / CPU_NODE_FULL.time_for(small)
+        assert latency_speedup < roofline_speedup
+
+    def test_modeled_time_helper(self):
+        c = TrafficCounter()
+        c.add_bytes(Precision.FP32, 600 * 10**9)
+        assert modeled_time(c, CPU_NODE) == pytest.approx(1.0)
+
+    def test_bandwidth_gbs(self):
+        assert CPU_NODE.bandwidth_gbs() == pytest.approx(600.0)
+
+    def test_compute_bound_corner(self):
+        """When flops dominate, modeled time follows the flop rate."""
+        c = TrafficCounter()
+        c.add_flops(Precision.FP64, 3 * 10**12)
+        assert CPU_NODE.time_for(c) == pytest.approx(1.0)
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        t = Timer()
+        t.start(); time.sleep(0.01); t.stop()
+        assert t.elapsed >= 0.005
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_timer_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_timer_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_timed_context(self):
+        with timed() as t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.002
+
+    def test_stage_timer(self):
+        st = StageTimer()
+        with st.stage("spmv"):
+            time.sleep(0.005)
+        with st.stage("precond"):
+            time.sleep(0.002)
+        assert st.total() >= 0.005
+        assert 0.0 < st.fraction("spmv") <= 1.0

@@ -1,0 +1,129 @@
+"""Tests for the precision registry (repro.precision.dtypes)."""
+
+import numpy as np
+import pytest
+
+from repro.precision import (
+    BYTES_PER_INDEX,
+    BYTES_PER_VALUE,
+    Precision,
+    as_precision,
+    dtype_of,
+    precision_of_dtype,
+    promote,
+    traits,
+)
+from repro.precision.dtypes import as_precision as as_precision_direct
+
+
+class TestPrecisionEnum:
+    def test_three_members(self):
+        assert {p.value for p in Precision} == {"fp64", "fp32", "fp16"}
+
+    def test_dtype_mapping(self):
+        assert Precision.FP64.dtype == np.dtype(np.float64)
+        assert Precision.FP32.dtype == np.dtype(np.float32)
+        assert Precision.FP16.dtype == np.dtype(np.float16)
+
+    def test_bits_and_bytes(self):
+        assert Precision.FP64.bits == 64 and Precision.FP64.bytes == 8
+        assert Precision.FP32.bits == 32 and Precision.FP32.bytes == 4
+        assert Precision.FP16.bits == 16 and Precision.FP16.bytes == 2
+
+    def test_eps_matches_numpy(self):
+        for p in Precision:
+            assert p.eps == pytest.approx(float(np.finfo(p.dtype).eps))
+
+    def test_eps_ordering(self):
+        assert Precision.FP64.eps < Precision.FP32.eps < Precision.FP16.eps
+
+    def test_fp16_overflow_threshold(self):
+        # The well-known binary16 maximum
+        assert Precision.FP16.max == pytest.approx(65504.0)
+
+    def test_min_normal_positive(self):
+        for p in Precision:
+            assert 0.0 < p.min_normal < 1.0
+
+
+class TestCoercion:
+    @pytest.mark.parametrize("name,expected", [
+        ("fp64", Precision.FP64), ("fp32", Precision.FP32), ("fp16", Precision.FP16),
+        ("double", Precision.FP64), ("single", Precision.FP32), ("half", Precision.FP16),
+        ("FP16", Precision.FP16),
+    ])
+    def test_from_string(self, name, expected):
+        assert as_precision(name) is expected
+
+    def test_from_dtype(self):
+        assert as_precision(np.float16) is Precision.FP16
+        assert as_precision(np.dtype("float32")) is Precision.FP32
+
+    def test_from_precision_is_identity(self):
+        assert as_precision(Precision.FP64) is Precision.FP64
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError):
+            as_precision("bf16")
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(ValueError):
+            as_precision(np.int32)
+
+    def test_dtype_of_roundtrip(self):
+        for p in Precision:
+            assert precision_of_dtype(dtype_of(p)) is p
+
+    def test_direct_and_reexported_coercion_agree(self):
+        assert as_precision_direct("fp16") is as_precision("fp16")
+
+
+class TestPromotion:
+    def test_promote_pairs(self):
+        assert promote(Precision.FP16, Precision.FP32) is Precision.FP32
+        assert promote(Precision.FP16, Precision.FP64) is Precision.FP64
+        assert promote(Precision.FP32, Precision.FP64) is Precision.FP64
+
+    def test_promote_same(self):
+        for p in Precision:
+            assert promote(p, p) is p
+
+    def test_promote_accepts_strings(self):
+        assert promote("fp16", "fp32", "fp16") is Precision.FP32
+
+    def test_promote_empty_raises(self):
+        with pytest.raises(ValueError):
+            promote()
+
+
+class TestTraits:
+    def test_mantissa_bits(self):
+        assert traits(Precision.FP64).mantissa_bits == 52
+        assert traits(Precision.FP32).mantissa_bits == 23
+        assert traits(Precision.FP16).mantissa_bits == 10
+
+    def test_exponent_bits(self):
+        assert traits("fp16").exponent_bits == 5
+        assert traits("fp32").exponent_bits == 8
+        assert traits("fp64").exponent_bits == 11
+
+    def test_decimal_digits_monotone(self):
+        assert (traits("fp16").decimal_digits
+                < traits("fp32").decimal_digits
+                < traits("fp64").decimal_digits)
+
+    def test_traits_consistent_with_enum(self):
+        for p in Precision:
+            t = traits(p)
+            assert t.eps == p.eps
+            assert t.max == p.max
+
+
+class TestConstants:
+    def test_index_bytes_are_32bit(self):
+        assert BYTES_PER_INDEX == 4
+
+    def test_bytes_per_value(self):
+        assert BYTES_PER_VALUE[Precision.FP16] == 2
+        assert BYTES_PER_VALUE[Precision.FP32] == 4
+        assert BYTES_PER_VALUE[Precision.FP64] == 8

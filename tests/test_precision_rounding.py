@@ -1,0 +1,103 @@
+"""Tests for rounding / casting helpers (repro.precision.rounding)."""
+
+import numpy as np
+import pytest
+
+from repro.precision import (
+    Precision,
+    cast_array,
+    cast_like,
+    chop_chain,
+    representable,
+    round_to,
+    saturate,
+)
+
+
+class TestRoundTo:
+    def test_roundtrip_exact_for_representable(self):
+        x = np.array([0.5, 1.0, 2.0, -4.0, 0.25])
+        assert np.array_equal(round_to(x, "fp16").astype(np.float64), x)
+
+    def test_dtype_of_result(self):
+        x = np.linspace(0, 1, 5)
+        assert round_to(x, Precision.FP16).dtype == np.float16
+        assert round_to(x, Precision.FP32).dtype == np.float32
+
+    def test_rounding_error_bounded_by_eps(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 2.0, size=1000)
+        for p in (Precision.FP16, Precision.FP32):
+            rounded = round_to(x, p).astype(np.float64)
+            rel = np.abs(rounded - x) / np.abs(x)
+            assert np.max(rel) <= p.eps
+
+    def test_fp16_overflow_to_inf(self):
+        assert np.isinf(round_to(np.array([1e6]), "fp16"))[0]
+
+    def test_no_copy_when_same_dtype(self):
+        x = np.ones(4, dtype=np.float32)
+        assert round_to(x, "fp32") is x
+
+
+class TestCastArray:
+    def test_forced_copy(self):
+        x = np.ones(4, dtype=np.float16)
+        y = cast_array(x, "fp16", copy=True)
+        assert y is not x and np.array_equal(x, y)
+
+    def test_cast_like(self):
+        ref = np.zeros(3, dtype=np.float16)
+        out = cast_like(np.array([1.0, 2.0, 3.0]), ref)
+        assert out.dtype == np.float16
+
+    def test_cast_like_same_dtype_is_noop(self):
+        x = np.ones(3, dtype=np.float64)
+        assert cast_like(x, x) is x
+
+
+class TestRepresentable:
+    def test_in_range_values(self):
+        assert representable(np.array([1.0, -3.0, 60000.0]), "fp16")
+
+    def test_overflowing_value(self):
+        assert not representable(np.array([1.0, 7e4]), "fp16")
+
+    def test_inf_inputs_are_ignored(self):
+        assert representable(np.array([np.inf, 1.0]), "fp16")
+
+    def test_empty_and_all_nan(self):
+        assert representable(np.array([]), "fp16")
+        assert representable(np.array([np.nan]), "fp16")
+
+
+class TestSaturate:
+    def test_clamps_to_fp16_max(self):
+        out = saturate(np.array([1e6, -1e6]), "fp16").astype(np.float64)
+        assert out[0] == pytest.approx(65504.0)
+        assert out[1] == pytest.approx(-65504.0)
+
+    def test_preserves_small_values(self):
+        x = np.array([0.5, -2.0])
+        assert np.array_equal(saturate(x, "fp16").astype(np.float64), x)
+
+    def test_result_dtype(self):
+        assert saturate(np.array([1.0]), "fp16").dtype == np.float16
+
+
+class TestChopChain:
+    def test_double_rounding_path(self):
+        x = np.array([1.0 + 2**-20])
+        via_fp32 = chop_chain(x, "fp32", "fp16")
+        direct = round_to(x, "fp16")
+        # for this value both paths agree (no double-rounding anomaly)
+        assert np.array_equal(via_fp32, direct)
+
+    def test_final_dtype_is_last_precision(self):
+        assert chop_chain(np.ones(3), "fp32", "fp16").dtype == np.float16
+
+    def test_chain_is_lossier_than_single_step(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.1, 10.0, 256)
+        chained = chop_chain(x, "fp16", "fp64")
+        assert np.max(np.abs(chained.astype(np.float64) - x)) > 0.0

@@ -1,0 +1,116 @@
+"""Tests for PrecisionSpec / LevelPrecision and the round-off analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.precision import (
+    F3R_PRECISIONS,
+    LevelPrecision,
+    Precision,
+    PrecisionSpec,
+    analyze_cast,
+    axpy_error_bound,
+    dot_error_bound,
+    relative_rounding_error,
+    spmv_error_bound,
+    uniform_spec,
+)
+
+
+class TestPrecisionSpec:
+    def test_compute_defaults_to_promotion(self):
+        spec = PrecisionSpec(matrix="fp16", vector="fp32")
+        assert spec.compute is Precision.FP32
+
+    def test_explicit_compute_respected(self):
+        spec = PrecisionSpec(matrix="fp16", vector="fp16", compute="fp32")
+        assert spec.compute is Precision.FP32
+
+    def test_uniform_spec(self):
+        spec = uniform_spec("fp16")
+        assert spec.is_uniform
+        assert spec.matrix is Precision.FP16
+
+    def test_with_matrix_resets_compute(self):
+        spec = uniform_spec("fp16").with_matrix("fp64")
+        assert spec.compute is Precision.FP64
+
+    def test_describe_mentions_all_parts(self):
+        text = PrecisionSpec(matrix="fp16", vector="fp32").describe()
+        assert "fp16" in text and "fp32" in text
+
+
+class TestLevelPrecision:
+    def test_table1_schedule(self):
+        # Table 1 of the paper
+        assert F3R_PRECISIONS[1].matrix is Precision.FP64
+        assert F3R_PRECISIONS[2].vector is Precision.FP32
+        assert F3R_PRECISIONS[3].matrix is Precision.FP16
+        assert F3R_PRECISIONS[3].vector is Precision.FP32
+        assert F3R_PRECISIONS[4].preconditioner is Precision.FP16
+
+    def test_spmv_spec_promotion(self):
+        level = F3R_PRECISIONS[3]
+        spec = level.spmv_spec()
+        # fp16 matrix * fp32 vectors -> fp32 arithmetic (the paper's rule)
+        assert spec.compute is Precision.FP32
+
+    def test_describe_preconditioner_dash(self):
+        assert LevelPrecision().describe().endswith("M=-")
+
+
+class TestErrorBounds:
+    def test_dot_bound_scales_with_n(self):
+        assert dot_error_bound(100, "fp32") > dot_error_bound(10, "fp32")
+
+    def test_dot_bound_scales_with_precision(self):
+        assert dot_error_bound(10, "fp16") > dot_error_bound(10, "fp64")
+
+    def test_dot_bound_infinite_when_nu_exceeds_one(self):
+        # n*u >= 1 for fp16 at n >= 2048 (u = 2^-11 rounding unit ~ eps)
+        assert dot_error_bound(10_000, "fp16") == float("inf")
+
+    def test_axpy_bound_small(self):
+        assert 0 < axpy_error_bound("fp64") < 1e-14
+
+    def test_spmv_bound_uses_row_nnz(self):
+        assert spmv_error_bound(27, "fp16") > spmv_error_bound(5, "fp16")
+
+    def test_empirical_dot_product_respects_bound(self):
+        rng = np.random.default_rng(2)
+        n = 64
+        x = rng.uniform(0.1, 1.0, n)
+        y = rng.uniform(0.1, 1.0, n)
+        exact = float(np.dot(x, y))
+        computed = float(np.dot(x.astype(np.float16), y.astype(np.float16)).astype(np.float64))
+        bound = dot_error_bound(n + 2, "fp16") * float(np.dot(np.abs(x), np.abs(y)))
+        # input rounding adds 2 ulps per element; fold into a modest safety factor
+        assert abs(computed - exact) <= 3 * bound + 1e-12
+
+
+class TestCastAnalysis:
+    def test_lossless_cast(self):
+        report = analyze_cast(np.array([0.5, 1.0, -2.0]), "fp16")
+        assert report.lossless and report.overflowed == 0
+
+    def test_overflow_counted(self):
+        report = analyze_cast(np.array([1.0, 1e5, -2e5]), "fp16")
+        assert report.overflowed == 2
+        assert report.overflow_fraction == pytest.approx(2 / 3)
+
+    def test_underflow_counted(self):
+        report = analyze_cast(np.array([1e-30]), "fp16")
+        assert report.underflowed_to_zero == 1
+
+    def test_max_relative_error_bounded_by_eps(self):
+        rng = np.random.default_rng(3)
+        report = analyze_cast(rng.uniform(0.5, 2.0, 500), "fp16")
+        assert report.max_relative_error <= Precision.FP16.eps
+
+    def test_empty_input(self):
+        report = analyze_cast(np.array([]), "fp32")
+        assert report.total == 0 and report.overflow_fraction == 0.0
+
+    def test_relative_rounding_error_zero_for_zero(self):
+        err = relative_rounding_error(np.array([0.0, 1.0]), "fp16")
+        assert err[0] == 0.0 and err[1] >= 0.0

@@ -1,0 +1,295 @@
+"""Tests for the preconditioners: Jacobi, ILU(0)/IC(0), block-Jacobi, SD-AINV."""
+
+import numpy as np
+import pytest
+
+from repro.matgen import hpcg_matrix, poisson2d, random_diagonally_dominant
+from repro.precision import Precision
+from repro.precond import (
+    BlockJacobiIC0,
+    BlockJacobiILU0,
+    IC0Preconditioner,
+    IdentityPreconditioner,
+    ILU0Preconditioner,
+    JacobiPreconditioner,
+    SDAINVPreconditioner,
+    ilu0_factor,
+    make_primary_preconditioner,
+)
+from repro.sparse import diagonal_scaling, extract_diagonal
+
+
+class TestIdentity:
+    def test_apply_is_copy(self, rng):
+        m = IdentityPreconditioner(10)
+        r = rng.standard_normal(10)
+        z = m.apply(r)
+        assert np.allclose(z, r)
+        assert z is not r
+
+    def test_counts_applications(self, rng):
+        m = IdentityPreconditioner(5)
+        for _ in range(3):
+            m.apply(rng.standard_normal(5))
+        assert m.num_applications == 3
+        m.reset_counter()
+        assert m.num_applications == 0
+
+    def test_astype(self):
+        m = IdentityPreconditioner(4).astype("fp16")
+        assert m.precision is Precision.FP16
+        assert m.apply(np.ones(4)).dtype == np.float16
+
+
+class TestJacobi:
+    def test_apply_divides_by_diagonal(self, dd_matrix, rng):
+        m = JacobiPreconditioner(dd_matrix)
+        r = rng.standard_normal(dd_matrix.nrows)
+        expected = r / extract_diagonal(dd_matrix)
+        assert np.allclose(m.apply(r), expected)
+
+    def test_zero_diagonal_raises(self):
+        from repro.sparse import CSRMatrix
+
+        mat = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            JacobiPreconditioner(mat)
+
+    def test_astype_precision(self, dd_matrix):
+        m16 = JacobiPreconditioner(dd_matrix).astype("fp16")
+        assert m16.precision is Precision.FP16
+        assert m16.memory_bytes() == dd_matrix.nrows * 2
+
+    def test_exactly_solves_diagonal_system(self):
+        from repro.sparse import CSRMatrix
+
+        diag = np.array([2.0, 4.0, 8.0])
+        mat = CSRMatrix.from_diagonal(diag)
+        m = JacobiPreconditioner(mat)
+        b = np.array([2.0, 4.0, 8.0])
+        assert np.allclose(m.apply(b), [1.0, 1.0, 1.0])
+
+
+class TestILU0Factorization:
+    def test_exact_for_tridiagonal(self):
+        """ILU(0) on a tridiagonal matrix is the exact LU factorization."""
+        from repro.matgen import laplacian_1d
+
+        a = laplacian_1d(12)
+        lower, upper = ilu0_factor(a)
+        n = a.nrows
+        l_dense = lower.to_dense() + np.eye(n)
+        u_dense = upper.to_dense()
+        assert np.allclose(l_dense @ u_dense, a.to_dense(), atol=1e-12)
+
+    def test_pattern_is_subset_of_a(self, spd_matrix):
+        lower, upper = ilu0_factor(spd_matrix)
+        assert lower.nnz + upper.nnz == spd_matrix.nnz
+
+    def test_residual_smaller_than_no_preconditioning(self, spd_matrix):
+        """||A - LU|| is small relative to ||A|| for the stencil matrix."""
+        lower, upper = ilu0_factor(spd_matrix)
+        n = spd_matrix.nrows
+        l_dense = lower.to_dense() + np.eye(n)
+        u_dense = upper.to_dense()
+        err = np.linalg.norm(l_dense @ u_dense - spd_matrix.to_dense())
+        assert err < 0.5 * np.linalg.norm(spd_matrix.to_dense())
+
+    def test_alpha_scales_diagonal_of_factorization(self):
+        a = poisson2d(6)
+        _, upper_1 = ilu0_factor(a, alpha=1.0)
+        _, upper_2 = ilu0_factor(a, alpha=2.0)
+        d1 = extract_diagonal(upper_1)
+        d2 = extract_diagonal(upper_2)
+        assert np.all(d2 > d1)
+
+    def test_nonsquare_raises(self):
+        from repro.sparse import CSRMatrix
+
+        with pytest.raises(ValueError):
+            ilu0_factor(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestILU0Preconditioner:
+    def test_exact_inverse_for_tridiagonal(self, rng):
+        from repro.matgen import laplacian_1d
+
+        a = laplacian_1d(15)
+        m = ILU0Preconditioner(a)
+        b = rng.standard_normal(15)
+        assert np.allclose(m.apply(b), np.linalg.solve(a.to_dense(), b), atol=1e-10)
+
+    def test_one_step_contracts_residual(self, spd_matrix, rng):
+        """One preconditioned Richardson step from zero reduces the residual."""
+        m = ILU0Preconditioner(spd_matrix)
+        dense = spd_matrix.to_dense()
+        x_true = rng.standard_normal(spd_matrix.nrows)
+        b = dense @ x_true
+        x1 = m.apply(b)
+        assert np.linalg.norm(b - dense @ x1) < 0.5 * np.linalg.norm(b)
+
+    def test_counts_applications(self, spd_matrix, rng):
+        m = ILU0Preconditioner(spd_matrix)
+        m.apply(rng.standard_normal(spd_matrix.nrows))
+        m.apply(rng.standard_normal(spd_matrix.nrows))
+        assert m.num_applications == 2
+
+    def test_astype_keeps_quality(self, spd_matrix, rng):
+        m64 = ILU0Preconditioner(spd_matrix)
+        m16 = m64.astype("fp16")
+        r = rng.uniform(0.1, 1.0, spd_matrix.nrows)
+        z64 = m64.apply(r)
+        z16 = m16.apply(r.astype(np.float16)).astype(np.float64)
+        rel = np.linalg.norm(z16 - z64) / np.linalg.norm(z64)
+        assert rel < 0.05
+
+    def test_astype_new_counter(self, spd_matrix, rng):
+        m64 = ILU0Preconditioner(spd_matrix)
+        m64.apply(rng.standard_normal(spd_matrix.nrows))
+        m32 = m64.astype("fp32")
+        assert m32.num_applications == 0
+
+    def test_memory_bytes_scales_with_precision(self, spd_matrix):
+        m = ILU0Preconditioner(spd_matrix)
+        assert m.astype("fp16").memory_bytes() * 4 == m.memory_bytes()
+
+
+class TestIC0Preconditioner:
+    def test_matches_ilu0_for_spd(self, spd_matrix, rng):
+        """For SPD matrices IC(0) (L, D form) must act identically to ILU(0)."""
+        r = rng.standard_normal(spd_matrix.nrows)
+        z_ilu = ILU0Preconditioner(spd_matrix).apply(r)
+        z_ic = IC0Preconditioner(spd_matrix).apply(r)
+        assert np.allclose(z_ic, z_ilu, rtol=1e-8, atol=1e-10)
+
+    def test_stores_half_of_ilu0(self, spd_matrix):
+        ic = IC0Preconditioner(spd_matrix)
+        ilu = ILU0Preconditioner(spd_matrix)
+        assert ic.memory_bytes() < 0.7 * ilu.memory_bytes()
+
+    def test_symmetric_application(self, spd_matrix, rng):
+        """M^{-1} is symmetric: (x, M^{-1} y) == (y, M^{-1} x)."""
+        m = IC0Preconditioner(spd_matrix)
+        x = rng.standard_normal(spd_matrix.nrows)
+        y = rng.standard_normal(spd_matrix.nrows)
+        assert np.dot(x, m.apply(y)) == pytest.approx(np.dot(y, m.apply(x)), rel=1e-8)
+
+
+class TestBlockJacobi:
+    def test_single_block_equals_ilu0(self, spd_matrix, rng):
+        r = rng.standard_normal(spd_matrix.nrows)
+        z_block = BlockJacobiILU0(spd_matrix, nblocks=1).apply(r)
+        z_ilu = ILU0Preconditioner(spd_matrix).apply(r)
+        assert np.allclose(z_block, z_ilu)
+
+    def test_blocks_act_independently(self, spd_matrix, rng):
+        m = BlockJacobiILU0(spd_matrix, nblocks=4)
+        start, stop = m.partition.block(1)
+        r = np.zeros(spd_matrix.nrows)
+        r[start:stop] = rng.standard_normal(stop - start)
+        z = m.apply(r)
+        assert np.allclose(z[:start], 0.0)
+        assert np.allclose(z[stop:], 0.0)
+
+    def test_more_blocks_weaker_preconditioner(self, spd_matrix, rng):
+        """Discarding more couplings makes the preconditioner less exact."""
+        dense = spd_matrix.to_dense()
+        x_true = rng.standard_normal(spd_matrix.nrows)
+        b = dense @ x_true
+        err1 = np.linalg.norm(BlockJacobiILU0(spd_matrix, nblocks=1).apply(b) - x_true)
+        err8 = np.linalg.norm(BlockJacobiILU0(spd_matrix, nblocks=8).apply(b) - x_true)
+        assert err8 >= err1
+
+    def test_counts_one_application_per_apply(self, spd_matrix, rng):
+        m = BlockJacobiIC0(spd_matrix, nblocks=4)
+        m.apply(rng.standard_normal(spd_matrix.nrows))
+        assert m.num_applications == 1
+
+    def test_astype_propagates_to_blocks(self, spd_matrix):
+        m16 = BlockJacobiIC0(spd_matrix, nblocks=4).astype("fp16")
+        assert m16.precision is Precision.FP16
+        assert all(block.precision is Precision.FP16 for block in m16._blocks)
+
+    def test_nblocks_property(self, spd_matrix):
+        assert BlockJacobiILU0(spd_matrix, nblocks=6).nblocks == 6
+
+    def test_nonsquare_raises(self):
+        from repro.sparse import CSRMatrix
+
+        with pytest.raises(ValueError):
+            BlockJacobiILU0(CSRMatrix.from_dense(np.ones((3, 4))), nblocks=2)
+
+
+class TestSDAINV:
+    def test_reduces_residual_on_scaled_stencil(self, rng):
+        a, _ = diagonal_scaling(hpcg_matrix(5))
+        m = SDAINVPreconditioner(a)
+        x_true = rng.standard_normal(a.nrows)
+        b = a.to_dense() @ x_true
+        x1 = m.apply(b)
+        r1 = np.linalg.norm(b - a.to_dense() @ x1)
+        assert r1 < 0.8 * np.linalg.norm(b)
+
+    def test_symmetric_detection(self, rng):
+        a, _ = diagonal_scaling(hpcg_matrix(4))
+        m = SDAINVPreconditioner(a)
+        assert m.symmetric
+        assert m._w is None
+
+    def test_nonsymmetric_uses_two_factors(self):
+        a = random_diagonally_dominant(60, seed=4, symmetric=False)
+        a, _ = diagonal_scaling(a)
+        m = SDAINVPreconditioner(a)
+        assert not m.symmetric
+        assert m._w is not None
+
+    def test_two_spmv_per_application(self, rng):
+        from repro.perf import counting
+
+        a, _ = diagonal_scaling(hpcg_matrix(4))
+        m = SDAINVPreconditioner(a)
+        with counting() as counter:
+            m.apply(rng.standard_normal(a.nrows))
+        assert counter.calls_for("spmv") == 2
+
+    def test_astype(self, rng):
+        a, _ = diagonal_scaling(hpcg_matrix(4))
+        m16 = SDAINVPreconditioner(a).astype("fp16")
+        assert m16.precision is Precision.FP16
+        z = m16.apply(rng.uniform(0.1, 1.0, a.nrows).astype(np.float16))
+        assert z.dtype == np.float16
+
+    def test_drop_tolerance_reduces_memory(self):
+        a = random_diagonally_dominant(80, seed=5, symmetric=True)
+        a, _ = diagonal_scaling(a)
+        dense_nnz = SDAINVPreconditioner(a, drop_tol=0.0).memory_bytes()
+        dropped_nnz = SDAINVPreconditioner(a, drop_tol=0.5).memory_bytes()
+        assert dropped_nnz <= dense_nnz
+
+
+class TestFactory:
+    def test_auto_selects_ic0_for_symmetric(self, spd_matrix):
+        m = make_primary_preconditioner(spd_matrix, kind="auto", nblocks=2)
+        assert isinstance(m, BlockJacobiIC0)
+
+    def test_auto_selects_ilu0_for_nonsymmetric(self, nonsym_matrix):
+        m = make_primary_preconditioner(nonsym_matrix, kind="auto", nblocks=2)
+        assert isinstance(m, BlockJacobiILU0)
+
+    def test_explicit_kinds(self, spd_matrix):
+        assert isinstance(make_primary_preconditioner(spd_matrix, kind="jacobi"),
+                          JacobiPreconditioner)
+        assert isinstance(make_primary_preconditioner(spd_matrix, kind="identity"),
+                          IdentityPreconditioner)
+        assert isinstance(make_primary_preconditioner(spd_matrix, kind="sd-ainv"),
+                          SDAINVPreconditioner)
+        assert isinstance(make_primary_preconditioner(spd_matrix, kind="ilu0"),
+                          ILU0Preconditioner)
+
+    def test_unknown_kind_raises(self, spd_matrix):
+        with pytest.raises(ValueError):
+            make_primary_preconditioner(spd_matrix, kind="amg")
+
+    def test_precision_forwarded(self, spd_matrix):
+        m = make_primary_preconditioner(spd_matrix, kind="jacobi", precision="fp16")
+        assert m.precision is Precision.FP16

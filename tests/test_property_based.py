@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.precision import Precision, analyze_cast, promote, round_to
+from repro.sparse import COOMatrix, CSRMatrix, partition_rows, solve_lower
+from repro.sparse import vectorops as vo
+
+# keep hypothesis fast and deterministic for CI-style runs
+COMMON = dict(max_examples=40, deadline=None)
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                          allow_infinity=False, width=64)
+
+
+@st.composite
+def coo_matrices(draw, max_n=12):
+    """Random small square COO matrices with a guaranteed nonzero diagonal."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    nnz = draw(st.integers(min_value=0, max_value=3 * n))
+    rows = draw(hnp.arrays(np.int32, nnz, elements=st.integers(0, n - 1)))
+    cols = draw(hnp.arrays(np.int32, nnz, elements=st.integers(0, n - 1)))
+    vals = draw(hnp.arrays(np.float64, nnz, elements=finite_floats))
+    diag_rows = np.arange(n, dtype=np.int32)
+    diag_vals = draw(hnp.arrays(np.float64, n,
+                                elements=st.floats(min_value=1.0, max_value=10.0)))
+    return COOMatrix(
+        np.concatenate([rows, diag_rows]),
+        np.concatenate([cols, diag_rows]),
+        np.concatenate([vals, diag_vals]),
+        (n, n),
+    )
+
+
+class TestSparseProperties:
+    @settings(**COMMON)
+    @given(coo_matrices())
+    def test_coo_to_csr_preserves_dense(self, coo):
+        assert np.allclose(coo.to_csr().to_dense(), coo.to_dense())
+
+    @settings(**COMMON)
+    @given(coo_matrices())
+    def test_transpose_involution(self, coo):
+        csr = coo.to_csr()
+        assert np.allclose(csr.transpose().transpose().to_dense(), csr.to_dense())
+
+    @settings(**COMMON)
+    @given(coo_matrices(), st.integers(0, 2**31 - 1))
+    def test_matvec_matches_dense(self, coo, seed):
+        csr = coo.to_csr()
+        x = np.random.default_rng(seed).uniform(-1, 1, csr.ncols)
+        assert np.allclose(csr.matvec(x), csr.to_dense() @ x, atol=1e-9)
+
+    @settings(**COMMON)
+    @given(coo_matrices())
+    def test_matvec_linearity(self, coo):
+        csr = coo.to_csr()
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, csr.ncols)
+        y = rng.uniform(-1, 1, csr.ncols)
+        lhs = csr.matvec(x + 2.0 * y)
+        rhs = csr.matvec(x) + 2.0 * csr.matvec(y)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @settings(**COMMON)
+    @given(coo_matrices())
+    def test_diagonal_extraction_matches_dense(self, coo):
+        from repro.sparse import extract_diagonal
+
+        csr = coo.to_csr()
+        assert np.allclose(extract_diagonal(csr), np.diag(csr.to_dense()))
+
+    @settings(**COMMON)
+    @given(st.integers(1, 500), st.integers(1, 40))
+    def test_partition_covers_all_rows(self, n, nblocks):
+        part = partition_rows(n, nblocks=nblocks)
+        assert part.sizes().sum() == n
+        assert part.sizes().min() >= 1
+        assert part.sizes().max() - part.sizes().min() <= 1
+
+
+class TestPrecisionProperties:
+    @settings(**COMMON)
+    @given(hnp.arrays(np.float64, st.integers(1, 100),
+                      elements=st.floats(min_value=-6e4, max_value=6e4,
+                                         allow_nan=False, allow_infinity=False)))
+    def test_round_to_fp16_is_idempotent(self, x):
+        once = round_to(x, Precision.FP16)
+        twice = round_to(once, Precision.FP16)
+        assert np.array_equal(once, twice)
+
+    @settings(**COMMON)
+    @given(hnp.arrays(np.float64, st.integers(1, 100),
+                      elements=st.floats(min_value=-1e3, max_value=1e3,
+                                         allow_nan=False, allow_infinity=False)))
+    def test_rounding_error_within_eps(self, x):
+        rounded = round_to(x, Precision.FP16).astype(np.float64)
+        nz = x != 0.0
+        if np.any(nz):
+            rel = np.abs(rounded[nz] - x[nz]) / np.abs(x[nz])
+            # subnormal targets can have large relative error; ignore tiny values
+            normal = np.abs(x[nz]) > 1e-4
+            if np.any(normal):
+                assert np.max(rel[normal]) <= Precision.FP16.eps
+
+    @settings(**COMMON)
+    @given(st.sampled_from(list(Precision)), st.sampled_from(list(Precision)))
+    def test_promote_is_commutative_and_at_least_as_wide(self, a, b):
+        p = promote(a, b)
+        assert p is promote(b, a)
+        assert p.eps <= min(a.eps, b.eps) + 0.0
+
+    @settings(**COMMON)
+    @given(hnp.arrays(np.float64, st.integers(1, 64),
+                      elements=st.floats(min_value=-1e6, max_value=1e6,
+                                         allow_nan=False, allow_infinity=False)))
+    def test_analyze_cast_counts_are_consistent(self, x):
+        report = analyze_cast(x, Precision.FP16)
+        assert 0 <= report.overflowed <= report.total
+        assert 0 <= report.underflowed_to_zero <= report.total
+        assert report.total == x.size
+
+
+class TestVectorOpProperties:
+    @settings(**COMMON)
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    def test_dot_symmetry(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1, 1, n)
+        y = rng.uniform(-1, 1, n)
+        assert vo.dot(x, y) == pytest.approx(vo.dot(y, x))
+
+    @settings(**COMMON)
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    def test_nrm2_nonnegative_and_homogeneous(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1, 1, n)
+        assert vo.nrm2(x) >= 0
+        assert vo.nrm2(2.0 * x) == pytest.approx(2.0 * vo.nrm2(x), rel=1e-12)
+
+    @settings(**COMMON)
+    @given(st.integers(1, 100), finite_floats, st.integers(0, 2**31 - 1))
+    def test_axpy_matches_reference(self, n, alpha, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1, 1, n)
+        y = rng.uniform(-1, 1, n)
+        assert np.allclose(vo.axpy(alpha, x, y), alpha * x + y, rtol=1e-12, atol=1e-12)
+
+    @settings(**COMMON)
+    @given(st.integers(2, 60), st.integers(0, 2**31 - 1))
+    def test_triangular_solve_residual(self, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = np.tril(rng.uniform(-0.5, 0.5, (n, n)), k=-1)
+        np.fill_diagonal(dense, rng.uniform(1.0, 2.0, n))
+        mask = np.tril(rng.random((n, n)) < 0.4, k=-1)
+        dense[~(mask | np.eye(n, dtype=bool))] = 0.0
+        csr = CSRMatrix.from_dense(dense)
+        b = rng.uniform(-1, 1, n)
+        x = solve_lower(csr, b)
+        assert np.linalg.norm(dense @ x - b) <= 1e-8 * max(1.0, np.linalg.norm(b))

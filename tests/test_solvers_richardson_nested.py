@@ -1,0 +1,219 @@
+"""Tests for the adaptive Richardson level (Algorithm 1) and nested composition."""
+
+import numpy as np
+import pytest
+
+from repro.precision import LevelPrecision, Precision
+from repro.precond import JacobiPreconditioner
+from repro.solvers import (
+    LevelSpec,
+    RichardsonLevel,
+    build_nested_solver,
+    richardson_solve,
+    tuple_notation,
+)
+from repro.sparse import residual_norm
+
+
+def _fp64_level():
+    return LevelPrecision(Precision.FP64, Precision.FP64, Precision.FP64)
+
+
+class TestRichardsonLevel:
+    def test_single_iteration_is_weighted_preconditioner(self, dd_matrix, jacobi_precond, rng):
+        """With m=1 and weight 1, Richardson returns exactly M^{-1} v."""
+        level = RichardsonLevel(dd_matrix, jacobi_precond, m=1, adaptive=False,
+                                weight=1.0, precisions=_fp64_level())
+        v = rng.standard_normal(dd_matrix.nrows)
+        expected = jacobi_precond.apply(v)
+        assert np.allclose(level.apply(v), expected)
+
+    def test_two_iterations_reduce_residual_more(self, dd_matrix, jacobi_precond, rng):
+        v = rng.standard_normal(dd_matrix.nrows)
+        dense = dd_matrix.to_dense()
+        z1 = RichardsonLevel(dd_matrix, jacobi_precond, m=1, adaptive=False,
+                             precisions=_fp64_level()).apply(v)
+        z2 = RichardsonLevel(dd_matrix, jacobi_precond, m=2, adaptive=False,
+                             precisions=_fp64_level()).apply(v)
+        assert (np.linalg.norm(v - dense @ z2) < np.linalg.norm(v - dense @ z1))
+
+    def test_counts_m_preconditionings_per_call(self, dd_matrix, jacobi_precond, rng):
+        level = RichardsonLevel(dd_matrix, jacobi_precond, m=3, adaptive=False,
+                                precisions=_fp64_level())
+        before = jacobi_precond.num_applications
+        level.apply(rng.standard_normal(dd_matrix.nrows))
+        assert jacobi_precond.num_applications - before == 3
+
+    def test_weights_are_global_across_calls(self, dd_matrix, jacobi_precond, rng):
+        """Weights persist between invocations and are refreshed every `cycle` calls."""
+        level = RichardsonLevel(dd_matrix, jacobi_precond, m=2, cycle=4, adaptive=True,
+                                precisions=_fp64_level())
+        v = rng.standard_normal(dd_matrix.nrows)
+        assert np.allclose(level.weights, 1.0)
+        for _ in range(3):
+            level.apply(v)
+        assert np.allclose(level.weights, 1.0)        # no refresh yet (calls 1-3)
+        level.apply(v)                                 # call 4 -> refresh
+        assert level.update_count == 1
+        assert not np.allclose(level.weights, 1.0)
+
+    def test_cycle_one_refreshes_every_call(self, dd_matrix, jacobi_precond, rng):
+        level = RichardsonLevel(dd_matrix, jacobi_precond, m=2, cycle=1, adaptive=True,
+                                precisions=_fp64_level())
+        for i in range(5):
+            level.apply(rng.standard_normal(dd_matrix.nrows))
+        assert level.update_count == 5
+
+    def test_adaptive_weight_matches_local_optimum_first_refresh(self, dd_matrix,
+                                                                 jacobi_precond, rng):
+        """On the first refresh the blended weight is the average of 1 and ω'."""
+        level = RichardsonLevel(dd_matrix, jacobi_precond, m=1, cycle=1, adaptive=True,
+                                precisions=_fp64_level())
+        v = rng.standard_normal(dd_matrix.nrows)
+        dense = dd_matrix.to_dense()
+        m_inv = np.diag(1.0 / np.diag(dense))
+        amr = dense @ (m_inv @ v)
+        omega_opt = float(v @ amr / (amr @ amr))
+        level.apply(v)
+        # ω' is computed in fp32 inside the level, so allow fp32-level slack
+        assert level.weights[0] == pytest.approx((1.0 * 1 + omega_opt) / 2, rel=1e-4)
+
+    def test_adaptive_weight_converges_to_stable_value(self, spd_matrix, spd_precond, rng):
+        m = spd_precond.astype("fp64")
+        level = RichardsonLevel(spd_matrix, m, m=2, cycle=1, adaptive=True,
+                                precisions=_fp64_level())
+        for _ in range(20):
+            level.apply(rng.standard_normal(spd_matrix.nrows))
+        w_after_20 = level.weights.copy()
+        for _ in range(5):
+            level.apply(rng.standard_normal(spd_matrix.nrows))
+        # cumulative averaging makes later changes small
+        assert np.allclose(level.weights, w_after_20, atol=0.15)
+
+    def test_refresh_skips_extra_work_on_non_refresh_calls(self, dd_matrix, jacobi_precond, rng):
+        from repro.perf import counting
+
+        v = rng.standard_normal(dd_matrix.nrows)
+        level = RichardsonLevel(dd_matrix, jacobi_precond, m=2, cycle=64, adaptive=True,
+                                precisions=_fp64_level())
+        with counting() as c_plain:
+            level.apply(v)             # call 1: no refresh
+        level_refresh = RichardsonLevel(dd_matrix, jacobi_precond, m=2, cycle=1, adaptive=True,
+                                        precisions=_fp64_level())
+        with counting() as c_refresh:
+            level_refresh.apply(v)     # refresh every call
+        assert c_refresh.calls_for("spmv") > c_plain.calls_for("spmv")
+        assert c_refresh.calls_for("dot") > c_plain.calls_for("dot")
+
+    def test_fp16_level_stays_finite(self, spd_matrix, spd_precond, rng):
+        level = RichardsonLevel(spd_matrix.astype("fp16"), spd_precond.astype("fp16"),
+                                m=2, cycle=64, adaptive=True)
+        v = rng.uniform(0.0, 1.0, spd_matrix.nrows).astype(np.float16)
+        z = level.apply(v)
+        assert z.dtype == np.float16
+        assert np.all(np.isfinite(z.astype(np.float64)))
+
+    def test_reset_state(self, dd_matrix, jacobi_precond, rng):
+        level = RichardsonLevel(dd_matrix, jacobi_precond, m=2, cycle=1, adaptive=True,
+                                precisions=_fp64_level())
+        level.apply(rng.standard_normal(dd_matrix.nrows))
+        level.reset_state()
+        assert level.call_count == 0
+        assert np.allclose(level.weights, 1.0)
+
+    def test_invalid_parameters(self, dd_matrix, jacobi_precond):
+        with pytest.raises(ValueError):
+            RichardsonLevel(dd_matrix, jacobi_precond, m=0)
+        with pytest.raises(ValueError):
+            RichardsonLevel(dd_matrix, jacobi_precond, m=2, cycle=0)
+
+    def test_depth_label(self, dd_matrix, jacobi_precond):
+        assert RichardsonLevel(dd_matrix, jacobi_precond, m=2).depth_label == "R2"
+
+    def test_richardson_solve_helper_converges_direction(self, dd_matrix, jacobi_precond, rng):
+        b = rng.standard_normal(dd_matrix.nrows)
+        x5 = richardson_solve(dd_matrix, b, jacobi_precond, m=5, weight=1.0)
+        x1 = richardson_solve(dd_matrix, b, jacobi_precond, m=1, weight=1.0)
+        dense = dd_matrix.to_dense()
+        assert np.linalg.norm(b - dense @ x5) < np.linalg.norm(b - dense @ x1)
+
+
+class TestLevelSpec:
+    def test_label(self):
+        assert LevelSpec("fgmres", 8, LevelPrecision()).label == "F8"
+        assert LevelSpec("richardson", 2, LevelPrecision()).label == "R2"
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            LevelSpec("jacobi", 2, LevelPrecision())
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            LevelSpec("fgmres", 0, LevelPrecision())
+
+    def test_tuple_notation(self):
+        levels = [
+            LevelSpec("fgmres", 100, LevelPrecision()),
+            LevelSpec("fgmres", 8, LevelPrecision()),
+            LevelSpec("fgmres", 4, LevelPrecision()),
+            LevelSpec("richardson", 2, LevelPrecision()),
+        ]
+        assert tuple_notation(levels) == "(F100, F8, F4, R2, M)"
+
+
+class TestNestedBuilder:
+    def test_two_level_solver_converges(self, spd_matrix, spd_rhs, spd_precond):
+        levels = [
+            LevelSpec("fgmres", 100, LevelPrecision(Precision.FP64, Precision.FP64)),
+            LevelSpec("fgmres", 8, LevelPrecision(Precision.FP32, Precision.FP32,
+                                                  Precision.FP32)),
+        ]
+        solver = build_nested_solver(spd_matrix, spd_precond, levels, tol=1e-8)
+        result = solver.solve(spd_rhs)
+        assert result.converged
+        assert residual_norm(spd_matrix, result.x, spd_rhs) / np.linalg.norm(spd_rhs) < 1e-7
+
+    def test_outermost_must_be_fgmres(self, spd_matrix, spd_precond):
+        levels = [LevelSpec("richardson", 2, LevelPrecision())]
+        with pytest.raises(ValueError):
+            build_nested_solver(spd_matrix, spd_precond, levels)
+
+    def test_empty_levels_raise(self, spd_matrix, spd_precond):
+        with pytest.raises(ValueError):
+            build_nested_solver(spd_matrix, spd_precond, [])
+
+    def test_preconditioner_cast_to_innermost_precision(self, spd_matrix, spd_precond):
+        from repro.solvers.nested import NestedSolverBuilder
+
+        levels = [
+            LevelSpec("fgmres", 10, LevelPrecision(Precision.FP64, Precision.FP64)),
+            LevelSpec("richardson", 2, LevelPrecision(Precision.FP16, Precision.FP16,
+                                                      Precision.FP16)),
+        ]
+        builder = NestedSolverBuilder(spd_matrix, spd_precond)
+        builder.build(levels)
+        assert builder.effective_preconditioner.precision is Precision.FP16
+
+    def test_matrix_casts_are_shared(self, spd_matrix, spd_precond):
+        from repro.solvers.nested import NestedSolverBuilder
+
+        levels = [
+            LevelSpec("fgmres", 10, LevelPrecision(Precision.FP64, Precision.FP64)),
+            LevelSpec("fgmres", 4, LevelPrecision(Precision.FP16, Precision.FP32)),
+            LevelSpec("richardson", 2, LevelPrecision(Precision.FP16, Precision.FP16,
+                                                      Precision.FP16)),
+        ]
+        builder = NestedSolverBuilder(spd_matrix, spd_precond)
+        outer = builder.build(levels)
+        level3 = outer.child
+        level4 = level3.child
+        assert level3.matrix is level4.matrix  # single fp16 copy shared
+
+    def test_name_defaults_to_tuple_notation(self, spd_matrix, spd_precond):
+        levels = [
+            LevelSpec("fgmres", 100, LevelPrecision()),
+            LevelSpec("richardson", 2, LevelPrecision(Precision.FP64, Precision.FP64,
+                                                      Precision.FP64)),
+        ]
+        solver = build_nested_solver(spd_matrix, spd_precond, levels)
+        assert solver.name == "(F100, R2, M)"

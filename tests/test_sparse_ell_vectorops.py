@@ -1,0 +1,139 @@
+"""Tests for the sliced-ELLPACK format and the instrumented vector kernels."""
+
+import numpy as np
+import pytest
+
+from repro.perf import TrafficCounter, counting
+from repro.precision import Precision
+from repro.sparse import CSRMatrix, SlicedEllMatrix
+from repro.sparse import vectorops as vo
+
+
+class TestSlicedEll:
+    def test_matvec_matches_csr(self, spd_matrix, rng):
+        ell = SlicedEllMatrix(spd_matrix, chunk_size=32)
+        x = rng.standard_normal(spd_matrix.ncols)
+        assert np.allclose(ell.matvec(x), spd_matrix.matvec(x), rtol=1e-12)
+
+    def test_matvec_matches_csr_nonsymmetric(self, nonsym_matrix, rng):
+        ell = SlicedEllMatrix(nonsym_matrix, chunk_size=16)
+        x = rng.standard_normal(nonsym_matrix.ncols)
+        assert np.allclose(ell.matvec(x), nonsym_matrix.matvec(x), rtol=1e-12)
+
+    def test_chunk_size_one(self, dd_matrix, rng):
+        ell = SlicedEllMatrix(dd_matrix, chunk_size=1)
+        x = rng.standard_normal(dd_matrix.ncols)
+        assert np.allclose(ell.matvec(x), dd_matrix.matvec(x))
+
+    def test_padding_ratio_at_least_one(self, dd_matrix):
+        ell = SlicedEllMatrix(dd_matrix, chunk_size=32)
+        assert ell.padding_ratio >= 1.0
+        assert ell.nnz >= ell.source_nnz
+
+    def test_uniform_rows_have_no_padding(self):
+        # a matrix whose rows all have the same nnz pads nothing
+        dense = np.eye(8) * 2 + np.eye(8, k=1) + np.eye(8, k=-1)
+        dense[0, -1] = 1.0
+        dense[-1, 0] = 1.0
+        csr = CSRMatrix.from_dense(dense)
+        ell = SlicedEllMatrix(csr, chunk_size=4)
+        assert ell.padding_ratio == pytest.approx(1.0)
+
+    def test_astype_changes_value_dtype_only(self, spd_matrix):
+        ell = SlicedEllMatrix(spd_matrix, chunk_size=32).astype("fp16")
+        assert ell.precision is Precision.FP16
+        assert ell.indices.dtype == np.int32
+
+    def test_invalid_chunk_size(self, spd_matrix):
+        with pytest.raises(ValueError):
+            SlicedEllMatrix(spd_matrix, chunk_size=0)
+
+    def test_dimension_mismatch(self, spd_matrix):
+        ell = SlicedEllMatrix(spd_matrix)
+        with pytest.raises(ValueError):
+            ell.matvec(np.ones(spd_matrix.ncols + 3))
+
+    def test_traffic_includes_padding(self, dd_matrix):
+        ell = SlicedEllMatrix(dd_matrix, chunk_size=32)
+        with counting() as c_ell:
+            ell.matvec(np.ones(dd_matrix.ncols))
+        with counting() as c_csr:
+            dd_matrix.matvec(np.ones(dd_matrix.ncols))
+        assert c_ell.total_value_bytes >= c_csr.total_value_bytes
+
+    def test_memory_bytes_positive(self, spd_matrix):
+        assert SlicedEllMatrix(spd_matrix).memory_bytes() > 0
+
+
+class TestVectorOps:
+    def test_dot_matches_numpy(self, rng):
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        assert vo.dot(x, y) == pytest.approx(float(np.dot(x, y)))
+
+    def test_dot_promotes_mixed_precision(self, rng):
+        x = rng.uniform(0.1, 1.0, 50).astype(np.float16)
+        y = rng.uniform(0.1, 1.0, 50).astype(np.float32)
+        exact = float(np.dot(x.astype(np.float64), y.astype(np.float64)))
+        assert vo.dot(x, y) == pytest.approx(exact, rel=1e-3)
+
+    def test_nrm2(self, rng):
+        x = rng.standard_normal(64)
+        assert vo.nrm2(x) == pytest.approx(float(np.linalg.norm(x)))
+
+    def test_axpy(self, rng):
+        x = rng.standard_normal(32)
+        y = rng.standard_normal(32)
+        assert np.allclose(vo.axpy(2.5, x, y), 2.5 * x + y)
+
+    def test_axpy_output_precision(self, rng):
+        x = rng.standard_normal(16).astype(np.float32)
+        y = rng.standard_normal(16).astype(np.float32)
+        out = vo.axpy(1.0, x, y, out_precision="fp16")
+        assert out.dtype == np.float16
+
+    def test_xpby(self, rng):
+        x = rng.standard_normal(32)
+        y = rng.standard_normal(32)
+        assert np.allclose(vo.xpby(x, -0.5, y), x - 0.5 * y)
+
+    def test_waxpby(self, rng):
+        x = rng.standard_normal(32)
+        y = rng.standard_normal(32)
+        assert np.allclose(vo.waxpby(0.3, x, 0.7, y), 0.3 * x + 0.7 * y)
+
+    def test_scal(self, rng):
+        x = rng.standard_normal(32)
+        assert np.allclose(vo.scal(3.0, x), 3.0 * x)
+
+    def test_vcopy_new_precision(self, rng):
+        x = rng.standard_normal(8)
+        y = vo.vcopy(x, "fp32")
+        assert y.dtype == np.float32 and y is not x
+
+    def test_vzeros(self):
+        z = vo.vzeros(10, "fp16")
+        assert z.dtype == np.float16 and not z.any()
+
+    def test_cast_vector_noop_same_precision(self):
+        x = np.ones(5, dtype=np.float32)
+        assert vo.cast_vector(x, "fp32") is x
+
+    def test_traffic_recording(self):
+        x = np.ones(1000, dtype=np.float64)
+        y = np.ones(1000, dtype=np.float64)
+        counter = TrafficCounter()
+        with counting(counter):
+            vo.dot(x, y)
+        assert counter.calls_for("dot") == 1
+        assert counter.bytes_for(Precision.FP64) == 2 * 1000 * 8
+        assert counter.total_flops == 2000
+
+    def test_fp16_traffic_is_half_of_fp32(self):
+        x16 = np.ones(500, dtype=np.float16)
+        x32 = np.ones(500, dtype=np.float32)
+        with counting() as c16:
+            vo.dot(x16, x16)
+        with counting() as c32:
+            vo.dot(x32, x32)
+        assert c16.total_value_bytes * 2 == c32.total_value_bytes

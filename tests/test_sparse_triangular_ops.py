@@ -1,0 +1,257 @@
+"""Tests for level-scheduled triangular solves, matrix ops, blocking, and I/O."""
+
+import numpy as np
+import pytest
+
+import scipy.sparse as sp
+
+from repro.precision import Precision
+from repro.sparse import (
+    CSRMatrix,
+    TriangularFactor,
+    apply_diagonal_scaling,
+    compute_levels,
+    diagonal_scaling,
+    extract_diagonal,
+    frobenius_norm,
+    max_abs,
+    partition_rows,
+    read_matrix_market,
+    residual_norm,
+    scale_diagonal_entries,
+    solve_lower,
+    solve_upper,
+    split_triangular,
+    write_matrix_market,
+)
+from repro.sparse.blocking import BlockPartition
+
+
+def _random_lower(n, seed=0, unit=False):
+    rng = np.random.default_rng(seed)
+    dense = np.tril(rng.uniform(0.1, 1.0, (n, n)) * (rng.random((n, n)) < 0.3), k=-1)
+    np.fill_diagonal(dense, 1.0 if unit else rng.uniform(1.0, 2.0, n))
+    return dense
+
+
+class TestLevels:
+    def test_diagonal_matrix_single_level(self):
+        csr = CSRMatrix.from_diagonal(np.ones(5))
+        levels = compute_levels(csr.indices, csr.indptr, lower=True)
+        assert len(levels) == 1
+        assert sorted(np.concatenate(levels)) == list(range(5))
+
+    def test_bidiagonal_chain_has_n_levels(self):
+        dense = np.eye(6) + np.eye(6, k=-1)
+        csr = CSRMatrix.from_dense(dense)
+        levels = compute_levels(csr.indices, csr.indptr, lower=True)
+        assert len(levels) == 6
+
+    def test_levels_partition_all_rows(self, spd_matrix):
+        from repro.sparse import split_triangular
+
+        lower, _, _ = split_triangular(spd_matrix)
+        levels = compute_levels(lower.indices, lower.indptr, lower=True)
+        rows = np.sort(np.concatenate(levels))
+        assert np.array_equal(rows, np.arange(spd_matrix.nrows))
+
+    def test_levels_respect_dependencies(self):
+        dense = _random_lower(30, seed=4)
+        csr = CSRMatrix.from_dense(dense)
+        levels = compute_levels(csr.indices, csr.indptr, lower=True)
+        level_of = np.empty(30, dtype=int)
+        for k, rows in enumerate(levels):
+            level_of[rows] = k
+        for i in range(30):
+            deps = np.nonzero(dense[i, :i])[0]
+            for j in deps:
+                assert level_of[j] < level_of[i]
+
+
+class TestTriangularSolve:
+    @pytest.mark.parametrize("n", [1, 5, 40])
+    def test_lower_solve_matches_numpy(self, n):
+        dense = _random_lower(n, seed=n)
+        csr = CSRMatrix.from_dense(dense)
+        b = np.random.default_rng(n).standard_normal(n)
+        x = solve_lower(csr, b)
+        assert np.allclose(x, np.linalg.solve(dense, b), rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 5, 40])
+    def test_upper_solve_matches_numpy(self, n):
+        dense = _random_lower(n, seed=n + 100).T
+        csr = CSRMatrix.from_dense(dense)
+        b = np.random.default_rng(n).standard_normal(n)
+        x = solve_upper(csr, b)
+        assert np.allclose(x, np.linalg.solve(dense, b), rtol=1e-10, atol=1e-12)
+
+    def test_unit_diagonal_lower(self):
+        dense = _random_lower(25, seed=1, unit=True)
+        strict = np.tril(dense, k=-1)
+        csr = CSRMatrix.from_dense(strict)
+        b = np.random.default_rng(1).standard_normal(25)
+        x = solve_lower(csr, b, unit_diagonal=True)
+        assert np.allclose(x, np.linalg.solve(dense, b), rtol=1e-10)
+
+    def test_missing_diagonal_raises(self):
+        dense = np.array([[1.0, 0.0], [1.0, 0.0]])
+        csr = CSRMatrix.from_dense(dense)
+        with pytest.raises(ValueError):
+            TriangularFactor(csr, lower=True, unit_diagonal=False)
+
+    def test_fp16_factor_solve_is_close(self):
+        dense = _random_lower(30, seed=9)
+        csr = CSRMatrix.from_dense(dense)
+        b = np.random.default_rng(9).uniform(0.1, 1.0, 30)
+        factor = TriangularFactor(csr, lower=True).astype(Precision.FP16)
+        x16 = factor.solve(b.astype(np.float16)).astype(np.float64)
+        x64 = np.linalg.solve(dense, b)
+        assert np.linalg.norm(x16 - x64) / np.linalg.norm(x64) < 0.05
+
+    def test_out_precision(self):
+        dense = _random_lower(10, seed=2)
+        csr = CSRMatrix.from_dense(dense)
+        factor = TriangularFactor(csr, lower=True)
+        x = factor.solve(np.ones(10), out_precision="fp32")
+        assert x.dtype == np.float32
+
+    def test_factor_reuse_gives_identical_results(self):
+        dense = _random_lower(20, seed=5)
+        csr = CSRMatrix.from_dense(dense)
+        factor = TriangularFactor(csr, lower=True)
+        b = np.random.default_rng(5).standard_normal(20)
+        assert np.array_equal(factor.solve(b), factor.solve(b))
+
+
+class TestMatrixOps:
+    def test_extract_diagonal(self, spd_matrix):
+        assert np.allclose(extract_diagonal(spd_matrix),
+                           np.diag(spd_matrix.to_dense()))
+
+    def test_diagonal_scaling_unit_diagonal(self, poisson_matrix):
+        scaled, diag = diagonal_scaling(poisson_matrix)
+        assert np.allclose(extract_diagonal(scaled), 1.0)
+        assert np.allclose(diag, np.diag(poisson_matrix.to_dense()))
+
+    def test_diagonal_scaling_preserves_symmetry(self, poisson_matrix):
+        scaled, _ = diagonal_scaling(poisson_matrix)
+        assert scaled.is_symmetric()
+
+    def test_apply_diagonal_scaling_general(self, dd_matrix, rng):
+        row = rng.uniform(0.5, 2.0, dd_matrix.nrows)
+        col = rng.uniform(0.5, 2.0, dd_matrix.ncols)
+        scaled = apply_diagonal_scaling(dd_matrix, row, col)
+        expected = np.diag(row) @ dd_matrix.to_dense() @ np.diag(col)
+        assert np.allclose(scaled.to_dense(), expected)
+
+    def test_scale_diagonal_entries(self, poisson_matrix):
+        scaled = scale_diagonal_entries(poisson_matrix, 1.1)
+        dense = poisson_matrix.to_dense()
+        expected = dense.copy()
+        np.fill_diagonal(expected, 1.1 * np.diag(dense))
+        assert np.allclose(scaled.to_dense(), expected)
+
+    def test_split_triangular_reassembles(self, nonsym_matrix):
+        lower, diag, upper = split_triangular(nonsym_matrix)
+        rebuilt = lower.to_dense() + np.diag(diag) + upper.to_dense()
+        assert np.allclose(rebuilt, nonsym_matrix.to_dense())
+
+    def test_norms(self, dd_matrix):
+        dense = dd_matrix.to_dense()
+        assert max_abs(dd_matrix) == pytest.approx(np.max(np.abs(dense)))
+        assert frobenius_norm(dd_matrix) == pytest.approx(np.linalg.norm(dense, "fro"))
+
+    def test_residual_norm(self, dd_matrix, rng):
+        x = rng.standard_normal(dd_matrix.nrows)
+        b = rng.standard_normal(dd_matrix.nrows)
+        expected = np.linalg.norm(b - dd_matrix.to_dense() @ x)
+        assert residual_norm(dd_matrix, x, b) == pytest.approx(expected)
+
+
+class TestBlocking:
+    def test_partition_even(self):
+        part = partition_rows(100, nblocks=4)
+        assert part.nblocks == 4
+        assert np.array_equal(part.sizes(), [25, 25, 25, 25])
+
+    def test_partition_remainder(self):
+        part = partition_rows(10, nblocks=3)
+        assert part.sizes().sum() == 10
+        assert part.sizes().max() - part.sizes().min() <= 1
+
+    def test_partition_target_block_size(self):
+        part = partition_rows(1000, target_block_size=128)
+        assert part.nblocks == 8
+
+    def test_more_blocks_than_rows_clamped(self):
+        part = partition_rows(3, nblocks=10)
+        assert part.nblocks == 3
+
+    def test_block_of_row(self):
+        part = partition_rows(100, nblocks=4)
+        assert part.block_of_row(0) == 0
+        assert part.block_of_row(99) == 3
+        assert part.block_of_row(25) == 1
+
+    def test_both_arguments_raise(self):
+        with pytest.raises(ValueError):
+            partition_rows(10, nblocks=2, target_block_size=5)
+
+    def test_invalid_offsets_raise(self):
+        with pytest.raises(ValueError):
+            BlockPartition(n=10, offsets=np.array([0, 5, 5, 10]))
+
+
+class TestMatrixMarketIO:
+    def test_roundtrip_general(self, tmp_path, dd_matrix):
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(dd_matrix, path, comment="test matrix")
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), dd_matrix.to_dense())
+
+    def test_symmetric_file_expansion(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 4\n"
+            "1 1 2.0\n"
+            "2 2 2.0\n"
+            "3 3 2.0\n"
+            "2 1 -1.0\n"
+        )
+        mat = read_matrix_market(path)
+        dense = mat.to_dense()
+        assert dense[0, 1] == dense[1, 0] == -1.0
+        assert mat.is_symmetric()
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "pat.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 1\n"
+            "2 2\n"
+        )
+        mat = read_matrix_market(path)
+        assert np.allclose(mat.to_dense(), np.eye(2))
+
+    def test_gzip_roundtrip(self, tmp_path, small_spd_random):
+        path = tmp_path / "matrix.mtx.gz"
+        write_matrix_market(small_spd_random, path)
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), small_spd_random.to_dense())
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix market file\n1 1 1\n1 1 1.0\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_matches_scipy_reader(self, tmp_path, dd_matrix):
+        import scipy.io
+
+        path = tmp_path / "cross.mtx"
+        write_matrix_market(dd_matrix, path)
+        ours = read_matrix_market(path).to_dense()
+        theirs = np.asarray(scipy.io.mmread(str(path)).todense())
+        assert np.allclose(ours, theirs)
