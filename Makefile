@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-kernels bench-baseline
+
+## Tier-1 test suite (the CI gate)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Kernel micro-benchmarks at smoke scale (<60 s); fails on >2x speedup
+## regression of the fast backend against the committed baseline JSON
+bench-smoke:
+	$(PYTHON) benchmarks/bench_kernels.py --scale smoke --check
+
+## Kernel micro-benchmarks at medium scale with the issue's >=3x floor on
+## the ELL-SpMV and FGMRES-cycle speedups
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernels.py --scale medium --require 3.0
+
+## Refresh the committed smoke baseline (run on a quiet machine)
+bench-baseline:
+	$(PYTHON) benchmarks/bench_kernels.py --scale smoke --write-baseline

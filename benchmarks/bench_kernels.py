@@ -1,0 +1,192 @@
+"""Micro-benchmarks for the kernel engine: reference vs fast backend.
+
+Times the four hot kernels — CSR SpMV, sliced-ELLPACK SpMV, level-scheduled
+triangular solve, and one FGMRES(m) cycle — on both registered backends and
+emits a ``BENCH_kernels.json`` speedup summary.
+
+Not collected by pytest (the tier-1 suite); run directly or via make:
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --scale smoke --check
+    PYTHONPATH=src python benchmarks/bench_kernels.py --scale medium --require 3.0
+
+``--check`` compares the measured speedups against the committed baseline
+(``benchmarks/BENCH_kernels_baseline.json``) and exits non-zero when any
+kernel's fast-backend speedup regressed by more than 2x — speedup ratios are
+compared rather than wall times so the gate is stable across machines.
+``--require X`` additionally enforces an absolute floor on the ELL-SpMV and
+FGMRES-cycle speedups (the acceptance criterion of the kernel-engine issue).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import use_backend
+from repro.matgen import poisson2d
+from repro.precision import Precision
+from repro.precond import ilu0_factor
+from repro.solvers import fgmres_cycle
+from repro.sparse import SlicedEllMatrix, TriangularFactor
+
+#: grid side of the 5-point Poisson problem per scale (n = side^2 unknowns)
+SCALES = {"smoke": 90, "small": 160, "medium": 300}
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_kernels_baseline.json"
+OUTPUT_PATH = Path(__file__).parent / "BENCH_kernels.json"
+
+#: kernels the --require floor applies to (the issue's acceptance criterion)
+REQUIRED_KERNELS = ("spmv_ell", "fgmres_cycle")
+
+
+def _time(fn, repeats: int, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` (seconds)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_problem(side: int):
+    """Poisson 5-point matrix + derived operands shared by every kernel."""
+    matrix = poisson2d(side)
+    n = matrix.nrows
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1.0, 1.0, n)
+    ell = SlicedEllMatrix(matrix, chunk_size=32)
+    lower, _ = ilu0_factor(matrix)
+    return {"matrix": matrix, "ell": ell, "lower": lower, "x": x, "n": n}
+
+
+def bench_backend(problem, backend: str, repeats: int, m: int) -> dict[str, float]:
+    matrix = problem["matrix"]
+    ell = problem["ell"]
+    x = problem["x"]
+    with use_backend(backend):
+        # fresh factor per backend so plan caching is part of the measurement's
+        # warmup, not carried over from the other engine
+        factor = TriangularFactor(problem["lower"], lower=True, unit_diagonal=True)
+        times = {
+            "spmv_csr": _time(lambda: matrix.matvec(x), repeats),
+            "spmv_ell": _time(lambda: ell.matvec(x), repeats),
+            "trsv": _time(lambda: factor.solve(x), repeats),
+            "fgmres_cycle": _time(
+                lambda: fgmres_cycle(matrix, x, None, m=m, vec_prec=Precision.FP64),
+                repeats, warmup=1),
+        }
+    return times
+
+
+def run(scale: str, repeats: int, m: int) -> dict:
+    side = SCALES[scale]
+    problem = build_problem(side)
+    reference = bench_backend(problem, "reference", repeats, m)
+    fast = bench_backend(problem, "fast", repeats, m)
+    kernels = {}
+    for name in reference:
+        speedup = reference[name] / fast[name] if fast[name] > 0 else float("inf")
+        kernels[name] = {
+            "reference_s": reference[name],
+            "fast_s": fast[name],
+            "speedup": round(speedup, 3),
+        }
+    return {
+        "scale": scale,
+        "n": problem["n"],
+        "nnz": problem["matrix"].nnz,
+        "fgmres_m": m,
+        "repeats": repeats,
+        "kernels": kernels,
+    }
+
+
+def check_regressions(report: dict, baseline: dict, factor: float = 2.0) -> list[str]:
+    """Speedup regressions beyond ``factor`` against the committed baseline."""
+    failures = []
+    # speedups vary systematically with problem size and cycle length, so a
+    # baseline from a different configuration would skew the gate silently
+    for key in ("scale", "fgmres_m"):
+        if baseline.get(key) != report.get(key):
+            failures.append(f"baseline mismatch: {key}={baseline.get(key)!r} "
+                            f"vs current {report.get(key)!r}; regenerate with "
+                            f"--write-baseline")
+    if failures:
+        return failures
+    for name, base in baseline.get("kernels", {}).items():
+        current = report["kernels"].get(name)
+        if current is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base["speedup"] / factor
+        if current["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {current['speedup']:.2f}x < {floor:.2f}x "
+                f"(baseline {base['speedup']:.2f}x / {factor:g})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--fgmres-m", type=int, default=30,
+                        help="iterations of the timed FGMRES cycle")
+    parser.add_argument("--json", type=Path, default=OUTPUT_PATH,
+                        help="where to write the speedup summary")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >2x speedup regression vs the baseline JSON")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument("--require", type=float, default=None, metavar="X",
+                        help="fail unless ELL-SpMV and FGMRES-cycle speedups >= X")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="overwrite the committed baseline with this run")
+    args = parser.parse_args(argv)
+
+    report = run(args.scale, args.repeats, args.fgmres_m)
+
+    print(f"kernel engine micro-benchmarks — scale={args.scale} "
+          f"(n={report['n']}, nnz={report['nnz']})")
+    for name, row in report["kernels"].items():
+        print(f"  {name:<14} reference {row['reference_s'] * 1e3:9.3f} ms   "
+              f"fast {row['fast_s'] * 1e3:9.3f} ms   speedup {row['speedup']:6.2f}x")
+
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.json}")
+    if args.write_baseline:
+        args.baseline.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote baseline {args.baseline}")
+
+    status = 0
+    if args.check:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; run with --write-baseline first",
+                  file=sys.stderr)
+            return 2
+        baseline = json.loads(args.baseline.read_text())
+        failures = check_regressions(report, baseline)
+        if failures:
+            print("REGRESSIONS:\n  " + "\n  ".join(failures), file=sys.stderr)
+            status = 1
+        else:
+            print("no speedup regressions vs baseline")
+    if args.require is not None:
+        for name in REQUIRED_KERNELS:
+            speedup = report["kernels"][name]["speedup"]
+            if speedup < args.require:
+                print(f"REQUIREMENT FAILED: {name} speedup {speedup:.2f}x "
+                      f"< {args.require:g}x", file=sys.stderr)
+                status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

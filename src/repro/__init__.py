@@ -20,6 +20,13 @@ Quickstart::
     print(result.converged, result.preconditioner_applications)
 """
 
+from .backends import (
+    active_backend,
+    available_backends,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .core import (
     F3RConfig,
     F3RSolver,
@@ -58,5 +65,10 @@ __all__ = [
     "build_nested_solver",
     "SolveResult",
     "CSRMatrix",
+    "active_backend",
+    "available_backends",
+    "register_backend",
+    "set_backend",
+    "use_backend",
     "__version__",
 ]

@@ -1,0 +1,139 @@
+"""Pluggable compute-backend layer for the hot kernels.
+
+Every hot path of the solver stack (SpMV, triangular solves, FGMRES
+orthogonalization, ILU(0) construction) dispatches through the *active*
+:class:`~repro.backends.base.KernelBackend`:
+
+* ``"reference"`` — the original emulation-faithful NumPy kernels; the
+  correctness oracle.
+* ``"fast"`` — fully vectorized kernels with workspace reuse and batched
+  counter recording; the default.
+
+Selection, in precedence order:
+
+1. ``with use_backend("reference"): ...`` — scoped override.
+2. ``set_backend("fast")`` — override for the calling thread.  Selection is
+   thread-local: worker threads start from the env/default selection, so set
+   the backend inside each worker (or via ``REPRO_BACKEND``) when
+   parallelizing solves.
+3. The ``REPRO_BACKEND`` environment variable at import time.
+4. The built-in default (``"fast"``).
+
+Backend implementations are imported lazily so this module stays cheap to
+import and free of circular imports with :mod:`repro.sparse`.  Third-party
+backends (e.g. a CuPy/GPU engine) can be added at runtime with
+:func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import threading
+from contextlib import contextmanager
+
+from .base import KernelBackend
+from .workspace import Workspace
+
+__all__ = [
+    "KernelBackend",
+    "Workspace",
+    "DEFAULT_BACKEND",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: name -> instantiated backend (filled lazily)
+_INSTANCES: dict[str, KernelBackend] = {}
+
+#: name -> "module:ClassName" spec or callable factory
+_FACTORIES: dict[str, object] = {
+    "reference": "repro.backends.reference:ReferenceBackend",
+    "fast": "repro.backends.fast:FastBackend",
+}
+
+# empty/whitespace REPRO_BACKEND means "unset": fall back to the default
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "").strip().lower() or "fast"
+if DEFAULT_BACKEND not in _FACTORIES:
+    # fail fast at import instead of deep inside the first kernel call;
+    # third-party backends registered at runtime cannot be the env default —
+    # select those with set_backend()/use_backend() after registering.
+    raise ValueError(
+        f"REPRO_BACKEND={DEFAULT_BACKEND!r} is not a registered kernel backend; "
+        f"choose from {', '.join(sorted(_FACTORIES))}")
+
+
+class _ActiveState(threading.local):
+    def __init__(self) -> None:
+        self.name: str | None = None
+
+
+_ACTIVE = _ActiveState()
+
+
+def register_backend(name: str, factory) -> None:
+    """Register a backend under ``name``.
+
+    ``factory`` is either a zero-argument callable returning a
+    :class:`KernelBackend` or a ``"module:ClassName"`` import spec.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """The backend registered under ``name`` (default: the active backend)."""
+    if name is None:
+        name = _ACTIVE.name or DEFAULT_BACKEND
+    key = name.strip().lower()
+    instance = _INSTANCES.get(key)
+    if instance is not None:
+        return instance
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {', '.join(available_backends())}")
+    if isinstance(factory, str):
+        module_name, _, class_name = factory.partition(":")
+        factory = getattr(importlib.import_module(module_name), class_name)
+    instance = factory()
+    _INSTANCES[key] = instance
+    return instance
+
+
+def active_backend() -> KernelBackend:
+    """The backend hot kernels currently dispatch to."""
+    return get_backend()
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Select the active backend for this thread; returns the instance."""
+    key = name.strip().lower()
+    backend = get_backend(key)
+    # store the registry key, not backend.name: a third-party class that
+    # forgets to override `name` must not silently activate a different engine
+    _ACTIVE.name = key
+    return backend
+
+
+@contextmanager
+def use_backend(name: str):
+    """Scoped backend override (restores the previous selection on exit)."""
+    previous = _ACTIVE.name
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        _ACTIVE.name = previous

@@ -1,0 +1,232 @@
+"""Kernel-engine backend interface.
+
+Every hot kernel of the reproduction — CSR/sliced-ELLPACK SpMV, the
+level-scheduled triangular solve, FGMRES classical Gram-Schmidt, the Krylov
+solution combination, and the ILU(0) factorization — dispatches through a
+:class:`KernelBackend`.  Two implementations ship with the package:
+
+* ``reference`` (:mod:`repro.backends.reference`): the original
+  emulation-faithful NumPy code, kept verbatim as the correctness oracle.
+* ``fast`` (:mod:`repro.backends.fast`): fully vectorized kernels with
+  preallocated workspace buffers and batched counter recording.
+
+Both backends must preserve two contracts:
+
+1. **Precision-emulation semantics** — arithmetic runs in the promotion of the
+   operand precisions and results are rounded to the requested output
+   precision.  Backends may differ in summation *order* (BLAS-2 vs per-column
+   loops), so results agree to the tolerance of the compute precision, not
+   bitwise.
+2. **Counter totals** — the bytes / flops / kernel-call totals recorded for a
+   given logical operation are identical across backends; the ``fast`` backend
+   merely batches them into fewer ``record_*`` calls.
+
+To add a third backend (e.g. a CuPy/GPU one), subclass :class:`KernelBackend`,
+implement the abstract kernels, and register a factory with
+:func:`repro.backends.register_backend`; see the README for a walkthrough.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..perf.counters import counters_enabled, record_bytes, record_flops, record_kernel
+from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype, promote
+
+__all__ = ["KernelBackend", "ilu0_setup", "row_segment_sums", "segment_ramp",
+           "spmv_setup", "split_lower_upper"]
+
+
+def row_segment_sums(products: np.ndarray, indptr: np.ndarray,
+                     out: np.ndarray) -> np.ndarray:
+    """``out[i] = sum(products[indptr[i]:indptr[i+1]])``, robust to empty segments.
+
+    ``reduceat`` is evaluated only at the starts of non-empty segments: the
+    reduction from one non-empty segment's start to the next automatically
+    skips interleaved empty segments because those contribute no elements.
+    Shared by both backends so the summation semantics stay identical.
+    """
+    out.fill(0)
+    if products.size:
+        counts = np.diff(indptr)
+        nonempty = counts > 0
+        starts = indptr[:-1][nonempty]
+        if starts.size:
+            out[nonempty] = np.add.reduceat(products, starts)
+    return out
+
+
+def ilu0_setup(matrix, alpha: float, breakdown_shift: float):
+    """Shared ILU(0) preamble: validation, αILU scaling, fp64 copy, shift.
+
+    The breakdown-shift policy is load-bearing for the cross-backend
+    factor-equivalence contract, so it lives here rather than per engine.
+    Returns ``(n, indptr, indices, values, shift)`` with ``values`` a mutable
+    fp64 copy the elimination works in.
+    """
+    from ..sparse.ops import scale_diagonal_entries
+
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("ILU(0) requires a square matrix")
+    work_matrix = scale_diagonal_entries(matrix, alpha) if alpha != 1.0 else matrix
+
+    n = work_matrix.nrows
+    values = work_matrix.values.astype(np.float64).copy()
+    max_abs = float(np.max(np.abs(values))) if values.size else 1.0
+    shift = breakdown_shift * max(max_abs, 1.0)
+    return n, work_matrix.indptr, work_matrix.indices, values, shift
+
+
+def segment_ramp(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0-1, 0..c1-1, ...]`` for segment gathers (shared by both engines)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    idx = np.arange(total, dtype=np.int64)
+    return idx - np.repeat(starts, counts)
+
+
+def spmv_setup(values_dtype, x_dtype, out_precision):
+    """Resolve (matrix, vector, compute, output) precisions for a matvec."""
+    mat_prec = precision_of_dtype(values_dtype)
+    vec_prec = precision_of_dtype(x_dtype)
+    compute = promote(mat_prec, vec_prec)
+    out_prec = as_precision(out_precision) if out_precision is not None else vec_prec
+    return mat_prec, vec_prec, compute, out_prec
+
+
+def split_lower_upper(values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
+                      n: int):
+    """Split factored ILU(0) values into (strictly-lower L, diag+upper U) CSR parts.
+
+    Returns ``(L, U)`` as :class:`~repro.sparse.csr.CSRMatrix` instances; shared
+    by both backends so the factor layout is identical regardless of engine.
+    """
+    from ..sparse.csr import CSRMatrix
+
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    lower_mask = indices < rows
+    upper_mask = ~lower_mask
+
+    def _build(mask: np.ndarray) -> CSRMatrix:
+        sel_rows = rows[mask]
+        sel_cols = indices[mask]
+        sel_vals = values[mask]
+        new_indptr = np.zeros(n + 1, dtype=np.int32)
+        np.add.at(new_indptr, sel_rows + 1, 1)
+        np.cumsum(new_indptr, out=new_indptr)
+        return CSRMatrix(sel_vals, sel_cols.astype(np.int32), new_indptr, (n, n))
+
+    return _build(lower_mask), _build(upper_mask)
+
+
+class KernelBackend(abc.ABC):
+    """Abstract compute engine for the solver stack's hot kernels."""
+
+    #: Registry name of the backend (set by subclasses).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Sparse matrix-vector products
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def spmv_csr(self, values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
+                 x: np.ndarray, out_precision=None, record: bool = True,
+                 scratch=None) -> np.ndarray:
+        """``y = A @ x`` for CSR arrays; ``scratch`` is the matrix's workspace."""
+
+    @abc.abstractmethod
+    def spmv_ell(self, ell, x: np.ndarray, out_precision=None,
+                 record: bool = True) -> np.ndarray:
+        """``y = A @ x`` for a :class:`~repro.sparse.ell.SlicedEllMatrix`."""
+
+    # ------------------------------------------------------------------ #
+    # Triangular substitution
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def trsv(self, factor, b: np.ndarray, out_precision=None,
+             record: bool = True) -> np.ndarray:
+        """Solve ``T x = b`` for a prepared :class:`TriangularFactor`."""
+
+    # ------------------------------------------------------------------ #
+    # FGMRES building blocks
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def orthogonalize(self, basis: np.ndarray, j: int, w: np.ndarray,
+                      vec_prec: Precision, scratch=None, record: bool = True):
+        """Classical Gram-Schmidt of ``w`` against ``basis[:j+1]`` (rows).
+
+        Returns ``(h_col, w_orth, h_norm)`` where ``h_col`` has length
+        ``j + 2`` with ``h_col[j+1] == h_norm`` in the level dtype.
+
+        ``w`` is *consumed*: a backend may overwrite it in place (the fast
+        engine does when given a scratch arena), so callers must pass a vector
+        they no longer need — e.g. a fresh matvec result — and use only the
+        returned ``w_orth``.
+        """
+
+    @abc.abstractmethod
+    def combine(self, z_vectors: np.ndarray, y: np.ndarray, k: int,
+                vec_prec: Precision, record: bool = True) -> np.ndarray:
+        """``z = sum_i y[i] * z_vectors[i]`` over the first ``k`` rows."""
+
+    # ------------------------------------------------------------------ #
+    # Factorizations
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def ilu0_factor(self, matrix, alpha: float = 1.0,
+                    breakdown_shift: float = 1e-12):
+        """ILU(0) on the pattern of ``matrix``; returns ``(L, U)`` CSR factors."""
+
+    # ------------------------------------------------------------------ #
+    # Shared batched-recording helpers (identical totals on every backend)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _record_spmv(mat_prec, vec_prec, out_prec, compute, n: int, nnz: int,
+                     index_bytes: int) -> None:
+        record_kernel("spmv")
+        record_bytes(mat_prec, nnz * mat_prec.bytes, index_bytes=index_bytes)
+        record_bytes(vec_prec, n * vec_prec.bytes)
+        record_bytes(out_prec, n * out_prec.bytes)
+        record_flops(compute, 2 * nnz)
+
+    @staticmethod
+    def _record_trsv(factor, vec_prec, out_prec, compute) -> None:
+        nnz = factor.off_vals.size + (0 if factor.unit_diagonal else factor.nrows)
+        record_kernel("trsv")
+        record_bytes(factor.precision, nnz * factor.precision.bytes,
+                     index_bytes=factor.off_cols.size * BYTES_PER_INDEX)
+        record_bytes(vec_prec, factor.nrows * vec_prec.bytes)
+        record_bytes(out_prec, factor.nrows * out_prec.bytes)
+        record_flops(compute, 2 * factor.off_vals.size + 2 * factor.nrows)
+
+    @staticmethod
+    def _record_gram_schmidt(p: Precision, n: int, ncols: int) -> None:
+        """Batched equivalent of ``ncols`` dots + ``ncols`` axpys + one norm."""
+        if not counters_enabled():
+            return
+        record_kernel("dot", ncols)
+        record_bytes(p, 2 * ncols * n * p.bytes)
+        record_flops(p, 2 * ncols * n)
+        record_kernel("axpy", ncols)
+        record_bytes(p, 3 * ncols * n * p.bytes)
+        record_flops(p, 2 * ncols * n)
+        record_kernel("norm")
+        record_bytes(p, n * p.bytes)
+        record_flops(p, 2 * n)
+
+    @staticmethod
+    def _record_combine(p: Precision, n: int, k: int) -> None:
+        """Batched equivalent of ``k`` axpys accumulating the solution."""
+        if not counters_enabled():
+            return
+        record_kernel("axpy", k)
+        record_bytes(p, 3 * k * n * p.bytes)
+        record_flops(p, 2 * k * n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

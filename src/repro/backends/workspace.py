@@ -1,0 +1,131 @@
+"""Reusable scratch-array arena for the kernel engine.
+
+The hot paths of the solver stack (FGMRES cycles, Richardson sweeps, SpMV)
+used to reallocate every intermediate array on every call: the Krylov basis,
+the per-iteration correction vectors, the ``values * x[indices]`` product
+array of each SpMV.  A :class:`Workspace` is a small arena that hands out the
+same buffer for the same ``(name, shape, dtype)`` request, so a solver level
+or a matrix can reuse its scratch storage across thousands of invocations.
+
+Ownership conventions:
+
+* Each FGMRES level owns one workspace (the Krylov basis is per-level state).
+* Each sparse matrix / triangular factor owns one workspace for its SpMV /
+  substitution scratch, created lazily on the first fast-backend call.
+* Buffers returned by :meth:`get` are *transient*: they are valid until the
+  next ``get`` with the same key.  Kernels must never return an arena buffer
+  to a caller — results are always freshly allocated.
+* :meth:`cast` caches a dtype-converted copy of a source array; it assumes the
+  source is immutable after construction (true for all matrix values in this
+  codebase — ``CSRMatrix`` sorts in the constructor and never mutates after).
+* A single :class:`Workspace` is not thread-safe.  Objects that own scratch
+  state (matrices, triangular factors, FGMRES levels) therefore hold a
+  :class:`ThreadLocalWorkspace`, giving each thread its own arena so sharing
+  one matrix or solver across worker threads stays safe (as it was before the
+  kernel engine existed).  Note that some solver levels carry *algorithmic*
+  shared state regardless (the adaptive Richardson weights are global across
+  invocations by design) — the arenas don't change that.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["ScratchOwner", "ThreadLocalWorkspace", "Workspace"]
+
+
+class Workspace:
+    """Arena of reusable scratch arrays keyed by ``(name, shape, dtype)``."""
+
+    __slots__ = ("_buffers", "_casts", "_memos")
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+        self._casts: dict = {}
+        self._memos: dict = {}
+
+    def get(self, name: str, shape, dtype, zero: bool = False) -> np.ndarray:
+        """Return a reusable buffer; contents are arbitrary unless ``zero``."""
+        if not isinstance(shape, (tuple, list)):
+            shape = (shape,)
+        key = (name, tuple(int(s) for s in shape), np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.zeros(key[1], dtype=key[2]) if zero else np.empty(key[1], dtype=key[2])
+            self._buffers[key] = buf
+        elif zero:
+            buf.fill(0)
+        return buf
+
+    def cast(self, name: str, array: np.ndarray, dtype) -> np.ndarray:
+        """A cached copy of ``array`` converted to ``dtype``.
+
+        The source must not be mutated after the first call; the cache is
+        keyed by name and target dtype only.
+        """
+        dt = np.dtype(dtype)
+        if array.dtype == dt:
+            return array
+        key = (name, dt)
+        cached = self._casts.get(key)
+        if cached is None or cached.shape != array.shape:
+            cached = array.astype(dt)
+            self._casts[key] = cached
+        return cached
+
+    def memo(self, key, factory):
+        """Compute-once cache for derived arrays (gather plans, permutations)."""
+        value = self._memos.get(key)
+        if value is None:
+            value = factory()
+            self._memos[key] = value
+        return value
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena (buffers + cast caches)."""
+        total = sum(b.nbytes for b in self._buffers.values())
+        total += sum(c.nbytes for c in self._casts.values())
+        total += sum(m.nbytes for m in self._memos.values() if hasattr(m, "nbytes"))
+        return total
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self._casts.clear()
+        self._memos.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Workspace(buffers={len(self._buffers)}, casts={len(self._casts)}, "
+                f"nbytes={self.nbytes()})")
+
+
+class ScratchOwner:
+    """Mixin for objects owning lazily created per-thread scratch arenas.
+
+    Subclasses must declare a ``_scratch`` attribute (or slot) initialized to
+    ``None``; :meth:`scratch` attaches a :class:`ThreadLocalWorkspace` on
+    first use so the pattern (and any future change to it) lives in one place.
+    """
+
+    __slots__ = ()
+
+    def scratch(self) -> Workspace:
+        """The calling thread's scratch workspace for this object."""
+        tls = self._scratch
+        if tls is None:
+            tls = self._scratch = ThreadLocalWorkspace()
+        return tls.workspace
+
+
+class ThreadLocalWorkspace(threading.local):
+    """One :class:`Workspace` per accessing thread (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.workspace = Workspace()
+
+    def __reduce__(self):
+        # Scratch contents are re-derivable caches; pickling/deepcopying an
+        # object that lazily attached one must not fail on the thread-local —
+        # reconstruct as a fresh, empty arena.
+        return (ThreadLocalWorkspace, ())

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..backends import available_backends
 from ..precision import LevelPrecision, Precision
 
 __all__ = ["F3RConfig", "precision_schedule"]
@@ -69,6 +70,12 @@ class F3RConfig:
     max_restarts:
         Number of additional full executions when the outermost cycle is
         exhausted (the paper allows three executions in total).
+    backend:
+        Kernel backend the solve runs on (``"fast"``, ``"reference"``, or any
+        name registered with :func:`repro.backends.register_backend`).
+        ``None`` (the default) uses the calling thread's active backend —
+        thread-local ``set_backend``, else the ``REPRO_BACKEND`` environment
+        variable, else ``"fast"``.
     """
 
     m1: int = 100
@@ -81,10 +88,18 @@ class F3RConfig:
     fixed_weight: float = 1.0
     tol: float = 1e-8
     max_restarts: int = 2
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.variant not in _VARIANTS:
             raise ValueError(f"unknown F3R variant {self.variant!r}; choose from {_VARIANTS}")
+        if self.backend is not None:
+            normalized = self.backend.strip().lower()
+            if normalized not in available_backends():
+                raise ValueError(f"unknown kernel backend {self.backend!r}; "
+                                 f"choose from {available_backends()}")
+            # frozen dataclass: store the registry-normalized name
+            object.__setattr__(self, "backend", normalized)
         for label, value in (("m1", self.m1), ("m2", self.m2), ("m3", self.m3),
                              ("m4", self.m4), ("cycle", self.cycle)):
             if value < 1:

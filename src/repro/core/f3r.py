@@ -8,8 +8,11 @@ harness.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
+from ..backends import use_backend
 from ..precond import make_primary_preconditioner
 from ..precond.base import Preconditioner
 from ..solvers import LevelSpec, OuterFGMRES, SolveResult, build_nested_solver
@@ -67,12 +70,22 @@ class F3RSolver:
                  alpha: float = 1.0) -> None:
         self.matrix = matrix
         self.config = config or F3RConfig()
-        if isinstance(preconditioner, str):
-            preconditioner = make_primary_preconditioner(
-                matrix, kind=preconditioner, nblocks=nblocks, alpha=alpha,
-            )
-        self.preconditioner = preconditioner
-        self._outer = build_f3r(matrix, preconditioner, self.config)
+        # The backend knob scopes construction too: preconditioner setup
+        # (ILU(0) factorization, triangular plans) must run on the same
+        # engine the solve will use.
+        with self._backend_scope():
+            if isinstance(preconditioner, str):
+                preconditioner = make_primary_preconditioner(
+                    matrix, kind=preconditioner, nblocks=nblocks, alpha=alpha,
+                )
+            self.preconditioner = preconditioner
+            self._outer = build_f3r(matrix, preconditioner, self.config)
+
+    def _backend_scope(self):
+        """``use_backend(config.backend)`` or a no-op when unset."""
+        if self.config.backend is not None:
+            return use_backend(self.config.backend)
+        return contextlib.nullcontext()
 
     @property
     def name(self) -> str:
@@ -83,7 +96,8 @@ class F3RSolver:
         return self._outer.primary_preconditioner
 
     def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
-        return self._outer.solve(b, x0=x0)
+        with self._backend_scope():
+            return self._outer.solve(b, x0=x0)
 
     def rebuild(self, config: F3RConfig) -> "F3RSolver":
         """Return a new solver sharing matrix and preconditioner with a new config."""

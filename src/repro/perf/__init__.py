@@ -9,12 +9,15 @@ matching the paper's own premise that the kernels are memory-bound.
 from .counters import (
     TrafficCounter,
     counting,
+    counters_disabled,
+    counters_enabled,
     current_counter,
     global_counter,
     record_bytes,
     record_flops,
     record_kernel,
     reset_global_counter,
+    set_counters_enabled,
 )
 from .machine import (
     CPU_NODE,
@@ -29,6 +32,9 @@ from .timer import StageTimer, Timer, timed
 __all__ = [
     "TrafficCounter",
     "counting",
+    "counters_disabled",
+    "counters_enabled",
+    "set_counters_enabled",
     "current_counter",
     "global_counter",
     "record_bytes",

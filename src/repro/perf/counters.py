@@ -17,6 +17,7 @@ fresh counter around a solve while the kernels simply call the module-level
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -26,11 +27,14 @@ from ..precision import Precision, as_precision
 __all__ = [
     "TrafficCounter",
     "counting",
+    "counters_disabled",
+    "counters_enabled",
     "current_counter",
     "record_bytes",
     "record_flops",
     "record_kernel",
     "reset_global_counter",
+    "set_counters_enabled",
     "global_counter",
 ]
 
@@ -132,18 +136,49 @@ class TrafficCounter:
         }
 
 
+# Recording is on by default (the emulation methodology depends on it) but a
+# production solve that only wants the answer can turn it off entirely: every
+# ``record_*`` call then returns after a single boolean test, and the backends
+# additionally skip the byte/flop bookkeeping arithmetic.  Set the environment
+# variable ``REPRO_COUNTERS=0`` (or ``off``/``false``) to start disabled.
+# The flag is thread-local, like the counter stack, so disabling recording in
+# one thread never perturbs another thread's scoped measurements.
+_DEFAULT_ENABLED = os.environ.get("REPRO_COUNTERS", "1").lower() not in (
+    "0", "off", "false", "no")
+
+
 class _CounterStack(threading.local):
     """Thread-local stack of active counters plus an always-on global counter."""
 
     def __init__(self) -> None:
         self.stack: list[TrafficCounter] = []
         self.global_counter = TrafficCounter()
-
-    def active(self) -> list[TrafficCounter]:
-        return self.stack + [self.global_counter]
+        self.enabled: bool = _DEFAULT_ENABLED
 
 
 _STACK = _CounterStack()
+
+
+def counters_enabled() -> bool:
+    """Whether traffic recording is active in this thread."""
+    return _STACK.enabled
+
+
+def set_counters_enabled(enabled: bool) -> bool:
+    """Enable/disable traffic recording in this thread; returns the previous state."""
+    previous = _STACK.enabled
+    _STACK.enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def counters_disabled():
+    """Scope with traffic recording switched off (zero instrumentation tax)."""
+    previous = set_counters_enabled(False)
+    try:
+        yield
+    finally:
+        set_counters_enabled(previous)
 
 
 def global_counter() -> TrafficCounter:
@@ -167,30 +202,48 @@ def counting(counter: TrafficCounter | None = None):
     Nested blocks all receive the traffic (a kernel inside two nested blocks
     contributes to both), which lets an experiment wrap a whole solve while a
     solver wraps just its preconditioner application.
+
+    An explicit ``counting()`` scope expresses measurement intent, so it
+    re-enables recording even when counters are globally disabled
+    (``REPRO_COUNTERS=0`` / :func:`set_counters_enabled`); a nested
+    :func:`counters_disabled` still wins inside the block.
     """
     counter = counter if counter is not None else TrafficCounter()
+    previous_enabled = set_counters_enabled(True)
     _STACK.stack.append(counter)
     try:
         yield counter
     finally:
         _STACK.stack.pop()
+        set_counters_enabled(previous_enabled)
 
 
 def record_bytes(precision: Precision | str, nbytes: int, index_bytes: int = 0) -> None:
     """Record ``nbytes`` of value traffic in ``precision`` (+ optional index bytes)."""
+    if not _STACK.enabled:
+        return
     p = as_precision(precision)
-    for counter in _STACK.active():
+    for counter in _STACK.stack:
         counter.add_bytes(p, nbytes)
         if index_bytes:
             counter.add_index_bytes(index_bytes)
+    _STACK.global_counter.add_bytes(p, nbytes)
+    if index_bytes:
+        _STACK.global_counter.add_index_bytes(index_bytes)
 
 
 def record_flops(precision: Precision | str, nflops: int) -> None:
+    if not _STACK.enabled:
+        return
     p = as_precision(precision)
-    for counter in _STACK.active():
+    for counter in _STACK.stack:
         counter.add_flops(p, nflops)
+    _STACK.global_counter.add_flops(p, nflops)
 
 
 def record_kernel(kernel: str, count: int = 1) -> None:
-    for counter in _STACK.active():
+    if not _STACK.enabled:
+        return
+    for counter in _STACK.stack:
         counter.add_call(kernel, count)
+    _STACK.global_counter.add_call(kernel, count)

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import get_backend
 from ..precision import Precision, as_precision
-from ..sparse import CSRMatrix, TriangularFactor, scale_diagonal_entries
+from ..sparse import CSRMatrix, TriangularFactor
 from .base import Preconditioner
 
 __all__ = ["ilu0_factor", "ILU0Preconditioner", "IC0Preconditioner"]
@@ -48,92 +49,12 @@ def ilu0_factor(matrix: CSRMatrix, alpha: float = 1.0,
     (L, U):
         ``L`` is unit lower triangular (unit diagonal not stored); ``U`` is
         upper triangular including the diagonal.  Both are fp64 CSR matrices on
-        subsets of A's pattern.
+        subsets of A's pattern.  The elimination itself runs in the active
+        kernel backend (IKJ scatter loops on ``reference``, compact row-segment
+        updates on ``fast``); both produce the same factors.
     """
-    if matrix.nrows != matrix.ncols:
-        raise ValueError("ILU(0) requires a square matrix")
-    work_matrix = scale_diagonal_entries(matrix, alpha) if alpha != 1.0 else matrix
-
-    n = work_matrix.nrows
-    indptr = work_matrix.indptr
-    indices = work_matrix.indices
-    values = work_matrix.values.astype(np.float64).copy()
-
-    max_abs = float(np.max(np.abs(values))) if values.size else 1.0
-    shift = breakdown_shift * max(max_abs, 1.0)
-
-    diag_value = np.zeros(n, dtype=np.float64)
-    diag_pos = np.full(n, -1, dtype=np.int64)
-    # positions of the first strictly-upper entry of each row (for the update loop)
-    upper_start = np.zeros(n, dtype=np.int64)
-
-    in_pattern = np.zeros(n, dtype=bool)
-    position = np.zeros(n, dtype=np.int64)
-    work = np.zeros(n, dtype=np.float64)
-
-    for i in range(n):
-        lo, hi = int(indptr[i]), int(indptr[i + 1])
-        cols_i = indices[lo:hi]
-        # scatter row i
-        in_pattern[cols_i] = True
-        position[cols_i] = np.arange(lo, hi)
-        work[cols_i] = values[lo:hi]
-
-        for pos in range(lo, hi):
-            k = int(indices[pos])
-            if k >= i:
-                break
-            pivot = diag_value[k]
-            if pivot == 0.0:
-                pivot = shift if shift != 0.0 else 1.0
-            lik = work[k] / pivot
-            work[k] = lik
-            # update against the strictly-upper part of row k (ILU(0): only
-            # positions already present in row i's pattern receive the update)
-            ks, ke = int(upper_start[k]), int(indptr[k + 1])
-            if ks < ke:
-                ucols = indices[ks:ke]
-                mask = in_pattern[ucols]
-                if np.any(mask):
-                    target = ucols[mask]
-                    work[target] -= lik * values[ks:ke][mask]
-
-        # gather row i back and record its diagonal / upper start
-        values[lo:hi] = work[cols_i]
-        dpos = np.searchsorted(cols_i, i)
-        if dpos < cols_i.size and cols_i[dpos] == i:
-            dval = values[lo + dpos]
-            if dval == 0.0 or abs(dval) < shift:
-                dval = shift if dval >= 0.0 else -shift
-                values[lo + dpos] = dval
-            diag_value[i] = dval
-            diag_pos[i] = lo + dpos
-            upper_start[i] = lo + dpos + 1
-        else:
-            # missing structural diagonal: treat as shift (rare, degenerate input)
-            diag_value[i] = shift if shift != 0.0 else 1.0
-            upper_start[i] = lo + np.searchsorted(cols_i, i)
-
-        # clear scatter workspace
-        in_pattern[cols_i] = False
-        work[cols_i] = 0.0
-
-    # split the factored values into L (strictly lower, unit diag implied) and
-    # U (diagonal + strictly upper)
-    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
-    lower_mask = indices < rows
-    upper_mask = indices >= rows
-
-    def _build(mask: np.ndarray) -> CSRMatrix:
-        sel_rows = rows[mask]
-        sel_cols = indices[mask]
-        sel_vals = values[mask]
-        new_indptr = np.zeros(n + 1, dtype=np.int32)
-        np.add.at(new_indptr, sel_rows + 1, 1)
-        np.cumsum(new_indptr, out=new_indptr)
-        return CSRMatrix(sel_vals, sel_cols.astype(np.int32), new_indptr, (n, n))
-
-    return _build(lower_mask), _build(upper_mask)
+    return get_backend().ilu0_factor(matrix, alpha=alpha,
+                                     breakdown_shift=breakdown_shift)
 
 
 class ILU0Preconditioner(Preconditioner):

@@ -23,6 +23,8 @@ import time
 
 import numpy as np
 
+from ..backends import Workspace, get_backend
+from ..backends.workspace import ThreadLocalWorkspace
 from ..precision import LevelPrecision, Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
@@ -32,14 +34,19 @@ __all__ = ["FGMRESLevel", "OuterFGMRES", "fgmres_cycle"]
 
 
 def _apply_child(child, v: np.ndarray) -> np.ndarray:
-    """Apply the preconditioning step of a level (inner solver, M, or nothing)."""
+    """Apply the preconditioning step of a level (inner solver, M, or nothing).
+
+    With no child the identity correction is returned as-is; the cycle copies
+    it into the correction arena, so no defensive copy is needed here.
+    """
     if child is None:
-        return v.copy()
+        return v
     return child.apply(v)
 
 
 def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
-                 rel_tol: float | None = None, collect_residuals: list | None = None):
+                 rel_tol: float | None = None, collect_residuals: list | None = None,
+                 workspace: Workspace | None = None):
     """One FGMRES(m) cycle with zero initial guess.
 
     Parameters
@@ -61,20 +68,32 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
         below ``rel_tol * ||rhs||`` (used only by the outermost level).
     collect_residuals:
         Optional list receiving the per-iteration residual estimates.
+    workspace:
+        Optional :class:`~repro.backends.Workspace` owning the Krylov-basis and
+        correction-vector storage; solver levels pass their per-level arena so
+        repeated cycles reuse the same buffers instead of reallocating.
 
     Returns
     -------
     (z, iterations, estimated_residual):
         ``z`` is the correction in the level's vector precision.
     """
+    backend = get_backend()
     dtype = vec_prec.dtype
     n = rhs.size
     beta = vo.nrm2(rhs)
     if beta == 0.0 or not np.isfinite(beta):
         return np.zeros(n, dtype=dtype), 0, 0.0
 
-    basis: list[np.ndarray] = [vo.scal(1.0 / beta, rhs)]
-    z_vectors: list[np.ndarray] = []
+    ws = workspace if workspace is not None else Workspace()
+    # Krylov basis V and per-iteration corrections Z live in the level's arena
+    # (rows are vectors); both persist across cycles of the same level.  The
+    # arenas are sized for m iterations but allocated untouched (np.empty), so
+    # resident memory grows with the iterations actually run, as the old
+    # per-iteration lists did — only address space is reserved up front.
+    basis = ws.get("krylov_basis", (m + 1, n), dtype)
+    z_vectors = ws.get("krylov_corrections", (m, n), dtype)
+    basis[0] = vo.scal(1.0 / beta, rhs)
     # Hessenberg in the level's scalar precision; Givens rotations and the
     # reduced RHS g likewise (the paper keeps these in fp32 for inner levels).
     hessenberg = np.zeros((m + 1, m), dtype=dtype)
@@ -88,16 +107,12 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
     for j in range(m):
         zj = _apply_child(child, basis[j])
         zj = vo.cast_vector(zj, vec_prec)
+        z_vectors[j] = zj
         w = matrix.matvec(zj, out_precision=vec_prec)
 
-        # classical Gram-Schmidt
-        h_col = np.zeros(j + 2, dtype=dtype)
-        for i in range(j + 1):
-            h_col[i] = dtype.type(vo.dot(basis[i], w))
-        for i in range(j + 1):
-            w = vo.axpy(-float(h_col[i]), basis[i], w, out_precision=vec_prec)
-        h_norm = vo.nrm2(w)
-        h_col[j + 1] = dtype.type(h_norm)
+        # classical Gram-Schmidt against basis[:j+1] (backend kernel; the fast
+        # engine runs it as BLAS-2, the reference as per-column BLAS-1 loops)
+        h_col, w, h_norm = backend.orthogonalize(basis, j, w, vec_prec, scratch=ws)
 
         # apply the previous Givens rotations to the new column
         for i in range(j):
@@ -120,7 +135,6 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
         g[j] = dtype.type(cs_j * float(g[j]))
 
         hessenberg[: j + 2, j] = h_col
-        z_vectors.append(zj)
         iterations = j + 1
         estimated = abs(float(g[j + 1]))
         if collect_residuals is not None:
@@ -132,7 +146,7 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
         if rel_tol is not None and estimated < rel_tol * beta:
             break
         if j + 1 < m:
-            basis.append(vo.scal(1.0 / h_norm, w))
+            basis[j + 1] = vo.scal(1.0 / h_norm, w)
 
     # back substitution R y = g (in fp64 for robustness; y is tiny)
     k = iterations
@@ -146,9 +160,7 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
         diag = r_mat[i, i]
         y[i] = s / diag if diag != 0.0 else 0.0
 
-    z = vo.vzeros(n, vec_prec)
-    for i in range(k):
-        z = vo.axpy(float(y[i]), z_vectors[i], z, out_precision=vec_prec)
+    z = backend.combine(z_vectors, y, k, vec_prec)
     return z, iterations, float(estimated)
 
 
@@ -165,6 +177,9 @@ class FGMRESLevel(InnerSolver):
         self.precisions = precisions or LevelPrecision(
             matrix=Precision.FP32, vector=Precision.FP32
         )
+        # per-thread so concurrent apply()/solve() on a shared solver stays
+        # reentrant (as the pre-workspace code was)
+        self._workspace = ThreadLocalWorkspace()
 
     @property
     def primary_preconditioner(self):
@@ -180,7 +195,8 @@ class FGMRESLevel(InnerSolver):
     def apply(self, v: np.ndarray) -> np.ndarray:
         vec_prec = self.precisions.vector
         v_level = vo.cast_vector(np.asarray(v), vec_prec)
-        z, _, _ = fgmres_cycle(self.matrix, v_level, self.child, self.m, vec_prec)
+        z, _, _ = fgmres_cycle(self.matrix, v_level, self.child, self.m, vec_prec,
+                               workspace=self._workspace.workspace)
         return z
 
 
@@ -206,6 +222,7 @@ class OuterFGMRES:
             matrix=Precision.FP64, vector=Precision.FP64
         )
         self.name = name or f"(F{m}, ...)"
+        self._workspace = ThreadLocalWorkspace()
 
     @property
     def primary_preconditioner(self):
@@ -250,6 +267,7 @@ class OuterFGMRES:
                 self.matrix, r_level, self.child, self.m, vec_prec,
                 rel_tol=self.tol * norm_b / max(float(np.linalg.norm(r)), 1e-300),
                 collect_residuals=cycle_residuals,
+                workspace=self._workspace.workspace,
             )
             x = x + z.astype(np.float64)
             total_iterations += iters

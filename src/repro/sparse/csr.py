@@ -7,42 +7,23 @@ pointers are always 32-bit integers, matching the paper.
 
 The SpMV kernel emulates the paper's precision rule: arithmetic is carried out
 in the promotion of the matrix-storage and vector precisions, and the result is
-rounded to the requested output precision.  Every call records its memory
-traffic with :mod:`repro.perf.counters`.
+rounded to the requested output precision.  The kernel itself lives in the
+active :mod:`repro.backends` engine (``reference`` or ``fast``); every call
+records its memory traffic with :mod:`repro.perf.counters`.
+
+Matrices are treated as immutable after construction: the ``fast`` backend
+caches dtype-converted copies of ``values`` in a per-matrix workspace.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..perf.counters import record_bytes, record_flops, record_kernel
-from ..precision import (
-    BYTES_PER_INDEX,
-    Precision,
-    as_precision,
-    precision_of_dtype,
-    promote,
-)
+from ..backends import get_backend
+from ..backends.workspace import ScratchOwner, ThreadLocalWorkspace
+from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype
 
 __all__ = ["CSRMatrix", "spmv_csr"]
-
-
-def _row_sums(products: np.ndarray, indptr: np.ndarray, out_dtype) -> np.ndarray:
-    """Sum ``products`` over CSR row segments, robust to empty rows.
-
-    ``reduceat`` is evaluated only at the starts of non-empty rows: the segment
-    from one non-empty row's start to the next automatically skips interleaved
-    empty rows because those contribute no elements.
-    """
-    n = indptr.size - 1
-    counts = np.diff(indptr)
-    y = np.zeros(n, dtype=products.dtype)
-    if products.size:
-        nonempty = counts > 0
-        starts = indptr[:-1][nonempty]
-        if starts.size:
-            y[nonempty] = np.add.reduceat(products, starts)
-    return y.astype(out_dtype, copy=False)
 
 
 def spmv_csr(
@@ -57,32 +38,13 @@ def spmv_csr(
 
     Arithmetic runs in the promotion of ``values.dtype`` and ``x.dtype``; the
     result is rounded to ``out_precision`` (default: the vector precision).
+    Dispatches to the active kernel backend.
     """
-    mat_prec = precision_of_dtype(values.dtype)
-    vec_prec = precision_of_dtype(x.dtype)
-    compute = promote(mat_prec, vec_prec)
-    out_prec = as_precision(out_precision) if out_precision is not None else vec_prec
-
-    vals_c = values if values.dtype == compute.dtype else values.astype(compute.dtype)
-    x_c = x if x.dtype == compute.dtype else x.astype(compute.dtype)
-
-    products = vals_c * x_c[indices]
-    y = _row_sums(products, indptr, compute.dtype)
-    y = y.astype(out_prec.dtype, copy=False)
-
-    if record:
-        n = indptr.size - 1
-        nnz = values.size
-        record_kernel("spmv")
-        record_bytes(mat_prec, nnz * mat_prec.bytes,
-                     index_bytes=nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX)
-        record_bytes(vec_prec, n * vec_prec.bytes)          # read of x (streamed once)
-        record_bytes(out_prec, n * out_prec.bytes)          # write of y
-        record_flops(compute, 2 * nnz)
-    return y
+    return get_backend().spmv_csr(values, indices, indptr, x,
+                                  out_precision=out_precision, record=record)
 
 
-class CSRMatrix:
+class CSRMatrix(ScratchOwner):
     """Sparse matrix in CSR format with 32-bit indices.
 
     Parameters
@@ -94,7 +56,7 @@ class CSRMatrix:
         ``(nrows, ncols)``.
     """
 
-    __slots__ = ("values", "indices", "indptr", "shape")
+    __slots__ = ("values", "indices", "indptr", "shape", "_transpose", "_scratch")
 
     def __init__(self, values, indices, indptr, shape) -> None:
         self.indices = np.ascontiguousarray(indices, dtype=np.int32)
@@ -110,11 +72,13 @@ class CSRMatrix:
             raise ValueError("indices and values must have the same length")
         if self.indptr[0] != 0 or self.indptr[-1] != self.values.size:
             raise ValueError("malformed indptr")
+        self._transpose: CSRMatrix | None = None
+        self._scratch: ThreadLocalWorkspace | None = None
         self._sort_rows()
 
     # ------------------------------------------------------------------ #
     def _sort_rows(self) -> None:
-        """Ensure column indices are sorted within each row."""
+        """Ensure column indices are sorted within each row (vectorized)."""
         indptr = self.indptr
         diffs = np.diff(self.indices)
         row_boundaries = np.zeros(self.indices.size, dtype=bool)
@@ -124,12 +88,10 @@ class CSRMatrix:
         unsorted = np.any((diffs < 0) & ~row_boundaries[1:]) if self.indices.size > 1 else False
         if not unsorted:
             return
-        for i in range(self.shape[0]):
-            lo, hi = indptr[i], indptr[i + 1]
-            if hi - lo > 1:
-                order = np.argsort(self.indices[lo:hi], kind="stable")
-                self.indices[lo:hi] = self.indices[lo:hi][order]
-                self.values[lo:hi] = self.values[lo:hi][order]
+        row_ids = np.repeat(np.arange(self.shape[0], dtype=np.int64), np.diff(indptr))
+        order = np.lexsort((self.indices, row_ids))
+        self.indices = self.indices[order]
+        self.values = self.values[order]
 
     # ------------------------------------------------------------------ #
     @property
@@ -168,8 +130,9 @@ class CSRMatrix:
         x = np.asarray(x)
         if x.shape != (self.ncols,):
             raise ValueError(f"dimension mismatch: A is {self.shape}, x has shape {x.shape}")
-        return spmv_csr(self.values, self.indices, self.indptr, x,
-                        out_precision=out_precision, record=record)
+        return get_backend().spmv_csr(self.values, self.indices, self.indptr, x,
+                                      out_precision=out_precision, record=record,
+                                      scratch=self.scratch())
 
     __matmul__ = matvec
 
@@ -180,18 +143,20 @@ class CSRMatrix:
     # ------------------------------------------------------------------ #
     def diagonal(self) -> np.ndarray:
         """Main diagonal as a dense fp64 vector (zeros where absent)."""
-        n = min(self.shape)
-        diag = np.zeros(n, dtype=np.float64)
-        for i in range(n):
-            lo, hi = self.indptr[i], self.indptr[i + 1]
-            cols = self.indices[lo:hi]
-            pos = np.searchsorted(cols, i)
-            if pos < cols.size and cols[pos] == i:
-                diag[i] = self.values[lo + pos]
-        return diag
+        from .ops import extract_diagonal
+
+        return extract_diagonal(self)
 
     def transpose(self) -> "CSRMatrix":
-        """Return A^T as a new CSR matrix (values keep their dtype)."""
+        """Return A^T as a CSR matrix (values keep their dtype).
+
+        The result is cached: repeated calls (AINV construction, ``rmatvec``,
+        symmetry checks) return the same object, and the transpose's transpose
+        is the original matrix.
+        """
+        cached = self._transpose
+        if cached is not None:
+            return cached
         nrows, ncols = self.shape
         nnz = self.nnz
         row_ids = np.repeat(np.arange(nrows, dtype=np.int32), np.diff(self.indptr))
@@ -201,8 +166,12 @@ class CSRMatrix:
         t_indptr = np.zeros(ncols + 1, dtype=np.int32)
         np.add.at(t_indptr, self.indices + 1, 1)
         np.cumsum(t_indptr, out=t_indptr)
-        assert t_indptr[-1] == nnz
-        return CSRMatrix(t_values, t_indices, t_indptr, (ncols, nrows))
+        if t_indptr[-1] != nnz:
+            raise ValueError("inconsistent CSR structure: column indices out of range")
+        result = CSRMatrix(t_values, t_indices, t_indptr, (ncols, nrows))
+        result._transpose = self
+        self._transpose = result
+        return result
 
     def astype(self, precision: Precision | str) -> "CSRMatrix":
         """Copy with values cast to ``precision`` (indices shared)."""
@@ -214,9 +183,9 @@ class CSRMatrix:
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=np.float64)
-        for i in range(self.nrows):
-            lo, hi = self.indptr[i], self.indptr[i + 1]
-            dense[i, self.indices[lo:hi]] = self.values[lo:hi].astype(np.float64)
+        if self.nnz:
+            rows = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr))
+            dense[rows, self.indices] = self.values.astype(np.float64)
         return dense
 
     def to_coo(self):
@@ -269,28 +238,29 @@ class CSRMatrix:
         Used by the block-Jacobi preconditioner: couplings outside the block
         are discarded, exactly as in the paper's block-Jacobi ILU(0).
         """
-        rows_values = []
-        rows_indices = []
-        indptr = [0]
-        for i in range(start, stop):
-            lo, hi = self.indptr[i], self.indptr[i + 1]
-            cols = self.indices[lo:hi]
-            mask = (cols >= start) & (cols < stop)
-            rows_indices.append(cols[mask] - start)
-            rows_values.append(self.values[lo:hi][mask])
-            indptr.append(indptr[-1] + int(np.count_nonzero(mask)))
-        values = np.concatenate(rows_values) if rows_values else np.empty(0, dtype=self.values.dtype)
-        indices = np.concatenate(rows_indices) if rows_indices else np.empty(0, dtype=np.int32)
         m = stop - start
-        return CSRMatrix(values, indices, np.asarray(indptr, dtype=np.int32), (m, m))
+        lo, hi = int(self.indptr[start]), int(self.indptr[stop])
+        cols = self.indices[lo:hi]
+        row_counts = np.diff(self.indptr[start:stop + 1])
+        rows = np.repeat(np.arange(m, dtype=np.int64), row_counts)
+        mask = (cols >= start) & (cols < stop)
+        sel_cols = (cols[mask] - start).astype(np.int32)
+        sel_vals = self.values[lo:hi][mask]
+        indptr = np.zeros(m + 1, dtype=np.int32)
+        np.cumsum(np.bincount(rows[mask], minlength=m), out=indptr[1:])
+        return CSRMatrix(sel_vals, sel_cols, indptr, (m, m))
 
     def is_symmetric(self, tol: float = 1e-12) -> bool:
-        """Check structural+numerical symmetry (within ``tol``) via A - A^T."""
+        """Check structural+numerical symmetry (within ``tol``) via A - A^T.
+
+        Uses a transient scipy transpose rather than :meth:`transpose` so a
+        one-off symmetry check doesn't pin a cached A^T for the matrix's
+        lifetime.
+        """
         if self.nrows != self.ncols:
             return False
-        at = self.transpose()
         a_sp = self.to_scipy()
-        at_sp = at.to_scipy()
+        at_sp = a_sp.transpose().tocsr()
         diff = (a_sp - at_sp).tocoo()
         if diff.nnz == 0:
             return True

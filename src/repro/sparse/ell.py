@@ -6,19 +6,24 @@ is padded to the width of its longest row, and values are laid out
 column-major within the chunk so that consecutive threads read consecutive
 addresses.  Here the format matters because its padding changes the memory
 traffic, which is what the GPU machine model consumes.
+
+The matvec kernel dispatches through the active :mod:`repro.backends` engine;
+the ``fast`` backend attaches a row-major gather plan and scratch buffers to
+the matrix (``_rm_plan`` / ``_scratch``) on first use.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..perf.counters import record_bytes, record_flops, record_kernel
-from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype, promote
+from ..backends import get_backend
+from ..backends.workspace import ScratchOwner, ThreadLocalWorkspace
+from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype
 
 __all__ = ["SlicedEllMatrix"]
 
 
-class SlicedEllMatrix:
+class SlicedEllMatrix(ScratchOwner):
     """Sparse matrix in sliced-ELLPACK layout.
 
     Parameters
@@ -30,7 +35,8 @@ class SlicedEllMatrix:
     """
 
     __slots__ = ("shape", "chunk_size", "chunk_widths", "chunk_offsets",
-                 "values", "indices", "_source_nnz")
+                 "values", "indices", "_source_nnz", "_rm_plan", "_rm_vals",
+                 "_scratch")
 
     def __init__(self, csr, chunk_size: int = 32) -> None:
         if chunk_size <= 0:
@@ -39,15 +45,18 @@ class SlicedEllMatrix:
         self.shape = (nrows, ncols)
         self.chunk_size = int(chunk_size)
         self._source_nnz = csr.nnz
+        self._rm_plan = None
+        self._rm_vals: dict = {}
+        self._scratch = None
 
-        row_nnz = np.diff(csr.indptr)
+        row_nnz = np.diff(csr.indptr).astype(np.int64)
         nchunks = (nrows + chunk_size - 1) // chunk_size
 
-        chunk_widths = np.zeros(nchunks, dtype=np.int32)
-        for c in range(nchunks):
-            lo = c * chunk_size
-            hi = min(lo + chunk_size, nrows)
-            chunk_widths[c] = int(row_nnz[lo:hi].max()) if hi > lo else 0
+        if nchunks:
+            chunk_starts = np.arange(nchunks, dtype=np.int64) * chunk_size
+            chunk_widths = np.maximum.reduceat(row_nnz, chunk_starts).astype(np.int32)
+        else:
+            chunk_widths = np.zeros(0, dtype=np.int32)
         self.chunk_widths = chunk_widths
 
         offsets = np.zeros(nchunks + 1, dtype=np.int64)
@@ -60,18 +69,17 @@ class SlicedEllMatrix:
 
         # Column-major layout within each chunk: element (row r, slot j) of
         # chunk c lives at offset[c] + j*chunk_size + (r - c*chunk_size).
-        for c in range(nchunks):
-            lo = c * chunk_size
-            hi = min(lo + chunk_size, nrows)
-            width = chunk_widths[c]
-            base = offsets[c]
-            for local, i in enumerate(range(lo, hi)):
-                a, b = csr.indptr[i], csr.indptr[i + 1]
-                k = b - a
-                slots = base + np.arange(k, dtype=np.int64) * chunk_size + local
-                values[slots] = csr.values[a:b]
-                indices[slots] = csr.indices[a:b]
-                # padding slots keep value 0 and column 0 (harmless: 0 * x[0])
+        # Scatter all CSR entries to their slots in one vectorized pass;
+        # padding slots keep value 0 and column 0 (harmless: 0 * x[0]).
+        if csr.nnz:
+            rows_all = np.repeat(np.arange(nrows, dtype=np.int64), row_nnz)
+            k_within = (np.arange(csr.nnz, dtype=np.int64)
+                        - np.repeat(csr.indptr[:-1].astype(np.int64), row_nnz))
+            chunk_all = rows_all // chunk_size
+            slots = (offsets[chunk_all] + k_within * chunk_size
+                     + (rows_all - chunk_all * chunk_size))
+            values[slots] = csr.values
+            indices[slots] = csr.indices
         self.values = values
         self.indices = indices
 
@@ -118,6 +126,9 @@ class SlicedEllMatrix:
         out.values = self.values.astype(p.dtype)
         out.indices = self.indices
         out._source_nnz = self._source_nnz
+        out._rm_plan = self._rm_plan       # layout-only; shared across dtypes
+        out._rm_vals = {}                  # value-dependent; per instance
+        out._scratch = None
         return out
 
     # ------------------------------------------------------------------ #
@@ -131,39 +142,8 @@ class SlicedEllMatrix:
         x = np.asarray(x)
         if x.shape != (self.ncols,):
             raise ValueError("dimension mismatch in sliced-ELLPACK matvec")
-        mat_prec = self.precision
-        vec_prec = precision_of_dtype(x.dtype)
-        compute = promote(mat_prec, vec_prec)
-        out_prec = as_precision(out_precision) if out_precision is not None else vec_prec
-
-        vals = self.values if self.values.dtype == compute.dtype else self.values.astype(compute.dtype)
-        x_c = x if x.dtype == compute.dtype else x.astype(compute.dtype)
-
-        y = np.zeros(self.nrows, dtype=compute.dtype)
-        nchunks = self.chunk_widths.size
-        cs = self.chunk_size
-        for c in range(nchunks):
-            lo = c * cs
-            hi = min(lo + cs, self.nrows)
-            rows_in_chunk = hi - lo
-            width = int(self.chunk_widths[c])
-            if width == 0:
-                continue
-            base = int(self.chunk_offsets[c])
-            block_vals = vals[base:base + width * cs].reshape(width, cs)[:, :rows_in_chunk]
-            block_cols = self.indices[base:base + width * cs].reshape(width, cs)[:, :rows_in_chunk]
-            y[lo:hi] = (block_vals * x_c[block_cols]).sum(axis=0, dtype=compute.dtype)
-        y = y.astype(out_prec.dtype, copy=False)
-
-        if record:
-            stored = self.nnz
-            record_kernel("spmv")
-            record_bytes(mat_prec, stored * mat_prec.bytes,
-                         index_bytes=stored * BYTES_PER_INDEX)
-            record_bytes(vec_prec, self.nrows * vec_prec.bytes)
-            record_bytes(out_prec, self.nrows * out_prec.bytes)
-            record_flops(compute, 2 * stored)
-        return y
+        return get_backend().spmv_ell(self, x, out_precision=out_precision,
+                                      record=record)
 
     __matmul__ = matvec
 

@@ -9,6 +9,10 @@ technique GPU triangular-solve kernels use — computing once, at factorization
 time, a partition of the rows into dependency levels; at solve time each level
 is processed with vectorized gathers and segment sums.
 
+The substitution kernel dispatches through the active :mod:`repro.backends`
+engine.  The ``fast`` backend additionally caches per-level gather indices on
+the factor (``_fast_plan``) so repeated applications do no index arithmetic.
+
 Precision: gathers and the per-level update run in the promotion of the factor
 and right-hand-side precisions, and the solution vector is stored back in the
 requested output precision after each level, so low-precision rounding
@@ -19,8 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..perf.counters import record_bytes, record_flops, record_kernel
-from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype, promote
+from ..backends import get_backend
+from ..backends.workspace import ScratchOwner
+from ..precision import Precision, as_precision, precision_of_dtype
 from .csr import CSRMatrix
 
 __all__ = ["TriangularFactor", "compute_levels", "solve_lower", "solve_upper"]
@@ -54,7 +59,7 @@ def compute_levels(indices: np.ndarray, indptr: np.ndarray, lower: bool) -> list
     return [order[boundaries[k]:boundaries[k + 1]].astype(np.int32) for k in range(nlevels)]
 
 
-class TriangularFactor:
+class TriangularFactor(ScratchOwner):
     """A triangular CSR factor prepared for repeated level-scheduled solves.
 
     Parameters
@@ -75,41 +80,41 @@ class TriangularFactor:
         n = matrix.nrows
         self.levels = compute_levels(matrix.indices, matrix.indptr, lower)
 
-        # Pre-split each row into off-diagonal part + diagonal value so the
-        # solve loop does no per-row Python work.
+        # Pre-split the rows into off-diagonal part + diagonal in one
+        # vectorized pass so neither construction nor solve does per-row work.
         indptr = matrix.indptr
         indices = matrix.indices
         values = matrix.values
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        if lower:
+            off_mask = indices < rows
+        else:
+            off_mask = indices > rows
+
         diag = np.ones(n, dtype=np.float64) if unit_diagonal else np.zeros(n, dtype=np.float64)
+        if not unit_diagonal:
+            diag_mask = indices == rows
+            has_diag = np.zeros(n, dtype=bool)
+            has_diag[rows[diag_mask]] = True
+            if not has_diag.all():
+                missing = int(np.argmin(has_diag))
+                raise ValueError(f"missing diagonal entry in row {missing} of triangular factor")
+            diag[rows[diag_mask]] = values[diag_mask].astype(np.float64)
 
-        off_cols = []
-        off_vals = []
+        self.off_cols = indices[off_mask]
+        self.off_vals = values[off_mask]
         off_rowptr = np.zeros(n + 1, dtype=np.int64)
-        for i in range(n):
-            lo, hi = indptr[i], indptr[i + 1]
-            cols = indices[lo:hi]
-            vals = values[lo:hi]
-            if lower:
-                off_mask = cols < i
-            else:
-                off_mask = cols > i
-            diag_mask = cols == i
-            if not unit_diagonal:
-                if np.any(diag_mask):
-                    diag[i] = float(vals[diag_mask][0])
-                else:
-                    raise ValueError(f"missing diagonal entry in row {i} of triangular factor")
-            off_cols.append(cols[off_mask])
-            off_vals.append(vals[off_mask])
-            off_rowptr[i + 1] = off_rowptr[i] + int(np.count_nonzero(off_mask))
-
-        self.off_cols = (np.concatenate(off_cols) if off_cols else np.empty(0, dtype=np.int32))
-        self.off_vals = (np.concatenate(off_vals) if off_vals
-                         else np.empty(0, dtype=values.dtype))
+        np.cumsum(np.bincount(rows[off_mask], minlength=n), out=off_rowptr[1:])
         self.off_rowptr = off_rowptr
         self.diag = diag
         self.inv_diag = np.where(diag != 0.0, 1.0 / np.where(diag == 0.0, 1.0, diag), 0.0)
         self.precision = precision_of_dtype(values.dtype)
+        # fast-backend caches: per-level gather plan (layout-only, shared by
+        # astype copies), per-dtype gathered off-diagonal values, and
+        # per-thread scratch buffers
+        self._fast_plan: list | None = None
+        self._fast_vals: dict = {}
+        self._scratch = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -134,74 +139,17 @@ class TriangularFactor:
         out.diag = p.dtype.type(1.0) * self.diag.astype(p.dtype).astype(np.float64)
         out.inv_diag = self.inv_diag.astype(p.dtype).astype(np.float64)
         out.precision = p
+        out._fast_plan = self._fast_plan   # gather plan is layout-only: share it
+        out._fast_vals = {}                # value-dependent: per instance
+        out._scratch = None
         return out
 
     # ------------------------------------------------------------------ #
     def solve(self, b: np.ndarray, out_precision: Precision | str | None = None,
               record: bool = True) -> np.ndarray:
         """Solve ``T x = b`` by level-scheduled substitution."""
-        b = np.asarray(b)
-        vec_prec = precision_of_dtype(b.dtype)
-        compute = promote(self.precision, vec_prec)
-        out_prec = as_precision(out_precision) if out_precision is not None else vec_prec
-
-        x = np.zeros(self.nrows, dtype=compute.dtype)
-        b_c = b if b.dtype == compute.dtype else b.astype(compute.dtype)
-        off_vals = (self.off_vals if self.off_vals.dtype == compute.dtype
-                    else self.off_vals.astype(compute.dtype))
-        inv_diag = self.inv_diag.astype(compute.dtype)
-
-        rowptr = self.off_rowptr
-        cols = self.off_cols
-        for rows in self.levels:
-            starts = rowptr[rows]
-            stops = rowptr[rows + 1]
-            counts = stops - starts
-            total = int(counts.sum())
-            if total:
-                # Gather the off-diagonal entries of every row in this level.
-                gather_idx = np.repeat(starts, counts) + _ramp(counts)
-                prods = off_vals[gather_idx] * x[cols[gather_idx]]
-                sums = _segment_sum(prods, counts)
-            else:
-                sums = np.zeros(rows.size, dtype=compute.dtype)
-            x[rows] = ((b_c[rows] - sums) * inv_diag[rows]).astype(compute.dtype)
-
-        result = x.astype(out_prec.dtype, copy=False)
-        if record:
-            nnz = self.off_vals.size + (0 if self.unit_diagonal else self.nrows)
-            record_kernel("trsv")
-            record_bytes(self.precision, nnz * self.precision.bytes,
-                         index_bytes=self.off_cols.size * BYTES_PER_INDEX)
-            record_bytes(vec_prec, self.nrows * vec_prec.bytes)
-            record_bytes(out_prec, self.nrows * out_prec.bytes)
-            record_flops(compute, 2 * self.off_vals.size + 2 * self.nrows)
-        return result
-
-
-def _ramp(counts: np.ndarray) -> np.ndarray:
-    """[0..c0-1, 0..c1-1, ...] for segment gathers."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    ends = np.cumsum(counts)
-    starts = ends - counts
-    idx = np.arange(total, dtype=np.int64)
-    return idx - np.repeat(starts, counts)
-
-
-def _segment_sum(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Sum ``values`` over consecutive segments of the given lengths.
-
-    ``reduceat`` is evaluated only at the starts of non-empty segments, which
-    keeps the result correct when empty segments are interleaved or trailing.
-    """
-    out = np.zeros(counts.size, dtype=values.dtype)
-    nonempty = counts > 0
-    if np.any(nonempty):
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        out[nonempty] = np.add.reduceat(values, offsets[nonempty])
-    return out
+        return get_backend().trsv(self, np.asarray(b), out_precision=out_precision,
+                                  record=record)
 
 
 def solve_lower(matrix: CSRMatrix, b: np.ndarray, unit_diagonal: bool = False,
