@@ -1,21 +1,31 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-kernels bench-baseline
+.PHONY: test test-all lint-tests bench-smoke bench-kernels bench-baseline
 
-## Tier-1 test suite (the CI gate)
+## Tier-1 test suite (the CI gate): fast deterministic tests only
+## (pytest.ini's addopts deselect the tier2 marker by default)
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Kernel micro-benchmarks at smoke scale (<60 s); fails on >2x speedup
-## regression of the fast backend against the committed baseline JSON
+## Both tiers: tier1 plus the hypothesis sweeps and paper-claim integration
+## tests (the trailing -m overrides the addopts default)
+test-all:
+	$(PYTHON) -m pytest -q -m "tier1 or tier2"
+
+## Fail if any test file lacks a tier1/tier2 marker
+lint-tests:
+	$(PYTHON) tools/lint_tests.py
+
+## Kernel + batched micro-benchmarks at smoke scale (<60 s); fails on >2x
+## speedup regression against the committed baseline JSON
 bench-smoke:
 	$(PYTHON) benchmarks/bench_kernels.py --scale smoke --check
 
-## Kernel micro-benchmarks at medium scale with the issue's >=3x floor on
-## the ELL-SpMV and FGMRES-cycle speedups
+## Kernel micro-benchmarks at medium scale with the issues' floors: >=3x on
+## ELL-SpMV / FGMRES-cycle (kernel engine) and >=3x on solve_batch (batching)
 bench-kernels:
-	$(PYTHON) benchmarks/bench_kernels.py --scale medium --require 3.0
+	$(PYTHON) benchmarks/bench_kernels.py --scale medium --require 3.0 --require-batched 3.0
 
 ## Refresh the committed smoke baseline (run on a quiet machine)
 bench-baseline:

@@ -1,20 +1,25 @@
-"""Micro-benchmarks for the kernel engine: reference vs fast backend.
+"""Micro-benchmarks for the kernel engine: reference vs fast backend, and
+batched (multi-RHS) vs looped execution.
 
 Times the four hot kernels — CSR SpMV, sliced-ELLPACK SpMV, level-scheduled
-triangular solve, and one FGMRES(m) cycle — on both registered backends and
-emits a ``BENCH_kernels.json`` speedup summary.
+triangular solve, and one FGMRES(m) cycle — on both registered backends, plus
+the batched kernels (CSR SpMM, batched trsm) and a full ``solve_batch`` of
+the fp16-F3R solver against ``k`` sequential ``solve`` calls, and emits a
+``BENCH_kernels.json`` speedup summary.
 
 Not collected by pytest (the tier-1 suite); run directly or via make:
 
     PYTHONPATH=src python benchmarks/bench_kernels.py --scale smoke --check
-    PYTHONPATH=src python benchmarks/bench_kernels.py --scale medium --require 3.0
+    PYTHONPATH=src python benchmarks/bench_kernels.py --scale medium \
+        --require 3.0 --require-batched 3.0
 
 ``--check`` compares the measured speedups against the committed baseline
 (``benchmarks/BENCH_kernels_baseline.json``) and exits non-zero when any
-kernel's fast-backend speedup regressed by more than 2x — speedup ratios are
-compared rather than wall times so the gate is stable across machines.
-``--require X`` additionally enforces an absolute floor on the ELL-SpMV and
-FGMRES-cycle speedups (the acceptance criterion of the kernel-engine issue).
+kernel's fast-backend (or batched-over-looped) speedup regressed by more than
+2x — speedup ratios are compared rather than wall times so the gate is stable
+across machines.  ``--require X`` enforces an absolute floor on the ELL-SpMV
+and FGMRES-cycle speedups (kernel-engine issue), ``--require-batched X`` on
+the ``solve_batch`` speedup (batched-solve issue).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.backends import use_backend
+from repro.core import F3RConfig, F3RSolver
 from repro.matgen import poisson2d
 from repro.precision import Precision
 from repro.precond import ilu0_factor
@@ -37,11 +43,21 @@ from repro.sparse import SlicedEllMatrix, TriangularFactor
 #: grid side of the 5-point Poisson problem per scale (n = side^2 unknowns)
 SCALES = {"smoke": 90, "small": 160, "medium": 300}
 
+#: grid side of the end-to-end ``solve_batch`` benchmark per scale (kept
+#: smaller than the kernel grid: it times 8 full emulated F3R solves)
+SOLVE_SCALES = {"smoke": 40, "small": 90, "medium": 300}
+
+#: right-hand sides per batch in the batched benchmarks
+BATCH_K = 8
+
 BASELINE_PATH = Path(__file__).parent / "BENCH_kernels_baseline.json"
 OUTPUT_PATH = Path(__file__).parent / "BENCH_kernels.json"
 
-#: kernels the --require floor applies to (the issue's acceptance criterion)
+#: kernels the --require floor applies to (the kernel-engine acceptance criterion)
 REQUIRED_KERNELS = ("spmv_ell", "fgmres_cycle")
+
+#: batched entries the --require-batched floor applies to
+REQUIRED_BATCHED = ("solve_batch",)
 
 
 def _time(fn, repeats: int, warmup: int = 1) -> float:
@@ -86,6 +102,61 @@ def bench_backend(problem, backend: str, repeats: int, m: int) -> dict[str, floa
     return times
 
 
+def bench_batched_kernels(problem, repeats: int, k: int = BATCH_K) -> dict[str, dict]:
+    """Batched-vs-looped timings of SpMM and trsm on the fast engine."""
+    matrix = problem["matrix"]
+    x_block = np.random.default_rng(1).uniform(-1.0, 1.0, (problem["n"], k))
+    entries = {}
+    with use_backend("fast"):
+        factor = TriangularFactor(problem["lower"], lower=True, unit_diagonal=True)
+        looped = _time(lambda: [matrix.matvec(np.ascontiguousarray(x_block[:, j]))
+                                for j in range(k)], repeats)
+        batched = _time(lambda: matrix.matmat(x_block), repeats)
+        entries["spmm_csr"] = {"looped_s": looped, "batched_s": batched}
+        looped = _time(lambda: [factor.solve(np.ascontiguousarray(x_block[:, j]))
+                                for j in range(k)], repeats)
+        batched = _time(lambda: factor.solve_batch(x_block), repeats)
+        entries["trsm"] = {"looped_s": looped, "batched_s": batched}
+    for row in entries.values():
+        row["speedup"] = round(row["looped_s"] / row["batched_s"]
+                               if row["batched_s"] > 0 else float("inf"), 3)
+        row["k"] = k
+    return entries
+
+
+def bench_solve_batch(scale: str, k: int = BATCH_K) -> dict:
+    """``solve_batch`` with ``k`` RHS vs ``k`` sequential fp16-F3R solves.
+
+    Measures the end-to-end amortization the batched stack buys: one
+    preconditioner setup, SpMM matvecs, batched triangular solves, and
+    lockstep inner levels against ``k`` independent solves of the same
+    solver object (best-of-1: the solves are deterministic and expensive).
+    """
+    matrix = poisson2d(SOLVE_SCALES[scale])
+    rhs = np.random.default_rng(2).uniform(-1.0, 1.0, (matrix.nrows, k))
+    config = F3RConfig(variant="fp16", tol=1e-8, backend="fast")
+    solver = F3RSolver(matrix, preconditioner="auto", nblocks=16, config=config)
+    # warm up kernels, plans and arenas outside the measurement
+    solver.solve(rhs[:, 0])
+    solver.solve_batch(rhs[:, :2])
+
+    start = time.perf_counter()
+    sequential = [solver.solve(np.ascontiguousarray(rhs[:, j])) for j in range(k)]
+    looped_s = time.perf_counter() - start
+    start = time.perf_counter()
+    batch = solver.solve_batch(rhs)
+    batched_s = time.perf_counter() - start
+    return {
+        "looped_s": looped_s,
+        "batched_s": batched_s,
+        "speedup": round(looped_s / batched_s if batched_s > 0 else float("inf"), 3),
+        "k": k,
+        "n": matrix.nrows,
+        "all_converged": bool(all(r.converged for r in sequential)
+                              and batch.all_converged),
+    }
+
+
 def run(scale: str, repeats: int, m: int) -> dict:
     side = SCALES[scale]
     problem = build_problem(side)
@@ -99,6 +170,8 @@ def run(scale: str, repeats: int, m: int) -> dict:
             "fast_s": fast[name],
             "speedup": round(speedup, 3),
         }
+    batched = bench_batched_kernels(problem, repeats)
+    batched["solve_batch"] = bench_solve_batch(scale)
     return {
         "scale": scale,
         "n": problem["n"],
@@ -106,6 +179,7 @@ def run(scale: str, repeats: int, m: int) -> dict:
         "fgmres_m": m,
         "repeats": repeats,
         "kernels": kernels,
+        "batched": batched,
     }
 
 
@@ -121,16 +195,17 @@ def check_regressions(report: dict, baseline: dict, factor: float = 2.0) -> list
                             f"--write-baseline")
     if failures:
         return failures
-    for name, base in baseline.get("kernels", {}).items():
-        current = report["kernels"].get(name)
-        if current is None:
-            failures.append(f"{name}: missing from current run")
-            continue
-        floor = base["speedup"] / factor
-        if current["speedup"] < floor:
-            failures.append(
-                f"{name}: speedup {current['speedup']:.2f}x < {floor:.2f}x "
-                f"(baseline {base['speedup']:.2f}x / {factor:g})")
+    for section in ("kernels", "batched"):
+        for name, base in baseline.get(section, {}).items():
+            current = report.get(section, {}).get(name)
+            if current is None:
+                failures.append(f"{name}: missing from current run")
+                continue
+            floor = base["speedup"] / factor
+            if current["speedup"] < floor:
+                failures.append(
+                    f"{name}: speedup {current['speedup']:.2f}x < {floor:.2f}x "
+                    f"(baseline {base['speedup']:.2f}x / {factor:g})")
     return failures
 
 
@@ -147,6 +222,8 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("--require", type=float, default=None, metavar="X",
                         help="fail unless ELL-SpMV and FGMRES-cycle speedups >= X")
+    parser.add_argument("--require-batched", type=float, default=None, metavar="X",
+                        help="fail unless the solve_batch speedup >= X")
     parser.add_argument("--write-baseline", action="store_true",
                         help="overwrite the committed baseline with this run")
     args = parser.parse_args(argv)
@@ -158,6 +235,10 @@ def main(argv=None) -> int:
     for name, row in report["kernels"].items():
         print(f"  {name:<14} reference {row['reference_s'] * 1e3:9.3f} ms   "
               f"fast {row['fast_s'] * 1e3:9.3f} ms   speedup {row['speedup']:6.2f}x")
+    print(f"batched (k={BATCH_K}) vs looped — fast engine")
+    for name, row in report["batched"].items():
+        print(f"  {name:<14} looped    {row['looped_s'] * 1e3:9.3f} ms   "
+              f"batched {row['batched_s'] * 1e3:6.3f} ms   speedup {row['speedup']:6.2f}x")
 
     args.json.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.json}")
@@ -184,6 +265,13 @@ def main(argv=None) -> int:
             if speedup < args.require:
                 print(f"REQUIREMENT FAILED: {name} speedup {speedup:.2f}x "
                       f"< {args.require:g}x", file=sys.stderr)
+                status = 1
+    if args.require_batched is not None:
+        for name in REQUIRED_BATCHED:
+            speedup = report["batched"][name]["speedup"]
+            if speedup < args.require_batched:
+                print(f"REQUIREMENT FAILED: {name} speedup {speedup:.2f}x "
+                      f"< {args.require_batched:g}x", file=sys.stderr)
                 status = 1
     return status
 

@@ -1,0 +1,98 @@
+"""Batched multi-RHS solves and the request dispatcher.
+
+Demonstrates the two batching entry points added for production serving:
+
+1. ``solve_batch`` — solve ``k`` right-hand sides against one matrix and one
+   preconditioner setup; the hot kernels run as SpMM / batched triangular
+   solves and converged columns deflate out of the batch early.
+2. ``BatchDispatcher`` — a serving front-end that groups a stream of
+   ``(matrix, rhs)`` requests by matrix fingerprint, caches preconditioner
+   setups in an LRU, and executes each group as one batched solve on worker
+   threads.
+
+Run with:  PYTHONPATH=src python examples/batched_solves.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import BatchDispatcher, F3RConfig, F3RSolver
+from repro.matgen import hpcg_matrix, poisson2d
+from repro.sparse import diagonal_scaling
+
+
+def batched_vs_sequential() -> None:
+    print("=== solve_batch vs sequential solves ===")
+    matrix = poisson2d(40)
+    k = 8
+    rhs = np.random.default_rng(0).uniform(-1.0, 1.0, (matrix.nrows, k))
+    config = F3RConfig(variant="fp16", tol=1e-8, backend="fast")
+    solver = F3RSolver(matrix, preconditioner="auto", nblocks=8, config=config)
+
+    start = time.perf_counter()
+    sequential = [solver.solve(rhs[:, j]) for j in range(k)]
+    t_seq = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = solver.solve_batch(rhs)
+    t_batch = time.perf_counter() - start
+
+    print(f"  {k} sequential solves: {t_seq:6.2f} s "
+          f"(all converged: {all(r.converged for r in sequential)})")
+    print(f"  one solve_batch:      {t_batch:6.2f} s "
+          f"(all converged: {batch.all_converged})")
+    print(f"  speedup: {t_seq / t_batch:.2f}x")
+    print(f"  per-column iterations: {batch.iterations.tolist()}")
+
+
+def mixed_difficulty_deflation() -> None:
+    # a flat (single-level) preconditioned FGMRES makes the per-iteration
+    # deflation visible: each column leaves the batch the moment its own
+    # residual estimate meets the tolerance
+    print("=== early deflation of converged columns ===")
+    from repro.precond import ILU0Preconditioner
+    from repro.solvers import OuterFGMRES
+
+    matrix = poisson2d(30)
+    n = matrix.nrows
+    rhs = np.empty((n, 4))
+    rhs[:, 0] = matrix.matvec(np.ones(n), record=False)     # easy: smooth
+    rhs[:, 1] = matrix.matvec(np.ones(n) * 2.0, record=False)
+    rng = np.random.default_rng(1)
+    rhs[:, 2] = rng.uniform(-1.0, 1.0, n)                   # hard: rough
+    rhs[:, 3] = rng.uniform(-1.0, 1.0, n)
+    solver = OuterFGMRES(matrix, ILU0Preconditioner(matrix), m=80, tol=1e-10)
+    batch = solver.solve_batch(rhs)
+    print(f"  iterations per column (easy, easy, hard, hard): "
+          f"{batch.iterations.tolist()}")
+    print(f"  relative residuals: "
+          f"{[f'{r:.1e}' for r in batch.relative_residuals]}")
+
+
+def dispatcher_serving() -> None:
+    print("=== BatchDispatcher: grouping + setup caching ===")
+    poisson = poisson2d(30)
+    hpcg, _ = diagonal_scaling(hpcg_matrix(8))
+    rng = np.random.default_rng(2)
+    config = F3RConfig(variant="fp32", tol=1e-8)
+
+    with BatchDispatcher(config, nblocks=8, max_batch=4,
+                         max_workers=2) as dispatcher:
+        futures = []
+        for i in range(12):          # interleaved request stream, two operators
+            matrix = poisson if i % 3 else hpcg
+            futures.append(dispatcher.submit(matrix,
+                                             rng.uniform(-1.0, 1.0, matrix.nrows)))
+        dispatcher.flush()
+        results = [f.result() for f in futures]
+
+    print(f"  requests solved: {len(results)} "
+          f"(all converged: {all(r.converged for r in results)})")
+    print(f"  dispatcher stats: {dispatcher.stats.summary()}")
+
+
+if __name__ == "__main__":
+    batched_vs_sequential()
+    mixed_difficulty_deflation()
+    dispatcher_serving()

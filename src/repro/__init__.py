@@ -37,7 +37,9 @@ from .core import (
 )
 from .precision import Precision
 from .precond import make_primary_preconditioner
+from .serve import BatchDispatcher
 from .solvers import (
+    BatchSolveResult,
     BiCGStab,
     ConjugateGradient,
     LevelSpec,
@@ -64,6 +66,8 @@ __all__ = [
     "LevelSpec",
     "build_nested_solver",
     "SolveResult",
+    "BatchSolveResult",
+    "BatchDispatcher",
     "CSRMatrix",
     "active_backend",
     "available_backends",

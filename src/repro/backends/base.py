@@ -19,7 +19,10 @@ Both backends must preserve two contracts:
    bitwise.
 2. **Counter totals** — the bytes / flops / kernel-call totals recorded for a
    given logical operation are identical across backends; the ``fast`` backend
-   merely batches them into fewer ``record_*`` calls.
+   merely batches them into fewer ``record_*`` calls.  The batched multi-RHS
+   kernels (``spmm_csr``, ``spmm_ell``, ``trsm``) record exactly what ``k``
+   single-RHS calls would — per-column counter parity — so traffic-model
+   results are independent of whether solves were batched.
 
 To add a third backend (e.g. a CuPy/GPU one), subclass :class:`KernelBackend`,
 implement the abstract kernels, and register a factory with
@@ -47,6 +50,9 @@ def row_segment_sums(products: np.ndarray, indptr: np.ndarray,
     reduction from one non-empty segment's start to the next automatically
     skips interleaved empty segments because those contribute no elements.
     Shared by both backends so the summation semantics stay identical.
+
+    ``products`` may be 2-D (one column per right-hand side); the reduction
+    then runs along axis 0 and ``out`` must have the matching column count.
     """
     out.fill(0)
     if products.size:
@@ -145,12 +151,47 @@ class KernelBackend(abc.ABC):
         """``y = A @ x`` for a :class:`~repro.sparse.ell.SlicedEllMatrix`."""
 
     # ------------------------------------------------------------------ #
+    # Batched (multi-RHS) sparse products
+    #
+    # The default implementations loop column by column over the single-RHS
+    # kernels and are therefore the batched *oracle*: a backend override must
+    # produce the same per-column results (up to summation-order tolerance)
+    # and record identical counter totals — one logical SpMV/trsv per column.
+    # ------------------------------------------------------------------ #
+    def spmm_csr(self, values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
+                 x: np.ndarray, out_precision=None, record: bool = True,
+                 scratch=None) -> np.ndarray:
+        """``Y = A @ X`` for CSR arrays and ``X`` of shape ``(n, k)``."""
+        cols = [self.spmv_csr(values, indices, indptr,
+                              np.ascontiguousarray(x[:, j]),
+                              out_precision=out_precision, record=record,
+                              scratch=scratch)
+                for j in range(x.shape[1])]
+        return np.stack(cols, axis=1)
+
+    def spmm_ell(self, ell, x: np.ndarray, out_precision=None,
+                 record: bool = True) -> np.ndarray:
+        """``Y = A @ X`` for a sliced-ELLPACK matrix and ``X`` of shape ``(n, k)``."""
+        cols = [self.spmv_ell(ell, np.ascontiguousarray(x[:, j]),
+                              out_precision=out_precision, record=record)
+                for j in range(x.shape[1])]
+        return np.stack(cols, axis=1)
+
+    # ------------------------------------------------------------------ #
     # Triangular substitution
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
     def trsv(self, factor, b: np.ndarray, out_precision=None,
              record: bool = True) -> np.ndarray:
         """Solve ``T x = b`` for a prepared :class:`TriangularFactor`."""
+
+    def trsm(self, factor, b: np.ndarray, out_precision=None,
+             record: bool = True) -> np.ndarray:
+        """Solve ``T X = B`` for ``B`` of shape ``(n, k)`` (column-loop oracle)."""
+        cols = [self.trsv(factor, np.ascontiguousarray(b[:, j]),
+                          out_precision=out_precision, record=record)
+                for j in range(b.shape[1])]
+        return np.stack(cols, axis=1)
 
     # ------------------------------------------------------------------ #
     # FGMRES building blocks
@@ -203,6 +244,29 @@ class KernelBackend(abc.ABC):
         record_bytes(vec_prec, factor.nrows * vec_prec.bytes)
         record_bytes(out_prec, factor.nrows * out_prec.bytes)
         record_flops(compute, 2 * factor.off_vals.size + 2 * factor.nrows)
+
+    @staticmethod
+    def _record_spmm(mat_prec, vec_prec, out_prec, compute, n: int, nnz: int,
+                     index_bytes: int, k: int) -> None:
+        """Batched equivalent of ``k`` SpMVs: per-column counter parity with
+        the column-loop oracle (the traffic model counts logical per-column
+        traffic; amortization shows up in wall-clock, not in the counters)."""
+        record_kernel("spmv", k)
+        record_bytes(mat_prec, k * nnz * mat_prec.bytes, index_bytes=k * index_bytes)
+        record_bytes(vec_prec, k * n * vec_prec.bytes)
+        record_bytes(out_prec, k * n * out_prec.bytes)
+        record_flops(compute, k * 2 * nnz)
+
+    @staticmethod
+    def _record_trsm(factor, vec_prec, out_prec, compute, k: int) -> None:
+        """Batched equivalent of ``k`` triangular solves (per-column parity)."""
+        nnz = factor.off_vals.size + (0 if factor.unit_diagonal else factor.nrows)
+        record_kernel("trsv", k)
+        record_bytes(factor.precision, k * nnz * factor.precision.bytes,
+                     index_bytes=k * factor.off_cols.size * BYTES_PER_INDEX)
+        record_bytes(vec_prec, k * factor.nrows * vec_prec.bytes)
+        record_bytes(out_prec, k * factor.nrows * out_prec.bytes)
+        record_flops(compute, k * (2 * factor.off_vals.size + 2 * factor.nrows))
 
     @staticmethod
     def _record_gram_schmidt(p: Precision, n: int, ncols: int) -> None:

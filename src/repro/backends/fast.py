@@ -22,6 +22,11 @@ passes:
 * **ILU(0)** keeps the (inherently sequential) elimination order but works on
   compact row segments with ``searchsorted`` intersections instead of
   scattering into size-``n`` pattern/work arrays for every row.
+* **Batched multi-RHS kernels** (``spmm_csr``, ``spmm_ell``, ``trsm``) stream
+  the matrix / the level schedule once over all ``k`` right-hand sides —
+  scipy's compiled CSR SpMM for fp32/fp64, gather-multiply-``reduceat`` on
+  ``(segment, k)`` blocks otherwise — instead of looping the single-RHS
+  kernels column by column as the base-class oracle does.
 
 Counter totals (bytes, flops, kernel calls) are identical to the reference;
 they are recorded in one batched call per logical group, and skipped entirely
@@ -81,7 +86,14 @@ def _build_ell_plan(ell) -> dict:
 
 
 def _build_trsv_plan(factor) -> list[tuple]:
-    """Per-level gather indices and segment offsets, computed once per factor."""
+    """Per-level gather indices and segment offsets, computed once per factor.
+
+    Each entry is ``(rows, gather_idx, gather_cols, red_offsets, nonempty)``:
+    ``red_offsets`` are the reduceat start positions of the *non-empty*
+    segments only, and ``nonempty`` is ``None`` when every row of the level
+    has dependencies (the common case), letting the solve skip the
+    zero-fill/masked-assign path entirely.
+    """
     rowptr = factor.off_rowptr
     cols = factor.off_cols
     plan = []
@@ -94,7 +106,11 @@ def _build_trsv_plan(factor) -> list[tuple]:
             gather_idx = np.repeat(starts, counts) + segment_ramp(counts)
             gather_cols = cols[gather_idx]
             nonempty = counts > 0
-            plan.append((rows, gather_idx, gather_cols, offsets, nonempty))
+            if nonempty.all():
+                plan.append((rows, gather_idx, gather_cols, offsets, None))
+            else:
+                plan.append((rows, gather_idx, gather_cols, offsets[nonempty],
+                             nonempty))
         else:
             plan.append((rows, None, None, None, None))
     return plan
@@ -145,6 +161,42 @@ class FastBackend(KernelBackend):
         return y
 
     # ------------------------------------------------------------------ #
+    def spmm_csr(self, values, indices, indptr, x, out_precision=None,
+                 record=True, scratch=None):
+        mat_prec, vec_prec, compute, out_prec = spmv_setup(values.dtype, x.dtype,
+                                                           out_precision)
+        cdtype = compute.dtype
+        n = indptr.size - 1
+        nnz = values.size
+        k = x.shape[1]
+        x_c = x if x.dtype == cdtype else x.astype(cdtype)
+
+        if (scratch is not None and _scipy_sparse is not None
+                and np.dtype(cdtype) in _SCIPY_DTYPES):
+            # BLAS-3 shape: scipy's compiled CSR SpMM streams the matrix once
+            # over all k columns.
+            vals_c = scratch.cast("csr_values", values, cdtype)
+            sp_mat = scratch.memo(
+                ("scipy_csr", np.dtype(cdtype)),
+                lambda: _scipy_sparse.csr_matrix((vals_c, indices, indptr),
+                                                 shape=(n, x.shape[0])))
+            y = sp_mat @ np.ascontiguousarray(x_c)
+        else:
+            vals_c = (scratch.cast("csr_values", values, cdtype)
+                      if scratch is not None
+                      else values if values.dtype == cdtype
+                      else values.astype(cdtype))
+            prods = x_c[indices, :] * vals_c[:, None]
+            y = np.zeros((n, k), dtype=cdtype)
+            row_segment_sums(prods, indptr, y)
+        y = y.astype(out_prec.dtype, copy=False)
+
+        if record and counters_enabled():
+            self._record_spmm(mat_prec, vec_prec, out_prec, compute, n, nnz,
+                              nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX, k)
+        return y
+
+    # ------------------------------------------------------------------ #
     def spmv_ell(self, ell, x, out_precision=None, record=True):
         mat_prec, vec_prec, compute, out_prec = spmv_setup(ell.values.dtype, x.dtype,
                                                            out_precision)
@@ -181,46 +233,117 @@ class FastBackend(KernelBackend):
         return y
 
     # ------------------------------------------------------------------ #
+    def spmm_ell(self, ell, x, out_precision=None, record=True):
+        mat_prec, vec_prec, compute, out_prec = spmv_setup(ell.values.dtype, x.dtype,
+                                                           out_precision)
+        cdtype = compute.dtype
+        k = x.shape[1]
+        plan = ell._rm_plan
+        if plan is None:
+            plan = _build_ell_plan(ell)
+            ell._rm_plan = plan
+        vals_rm = ell._rm_vals.get(cdtype)
+        if vals_rm is None:
+            vals_rm = ell.values[plan["order"]].astype(cdtype, copy=False)
+            ell._rm_vals[cdtype] = vals_rm
+
+        x_c = x if x.dtype == cdtype else x.astype(cdtype)
+        prods = x_c[plan["cols_rm"], :] * vals_rm[:, None]
+        y = np.zeros((ell.nrows, k), dtype=cdtype)
+        row_segment_sums(prods, plan["rm_indptr"], y)
+        y = y.astype(out_prec.dtype, copy=False)
+
+        if record and counters_enabled():
+            stored = ell.nnz
+            self._record_spmm(mat_prec, vec_prec, out_prec, compute, ell.nrows,
+                              stored, stored * BYTES_PER_INDEX, k)
+        return y
+
+    # ------------------------------------------------------------------ #
+    def _trsv_plan_and_vals(self, factor, cdtype):
+        """Per-level gather plan + dtype-cast per-level values (cached).
+
+        Off-diagonal values and the inverse diagonal are pre-gathered per
+        level, cached per compute dtype on the factor (immutable derived
+        data; a cross-thread race at worst rebuilds identical arrays).
+        """
+        plan = factor._fast_plan
+        if plan is None:
+            plan = _build_trsv_plan(factor)
+            factor._fast_plan = plan
+        cached = factor._fast_vals.get(cdtype)
+        if cached is None:
+            off_vals = (factor.off_vals if factor.off_vals.dtype == cdtype
+                        else factor.off_vals.astype(cdtype))
+            inv_diag = factor.inv_diag.astype(cdtype, copy=False)
+            level_vals = [None if entry[1] is None else off_vals[entry[1]]
+                          for entry in plan]
+            level_inv = [inv_diag[entry[0]] for entry in plan]
+            cached = (level_vals, level_inv)
+            factor._fast_vals[cdtype] = cached
+        return plan, cached[0], cached[1]
+
     def trsv(self, factor, b, out_precision=None, record=True):
         vec_prec = precision_of_dtype(b.dtype)
         compute = promote(factor.precision, vec_prec)
         out_prec = as_precision(out_precision) if out_precision is not None else vec_prec
         cdtype = compute.dtype
 
-        plan = factor._fast_plan
-        if plan is None:
-            plan = _build_trsv_plan(factor)
-            factor._fast_plan = plan
-        scratch = factor.scratch()
-
-        # Off-diagonal values pre-gathered per level, cached per compute dtype
-        # on the factor (immutable derived data; a cross-thread race at worst
-        # rebuilds identical arrays).
-        level_vals = factor._fast_vals.get(cdtype)
-        if level_vals is None:
-            off_vals = (factor.off_vals if factor.off_vals.dtype == cdtype
-                        else factor.off_vals.astype(cdtype))
-            level_vals = [None if entry[1] is None else off_vals[entry[1]]
-                          for entry in plan]
-            factor._fast_vals[cdtype] = level_vals
-        inv_diag = scratch.cast("trsv_inv_diag", factor.inv_diag, cdtype)
+        plan, level_vals, level_inv = self._trsv_plan_and_vals(factor, cdtype)
 
         x = np.zeros(factor.nrows, dtype=cdtype)
         b_c = b if b.dtype == cdtype else b.astype(cdtype)
 
-        for (rows, gather_idx, gather_cols, offsets, nonempty), lv in zip(plan,
-                                                                          level_vals):
+        for (rows, gather_idx, gather_cols, red_offsets, nonempty), lv, inv in zip(
+                plan, level_vals, level_inv):
             if gather_idx is None:
-                x[rows] = b_c[rows] * inv_diag[rows]
+                x[rows] = b_c[rows] * inv
                 continue
             prods = lv * x[gather_cols]
-            sums = np.zeros(rows.size, dtype=cdtype)
-            sums[nonempty] = np.add.reduceat(prods, offsets[nonempty])
-            x[rows] = (b_c[rows] - sums) * inv_diag[rows]
+            if nonempty is None:
+                sums = np.add.reduceat(prods, red_offsets)
+            else:
+                sums = np.zeros(rows.size, dtype=cdtype)
+                sums[nonempty] = np.add.reduceat(prods, red_offsets)
+            x[rows] = (b_c[rows] - sums) * inv
 
         result = x.astype(out_prec.dtype, copy=False)
         if record and counters_enabled():
             self._record_trsv(factor, vec_prec, out_prec, compute)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def trsm(self, factor, b, out_precision=None, record=True):
+        vec_prec = precision_of_dtype(b.dtype)
+        compute = promote(factor.precision, vec_prec)
+        out_prec = as_precision(out_precision) if out_precision is not None else vec_prec
+        cdtype = compute.dtype
+        k = b.shape[1]
+
+        plan, level_vals, level_inv = self._trsv_plan_and_vals(factor, cdtype)
+
+        # One level sweep serves all k columns: the per-level index arithmetic
+        # and Python overhead are amortized k-fold, and the gather/multiply/
+        # reduceat run on (segment, k) blocks instead of k separate vectors.
+        x = np.zeros((factor.nrows, k), dtype=cdtype)
+        b_c = b if b.dtype == cdtype else b.astype(cdtype)
+
+        for (rows, gather_idx, gather_cols, red_offsets, nonempty), lv, inv in zip(
+                plan, level_vals, level_inv):
+            if gather_idx is None:
+                x[rows] = b_c[rows] * inv[:, None]
+                continue
+            prods = x[gather_cols, :] * lv[:, None]
+            if nonempty is None:
+                sums = np.add.reduceat(prods, red_offsets)
+            else:
+                sums = np.zeros((rows.size, k), dtype=cdtype)
+                sums[nonempty] = np.add.reduceat(prods, red_offsets)
+            x[rows] = (b_c[rows] - sums) * inv[:, None]
+
+        result = x.astype(out_prec.dtype, copy=False)
+        if record and counters_enabled():
+            self._record_trsm(factor, vec_prec, out_prec, compute, k)
         return result
 
     # ------------------------------------------------------------------ #

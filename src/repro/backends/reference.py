@@ -6,6 +6,12 @@ scatter/gather ILU(0) — and serves as the correctness oracle the ``fast``
 backend is validated against (see ``tests/test_backends_equivalence.py``).
 It records traffic at the same granularity the original code did: one
 ``record_*`` call per logical BLAS-1 operation.
+
+The batched multi-RHS kernels (``spmm_csr``, ``spmm_ell``, ``trsm``) are
+inherited from :class:`~repro.backends.base.KernelBackend` unchanged: on this
+backend a batched call *is* the column-by-column loop over the single-RHS
+oracle kernels, which is exactly what the batched-vs-looped equivalence tests
+pin the ``fast`` engine against.
 """
 
 from __future__ import annotations

@@ -39,12 +39,13 @@ __all__ = ["ScratchOwner", "ThreadLocalWorkspace", "Workspace"]
 class Workspace:
     """Arena of reusable scratch arrays keyed by ``(name, shape, dtype)``."""
 
-    __slots__ = ("_buffers", "_casts", "_memos")
+    __slots__ = ("_buffers", "_casts", "_memos", "_rows")
 
     def __init__(self) -> None:
         self._buffers: dict = {}
         self._casts: dict = {}
         self._memos: dict = {}
+        self._rows: dict = {}
 
     def get(self, name: str, shape, dtype, zero: bool = False) -> np.ndarray:
         """Return a reusable buffer; contents are arbitrary unless ``zero``."""
@@ -58,6 +59,23 @@ class Workspace:
         elif zero:
             buf.fill(0)
         return buf
+
+    def get_rows(self, name: str, nrows: int, tail_shape, dtype) -> np.ndarray:
+        """A ``(nrows, *tail_shape)`` view of a buffer keyed by tail shape only.
+
+        Unlike :meth:`get`, the leading dimension is *capacity*, not identity:
+        requests with a smaller ``nrows`` reuse (a slice of) the same buffer,
+        and a larger request grows it in place of the old one.  Used by the
+        batched Krylov arenas, where deflation/restarts shrink the active
+        column count — keying on the full shape would retain one arena per
+        distinct count.
+        """
+        key = (name, tuple(int(s) for s in tail_shape), np.dtype(dtype))
+        buf = self._rows.get(key)
+        if buf is None or buf.shape[0] < nrows:
+            buf = np.empty((int(nrows),) + key[1], dtype=key[2])
+            self._rows[key] = buf
+        return buf[:nrows]
 
     def cast(self, name: str, array: np.ndarray, dtype) -> np.ndarray:
         """A cached copy of ``array`` converted to ``dtype``.
@@ -86,12 +104,14 @@ class Workspace:
     def nbytes(self) -> int:
         """Total bytes currently held by the arena (buffers + cast caches)."""
         total = sum(b.nbytes for b in self._buffers.values())
+        total += sum(b.nbytes for b in self._rows.values())
         total += sum(c.nbytes for c in self._casts.values())
         total += sum(m.nbytes for m in self._memos.values() if hasattr(m, "nbytes"))
         return total
 
     def clear(self) -> None:
         self._buffers.clear()
+        self._rows.clear()
         self._casts.clear()
         self._memos.clear()
 

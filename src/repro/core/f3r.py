@@ -15,7 +15,13 @@ import numpy as np
 from ..backends import use_backend
 from ..precond import make_primary_preconditioner
 from ..precond.base import Preconditioner
-from ..solvers import LevelSpec, OuterFGMRES, SolveResult, build_nested_solver
+from ..solvers import (
+    BatchSolveResult,
+    LevelSpec,
+    OuterFGMRES,
+    SolveResult,
+    build_nested_solver,
+)
 from ..sparse import CSRMatrix
 from .config import F3RConfig
 
@@ -98,6 +104,18 @@ class F3RSolver:
     def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
         with self._backend_scope():
             return self._outer.solve(b, x0=x0)
+
+    def solve_batch(self, b: np.ndarray,
+                    x0: np.ndarray | None = None) -> BatchSolveResult:
+        """Solve ``A X = B`` for the columns of ``B`` against one setup.
+
+        All right-hand sides share this solver's matrix casts, preconditioner
+        factorization and level workspaces; the nested levels advance the
+        columns in lockstep so the hot kernels run batched (SpMM, trsm).  See
+        :meth:`repro.solvers.OuterFGMRES.solve_batch`.
+        """
+        with self._backend_scope():
+            return self._outer.solve_batch(b, x0=x0)
 
     def rebuild(self, config: F3RConfig) -> "F3RSolver":
         """Return a new solver sharing matrix and preconditioner with a new config."""

@@ -89,6 +89,10 @@ class ILU0Preconditioner(Preconditioner):
         y = self._lower.solve(r)
         return self._upper.solve(y)
 
+    def _apply_batch(self, r: np.ndarray) -> np.ndarray:
+        y = self._lower.solve_batch(r)
+        return self._upper.solve_batch(y)
+
     def astype(self, precision: Precision | str) -> "ILU0Preconditioner":
         p = as_precision(precision)
         return ILU0Preconditioner._from_factors(
@@ -149,6 +153,13 @@ class IC0Preconditioner(Preconditioner):
         y = (y.astype(np.result_type(y.dtype, self._inv_diag.dtype))
              * self._inv_diag).astype(vec_dtype, copy=False)
         return self._upper_t.solve(y)
+
+    def _apply_batch(self, r: np.ndarray) -> np.ndarray:
+        vec_dtype = r.dtype
+        y = self._lower.solve_batch(r)
+        y = (y.astype(np.result_type(y.dtype, self._inv_diag.dtype))
+             * self._inv_diag[:, None]).astype(vec_dtype, copy=False)
+        return self._upper_t.solve_batch(y)
 
     def astype(self, precision: Precision | str) -> "IC0Preconditioner":
         p = as_precision(precision)

@@ -47,6 +47,17 @@ class JacobiPreconditioner(Preconditioner):
         record_flops(compute, self._n)
         return z.astype(vec_prec.dtype, copy=False)
 
+    def _apply_batch(self, r: np.ndarray) -> np.ndarray:
+        vec_prec = precision_of_dtype(r.dtype)
+        compute = promote(self.precision, vec_prec)
+        k = r.shape[1]
+        z = (r.astype(compute.dtype) * self.inv_diag.astype(compute.dtype)[:, None])
+        record_kernel("precond_jacobi", k)
+        record_bytes(self.precision, k * self._n * self.precision.bytes)
+        record_bytes(vec_prec, 2 * k * self._n * vec_prec.bytes)
+        record_flops(compute, k * self._n)
+        return z.astype(vec_prec.dtype, copy=False)
+
     def astype(self, precision: Precision | str) -> "JacobiPreconditioner":
         p = as_precision(precision)
         return JacobiPreconditioner._from_inv_diag(self.inv_diag, p)

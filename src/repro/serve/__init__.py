@@ -1,0 +1,12 @@
+"""Serving layer: request batching, preconditioner caching, worker execution.
+
+:class:`BatchDispatcher` is the entry point for high-throughput deployments —
+it groups incoming ``(matrix, rhs)`` requests by matrix fingerprint, caches
+the per-matrix solver setups in an LRU, and executes each group as one
+batched multi-RHS solve on a thread pool.  See the README section "Batched
+solves & the dispatcher".
+"""
+
+from .dispatcher import BatchDispatcher, DispatchStats
+
+__all__ = ["BatchDispatcher", "DispatchStats"]

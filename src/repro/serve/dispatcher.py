@@ -1,0 +1,280 @@
+"""Request batching and preconditioner caching for high-throughput serving.
+
+A production deployment of the solver faces many concurrent, mostly repetitive
+solve requests: the same handful of operators (one per model / grid / time
+step) hit with ever-changing right-hand sides.  The
+:class:`BatchDispatcher` turns that request stream into efficient work:
+
+* **Grouping** — incoming ``(matrix, rhs)`` requests are grouped by the
+  matrix's content :meth:`~repro.sparse.CSRMatrix.fingerprint`, so requests
+  against the same operator land in the same batch even when callers hold
+  different (equal-valued) matrix objects.
+* **Setup caching** — the expensive per-matrix setup (precision casts, ILU(0)
+  factorization, triangular-solve plans) is built once per
+  ``(fingerprint, config)`` and kept in a bounded LRU; subsequent batches
+  reuse it.
+* **Batched execution** — each group is solved with
+  :meth:`~repro.core.F3RSolver.solve_batch`, so the hot kernels run as
+  SpMM / batched triangular solves instead of per-request vector kernels.
+* **Worker threads** — batches execute on a thread pool.  Every object with
+  scratch state (matrices, factors, solver levels) carries per-thread
+  workspaces (:class:`~repro.backends.workspace.ThreadLocalWorkspace`), so
+  one cached solver may execute batches on several workers concurrently.
+  The adaptive Richardson weights remain algorithmically shared state, as in
+  any concurrent use of a shared solver.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backends import use_backend
+from ..core import F3RConfig, F3RSolver
+from ..solvers import SolveResult
+from ..sparse import CSRMatrix
+
+__all__ = ["BatchDispatcher", "DispatchStats"]
+
+
+@dataclass
+class DispatchStats:
+    """Counters describing what the dispatcher has done so far.
+
+    All mutation happens under the owning dispatcher's lock; the stats object
+    itself is plain data.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    largest_batch: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "largest_batch": self.largest_batch,
+        }
+
+
+class _Request:
+    __slots__ = ("rhs", "future")
+
+    def __init__(self, rhs: np.ndarray) -> None:
+        self.rhs = rhs
+        self.future: Future = Future()
+
+
+class BatchDispatcher:
+    """Groups solve requests by matrix and executes them as batched solves.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.core.F3RConfig` used for every solver built by the
+        dispatcher (default: the package default F3R configuration).
+    preconditioner, nblocks, alpha:
+        Forwarded to :class:`~repro.core.F3RSolver` when a new setup is built.
+    max_batch:
+        A pending group is dispatched as soon as it reaches this many
+        requests; smaller groups wait for :meth:`flush`.
+    cache_size:
+        Number of ``(matrix fingerprint, config)`` solver setups kept in the
+        LRU cache.
+    max_workers:
+        Worker threads executing batches.
+    backend:
+        Kernel backend the workers solve on (default: the process default).
+
+    Usage::
+
+        with BatchDispatcher(config, max_batch=8) as dispatcher:
+            futures = [dispatcher.submit(A, b) for b in rhs_stream]
+            dispatcher.flush()
+            results = [f.result() for f in futures]
+    """
+
+    def __init__(self, config: F3RConfig | None = None, preconditioner="auto",
+                 nblocks: int | None = None, alpha: float = 1.0,
+                 max_batch: int = 8, cache_size: int = 8, max_workers: int = 2,
+                 backend: str | None = None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.config = config or F3RConfig()
+        self.max_batch = int(max_batch)
+        self.cache_size = int(cache_size)
+        self.backend = backend
+        self._precond_spec = (preconditioner, nblocks, alpha)
+        self._pool = ThreadPoolExecutor(max_workers=max_workers,
+                                        thread_name_prefix="repro-serve")
+        self._lock = threading.Lock()
+        # fingerprint -> (matrix, [pending requests]); insertion-ordered so
+        # flush dispatches groups in arrival order
+        self._pending: OrderedDict[str, tuple[CSRMatrix, list[_Request]]] = OrderedDict()
+        self._solvers: OrderedDict[tuple, F3RSolver] = OrderedDict()
+        self._building: dict[tuple, Future] = {}
+        self._inflight: list[Future] = []
+        self._closed = False
+        self.stats = DispatchStats()
+
+    # ------------------------------------------------------------------ #
+    def submit(self, matrix: CSRMatrix, rhs: np.ndarray) -> Future:
+        """Enqueue one solve request; returns a future resolving to its
+        :class:`~repro.solvers.SolveResult`.
+
+        The request is dispatched when its matrix group fills to
+        ``max_batch`` or on the next :meth:`flush`.
+        """
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.shape != (matrix.nrows,):
+            raise ValueError(f"rhs has shape {rhs.shape}; expected ({matrix.nrows},)")
+        request = _Request(rhs)
+        ready = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
+            self.stats.requests += 1
+            key = matrix.fingerprint()
+            if key not in self._pending:
+                self._pending[key] = (matrix, [])
+            self._pending[key][1].append(request)
+            if len(self._pending[key][1]) >= self.max_batch:
+                ready = self._pending.pop(key)
+        if ready is not None:
+            self._dispatch(*ready)
+        return request.future
+
+    def flush(self) -> None:
+        """Dispatch every pending group, regardless of its size."""
+        with self._lock:
+            groups = list(self._pending.values())
+            self._pending.clear()
+        for matrix, requests in groups:
+            self._dispatch(matrix, requests)
+
+    def drain(self) -> None:
+        """Flush and block until every dispatched batch has completed."""
+        self.flush()
+        while True:
+            with self._lock:
+                inflight = [f for f in self._inflight if not f.done()]
+                self._inflight = inflight
+            if not inflight:
+                return
+            for f in inflight:
+                f.exception()        # wait; per-request errors live on request futures
+
+    def solve_many(self, pairs) -> list[SolveResult]:
+        """Submit ``(matrix, rhs)`` pairs, run everything, return results in order."""
+        futures = [self.submit(matrix, rhs) for matrix, rhs in pairs]
+        self.drain()
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------ #
+    def _solver_for(self, matrix: CSRMatrix) -> F3RSolver:
+        key = (matrix.fingerprint(), self.config)
+        with self._lock:
+            solver = self._solvers.get(key)
+            if solver is not None:
+                self._solvers.move_to_end(key)
+                self.stats.cache_hits += 1
+                return solver
+            build = self._building.get(key)
+            if build is None:
+                build = self._building[key] = Future()
+                is_builder = True
+                self.stats.cache_misses += 1
+            else:
+                # another worker is already building this setup: wait for it
+                # instead of duplicating the factorization
+                is_builder = False
+                self.stats.cache_hits += 1
+        if not is_builder:
+            return build.result()
+
+        # build outside the lock (the factorization is the expensive part)
+        preconditioner, nblocks, alpha = self._precond_spec
+        try:
+            solver = F3RSolver(matrix, preconditioner=preconditioner,
+                               config=self.config, nblocks=nblocks, alpha=alpha)
+        except BaseException as exc:   # noqa: BLE001 - relayed to waiters
+            with self._lock:
+                self._building.pop(key, None)
+            build.set_exception(exc)
+            raise
+        with self._lock:
+            self._solvers[key] = solver
+            self._solvers.move_to_end(key)
+            while len(self._solvers) > self.cache_size:
+                self._solvers.popitem(last=False)
+            self._building.pop(key, None)
+        build.set_result(solver)
+        return solver
+
+    def _dispatch(self, matrix: CSRMatrix, requests: list[_Request]) -> None:
+        future = self._pool.submit(self._execute, matrix, requests)
+        with self._lock:
+            self._inflight.append(future)
+            self.stats.batches += 1
+            self.stats.batched_requests += len(requests)
+            self.stats.largest_batch = max(self.stats.largest_batch, len(requests))
+
+    def _execute(self, matrix: CSRMatrix, requests: list[_Request]) -> None:
+        try:
+            solver = self._solver_for(matrix)
+            rhs_block = np.stack([req.rhs for req in requests], axis=1)
+            if self.backend is not None:
+                with use_backend(self.backend):
+                    batch = solver.solve_batch(rhs_block)
+            else:
+                batch = solver.solve_batch(rhs_block)
+        except BaseException as exc:   # noqa: BLE001 - propagated via futures
+            for req in requests:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        for req, result in zip(requests, batch.results):
+            req.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; optionally wait for in-flight batches.
+
+        Pending (never-dispatched) requests are failed with
+        :class:`RuntimeError` so no caller blocks forever on an abandoned
+        future.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            abandoned = [req for _, reqs in self._pending.values() for req in reqs]
+            self._pending.clear()
+        for req in abandoned:
+            req.future.set_exception(RuntimeError("dispatcher closed before dispatch"))
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "BatchDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # finish the work on a clean exit; tear down fast on an exception
+        if exc_info[0] is None:
+            self.drain()
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BatchDispatcher(max_batch={self.max_batch}, "
+                f"cached_setups={len(self._solvers)}, stats={self.stats.summary()})")

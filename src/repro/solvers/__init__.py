@@ -1,6 +1,7 @@
 """Iterative solvers: FGMRES, Richardson, CG, BiCGStab, and nested composition."""
 
 from .base import (
+    BatchSolveResult,
     ConvergenceHistory,
     InnerSolver,
     SolveResult,
@@ -8,13 +9,14 @@ from .base import (
     reset_primary_counter,
 )
 from .richardson import RichardsonLevel, richardson_solve
-from .fgmres import FGMRESLevel, OuterFGMRES, fgmres_cycle
+from .fgmres import FGMRESLevel, OuterFGMRES, fgmres_cycle, fgmres_cycle_batch
 from .gmres import RestartedFGMRES
 from .cg import ConjugateGradient
 from .bicgstab import BiCGStab
 from .nested import LevelSpec, NestedSolverBuilder, build_nested_solver, tuple_notation
 
 __all__ = [
+    "BatchSolveResult",
     "ConvergenceHistory",
     "InnerSolver",
     "SolveResult",
@@ -25,6 +27,7 @@ __all__ = [
     "FGMRESLevel",
     "OuterFGMRES",
     "fgmres_cycle",
+    "fgmres_cycle_batch",
     "RestartedFGMRES",
     "ConjugateGradient",
     "BiCGStab",

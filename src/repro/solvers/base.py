@@ -20,6 +20,7 @@ from ..precond.base import Preconditioner
 __all__ = [
     "InnerSolver",
     "ApplyTarget",
+    "BatchSolveResult",
     "ConvergenceHistory",
     "SolveResult",
     "count_primary_applications",
@@ -41,6 +42,17 @@ class InnerSolver(abc.ABC):
     @abc.abstractmethod
     def apply(self, v: np.ndarray) -> np.ndarray:
         """Return an approximate solution of ``A z = v`` (zero initial guess)."""
+
+    def apply_batch(self, v: np.ndarray) -> np.ndarray:
+        """Approximately solve ``A Z = V`` for ``V`` of shape ``(n, k)``.
+
+        The default loops :meth:`apply` column by column; levels whose
+        per-invocation work is identical for every column (fixed iteration
+        counts, no convergence check) override it with a lockstep batched
+        recurrence so the hot kernels run as SpMM / trsm.
+        """
+        cols = [self.apply(np.ascontiguousarray(v[:, j])) for j in range(v.shape[1])]
+        return np.stack(cols, axis=1)
 
     @property
     @abc.abstractmethod
@@ -126,6 +138,63 @@ class SolveResult:
             "preconditioner_applications": self.preconditioner_applications,
             "relative_residual": self.relative_residual,
             "restarts": self.restarts,
+            "wall_time": self.wall_time,
+        }
+
+
+@dataclass
+class BatchSolveResult:
+    """Outcome of a batched multi-RHS solve (:meth:`OuterFGMRES.solve_batch`).
+
+    Attributes
+    ----------
+    x:
+        Solution block of shape ``(n, k)``, one column per right-hand side.
+    results:
+        Per-column :class:`SolveResult` entries.  Because the columns run in
+        lockstep against one factorization, per-column
+        ``preconditioner_applications`` and ``wall_time`` are the batch totals
+        divided evenly across columns (columns that deflate early did less
+        work than their share says; the batch total is exact).
+    wall_time:
+        Wall-clock seconds of the whole batched solve.
+    """
+
+    x: np.ndarray
+    results: list[SolveResult]
+    wall_time: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i: int) -> SolveResult:
+        return self.results[i]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def converged(self) -> np.ndarray:
+        return np.array([r.converged for r in self.results], dtype=bool)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(r.converged for r in self.results)
+
+    @property
+    def iterations(self) -> np.ndarray:
+        return np.array([r.iterations for r in self.results], dtype=np.int64)
+
+    @property
+    def relative_residuals(self) -> np.ndarray:
+        return np.array([r.relative_residual for r in self.results])
+
+    def summary(self) -> dict:
+        return {
+            "k": len(self.results),
+            "all_converged": self.all_converged,
+            "iterations": self.iterations.tolist(),
+            "relative_residuals": self.relative_residuals.tolist(),
             "wall_time": self.wall_time,
         }
 

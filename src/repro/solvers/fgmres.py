@@ -25,12 +25,19 @@ import numpy as np
 
 from ..backends import Workspace, get_backend
 from ..backends.workspace import ThreadLocalWorkspace
+from ..perf.counters import counters_enabled, record_bytes, record_flops, record_kernel
 from ..precision import LevelPrecision, Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
-from .base import ConvergenceHistory, InnerSolver, SolveResult, count_primary_applications
+from .base import (
+    BatchSolveResult,
+    ConvergenceHistory,
+    InnerSolver,
+    SolveResult,
+    count_primary_applications,
+)
 
-__all__ = ["FGMRESLevel", "OuterFGMRES", "fgmres_cycle"]
+__all__ = ["FGMRESLevel", "OuterFGMRES", "fgmres_cycle", "fgmres_cycle_batch"]
 
 
 def _apply_child(child, v: np.ndarray) -> np.ndarray:
@@ -42,6 +49,29 @@ def _apply_child(child, v: np.ndarray) -> np.ndarray:
     if child is None:
         return v
     return child.apply(v)
+
+
+def _apply_child_batch(child, v: np.ndarray) -> np.ndarray:
+    """Batched preconditioning step: ``v`` has one residual per column.
+
+    Inner solvers and preconditioners both expose ``apply_batch`` (lockstep
+    or column-loop, depending on the level); ``None`` is the identity.
+    """
+    if child is None:
+        return v
+    return child.apply_batch(v)
+
+
+def _back_substitute(hessenberg: np.ndarray, g: np.ndarray, k: int) -> np.ndarray:
+    """Solve the reduced system ``R y = g`` of a completed cycle (in fp64)."""
+    r_mat = hessenberg[:k, :k].astype(np.float64)
+    g_vec = g[:k].astype(np.float64)
+    y = np.zeros(k, dtype=np.float64)
+    for i in range(k - 1, -1, -1):
+        s = g_vec[i] - np.dot(r_mat[i, i + 1:k], y[i + 1:k])
+        diag = r_mat[i, i]
+        y[i] = s / diag if diag != 0.0 else 0.0
+    return y
 
 
 def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
@@ -152,16 +182,194 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
     k = iterations
     if k == 0:
         return np.zeros(n, dtype=dtype), 0, float(estimated)
-    r_mat = hessenberg[:k, :k].astype(np.float64)
-    g_vec = g[:k].astype(np.float64)
-    y = np.zeros(k, dtype=np.float64)
-    for i in range(k - 1, -1, -1):
-        s = g_vec[i] - np.dot(r_mat[i, i + 1:k], y[i + 1:k])
-        diag = r_mat[i, i]
-        y[i] = s / diag if diag != 0.0 else 0.0
+    y = _back_substitute(hessenberg, g, k)
 
     z = backend.combine(z_vectors, y, k, vec_prec)
     return z, iterations, float(estimated)
+
+
+def _record_batched_gram_schmidt(p: Precision, n: int, k: int, ncols: int) -> None:
+    """Counter parity with ``k`` single-column Gram-Schmidt steps."""
+    if not counters_enabled():
+        return
+    record_kernel("dot", k * ncols)
+    record_bytes(p, 2 * k * ncols * n * p.bytes)
+    record_flops(p, 2 * k * ncols * n)
+    record_kernel("axpy", k * ncols)
+    record_bytes(p, 3 * k * ncols * n * p.bytes)
+    record_flops(p, 2 * k * ncols * n)
+    record_kernel("norm", k)
+    record_bytes(p, k * n * p.bytes)
+    record_flops(p, 2 * k * n)
+
+
+def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
+                       rel_tol: np.ndarray | None = None,
+                       workspace: Workspace | None = None):
+    """One lockstep FGMRES(m) cycle over ``k`` right-hand sides (columns of ``rhs``).
+
+    Every column carries its own Krylov recurrence — basis, Hessenberg
+    column, Givens rotations, reduced RHS — but the columns advance through
+    the iterations together, so the hot operations run batched: the child is
+    applied through ``apply_batch`` (trsm-backed preconditioners, lockstep
+    inner levels), the operator through SpMM, and classical Gram-Schmidt as
+    one stacked matmul over all active columns.
+
+    Parameters
+    ----------
+    rhs:
+        ``(n, k)`` block in the level's vector precision, one RHS per column.
+    rel_tol:
+        Optional per-column early-stop thresholds: column ``i`` deflates —
+        stops iterating and is finalized — once its residual estimate drops
+        below ``rel_tol[i] * ||rhs[:, i]||`` (used by the outermost level).
+        ``None`` runs every column for the full ``m`` iterations, which is
+        exactly ``k`` independent sequential cycles in lockstep.
+    workspace:
+        Optional arena owning the ``(k, m+1, n)`` Krylov-basis block.
+
+    Returns
+    -------
+    (Z, iterations, estimates):
+        ``Z`` is ``(n, k)`` in the level's vector precision; ``iterations``
+        and ``estimates`` are per-column arrays.
+    """
+    backend = get_backend()
+    dtype = vec_prec.dtype
+    n, k = rhs.shape
+
+    z_out = np.zeros((n, k), dtype=dtype)
+    iterations = np.zeros(k, dtype=np.int64)
+    estimates = np.zeros(k, dtype=np.float64)
+
+    # per-column beta, computed as the sequential cycle does (dot in the
+    # operand precision, square root in fp64)
+    dots = np.einsum("nk,nk->k", rhs, rhs)
+    beta = np.sqrt(dots.astype(np.float64))
+    if counters_enabled():
+        record_kernel("norm", k)
+        record_bytes(vec_prec, k * n * vec_prec.bytes)
+        record_flops(vec_prec, 2 * k * n)
+
+    alive = np.isfinite(beta) & (beta > 0.0)
+    estimates[:] = np.where(alive, beta, 0.0)
+    col_at = np.nonzero(alive)[0]        # position -> original column index
+    ka = col_at.size
+    if ka == 0:
+        return z_out, iterations, estimates
+
+    ws = workspace if workspace is not None else Workspace()
+    # Krylov basis and correction blocks: one (m+1, n) / (m, n) arena row per
+    # column, reused across cycles like the single-RHS arenas.  The arenas are
+    # capacity-keyed (get_rows), so cycles with fewer active columns — after
+    # deflation or restarts — reuse the same storage.  Deflation compacts the
+    # active columns into the leading rows so the hot loop always works on
+    # contiguous prefixes (views, no per-iteration gathers).
+    basis = ws.get_rows("krylov_basis_batch", k, (m + 1, n), dtype)
+    z_vectors = ws.get_rows("krylov_corrections_batch", k, (m, n), dtype)
+    hessenberg = np.zeros((k, m + 1, m), dtype=dtype)
+    cs = np.zeros((k, m), dtype=dtype)
+    sn = np.zeros((k, m), dtype=dtype)
+    g = np.zeros((k, m + 1), dtype=dtype)
+
+    inv_beta = (1.0 / beta[col_at]).astype(dtype)
+    basis[:ka, 0, :] = rhs[:, col_at].T * inv_beta[:, None]
+    g[:ka, 0] = beta[col_at].astype(dtype)
+    if counters_enabled():
+        record_kernel("scal", ka)
+        record_bytes(vec_prec, 2 * ka * n * vec_prec.bytes)
+        record_flops(vec_prec, ka * n)
+
+    def finalize(pos: int, kiter: int) -> None:
+        """Back-substitute and combine one column's solution (at deflation
+        or cycle end)."""
+        orig = col_at[pos]
+        if kiter == 0:
+            return
+        y = _back_substitute(hessenberg[pos], g[pos], kiter)
+        z_out[:, orig] = backend.combine(z_vectors[pos], y, kiter, vec_prec)
+
+    for j in range(m):
+        # preconditioning step + operator product, batched over active columns
+        zj = _apply_child_batch(child, np.ascontiguousarray(basis[:ka, j, :].T))
+        zj = vo.cast_block(zj, vec_prec)
+        z_vectors[:ka, j, :] = zj.T
+        w = matrix.matmat(zj, out_precision=vec_prec)
+        w = np.ascontiguousarray(w.T)                      # (ka, n)
+
+        # classical Gram-Schmidt for all columns in one stacked matmul
+        v_act = basis[:ka, :j + 1, :]
+        h = np.matmul(v_act, w[:, :, None])[..., 0]        # (ka, j+1)
+        w -= np.matmul(h[:, None, :], v_act)[:, 0, :]
+        w_dots = np.einsum("kn,kn->k", w, w)
+        h_norm = np.sqrt(w_dots.astype(np.float64))
+        _record_batched_gram_schmidt(vec_prec, n, ka, j + 1)
+
+        h_col = np.empty((ka, j + 2), dtype=dtype)
+        h_col[:, :j + 1] = h.astype(dtype, copy=False)
+        h_col[:, j + 1] = h_norm.astype(dtype)
+
+        # previously accumulated Givens rotations, vectorized over columns
+        for i in range(j):
+            ci = cs[:ka, i]
+            si = sn[:ka, i]
+            temp = ci * h_col[:, i] + si * h_col[:, i + 1]
+            h_col[:, i + 1] = -si * h_col[:, i] + ci * h_col[:, i + 1]
+            h_col[:, i] = temp
+        # new rotation annihilating h_col[:, j+1]
+        hj = h_col[:, j].astype(np.float64)
+        hj1 = h_col[:, j + 1].astype(np.float64)
+        denom = np.sqrt(hj ** 2 + hj1 ** 2)
+        ok = (denom != 0.0) & np.isfinite(denom)
+        safe = np.where(ok, denom, 1.0)
+        cs_j = np.where(ok, hj / safe, 1.0)
+        sn_j = np.where(ok, hj1 / safe, 0.0)
+        cs[:ka, j] = cs_j.astype(dtype)
+        sn[:ka, j] = sn_j.astype(dtype)
+        h_col[:, j] = (cs_j * hj + sn_j * hj1).astype(dtype)
+        h_col[:, j + 1] = dtype.type(0.0)
+
+        gj = g[:ka, j].astype(np.float64)
+        g[:ka, j + 1] = (-sn_j * gj).astype(dtype)
+        g[:ka, j] = (cs_j * gj).astype(dtype)
+        hessenberg[:ka, :j + 2, j] = h_col
+
+        act_cols = col_at[:ka]
+        iterations[act_cols] = j + 1
+        est = np.abs(g[:ka, j + 1].astype(np.float64))
+        estimates[act_cols] = est
+
+        lucky_breakdown = (h_norm == 0.0) | ~np.isfinite(h_norm)
+        stop = lucky_breakdown.copy()
+        if rel_tol is not None:
+            stop |= est < rel_tol[act_cols] * beta[act_cols]
+        if j + 1 == m:
+            stop[:] = True
+
+        cont = np.nonzero(~stop)[0]
+        if cont.size and j + 1 < m:
+            # like vo.scal: the reciprocal is rounded to the level dtype and
+            # the multiply runs in that dtype
+            inv_norm = (1.0 / h_norm[cont]).astype(dtype)
+            basis[cont, j + 1, :] = w[cont] * inv_norm[:, None]
+            if counters_enabled():
+                record_kernel("scal", cont.size)
+                record_bytes(vec_prec, 2 * cont.size * n * vec_prec.bytes)
+                record_flops(vec_prec, cont.size * n)
+
+        stopped = np.nonzero(stop)[0]
+        if stopped.size:
+            for pos in stopped:
+                finalize(int(pos), j + 1)
+            if cont.size == 0:
+                return z_out, iterations, estimates
+            # deflation: compact the surviving columns into the leading rows
+            for arr in (basis, z_vectors, hessenberg, cs, sn, g):
+                arr[:cont.size] = arr[cont]
+            col_at = col_at[cont]
+            ka = cont.size
+
+    return z_out, iterations, estimates
 
 
 class FGMRESLevel(InnerSolver):
@@ -197,6 +405,16 @@ class FGMRESLevel(InnerSolver):
         v_level = vo.cast_vector(np.asarray(v), vec_prec)
         z, _, _ = fgmres_cycle(self.matrix, v_level, self.child, self.m, vec_prec,
                                workspace=self._workspace.workspace)
+        return z
+
+    def apply_batch(self, v: np.ndarray) -> np.ndarray:
+        # An inner level runs exactly m iterations per invocation with no
+        # convergence check, so the lockstep batched cycle is column-for-column
+        # the same recurrence as m sequential applies.
+        vec_prec = self.precisions.vector
+        v_level = vo.cast_block(np.asarray(v), vec_prec)
+        z, _, _ = fgmres_cycle_batch(self.matrix, v_level, self.child, self.m,
+                                     vec_prec, workspace=self._workspace.workspace)
         return z
 
 
@@ -297,3 +515,116 @@ class OuterFGMRES:
             solver_name=self.name,
             wall_time=time.perf_counter() - start_time,
         )
+
+    # ------------------------------------------------------------------ #
+    def solve_batch(self, b: np.ndarray,
+                    x0: np.ndarray | None = None) -> BatchSolveResult:
+        """Solve ``A X = B`` for ``k`` right-hand sides against one setup.
+
+        ``b`` is ``(n, k)`` (one RHS per column) or a sequence of ``k``
+        vectors.  All columns share the matrix, the preconditioner setup and
+        the level workspaces; each cycle advances every still-unconverged
+        column in lockstep (:func:`fgmres_cycle_batch`), so the hot kernels
+        run as SpMM / batched triangular solves.  Convergence is tracked per
+        column — a column deflates out of the batch as soon as its true
+        relative residual meets ``tol``, and restarts re-enter only the
+        columns that still need work.
+        """
+        start_time = time.perf_counter()
+        vec_prec = self.precisions.vector
+        b_block = np.asarray(b, dtype=np.float64)
+        if b_block.ndim == 1:
+            b_block = b_block[:, None]
+        elif b_block.ndim != 2:
+            raise ValueError(f"solve_batch expects B of shape (n, k); got {b_block.shape}")
+        if b_block.shape[0] != self.matrix.ncols:
+            hint = (" (one right-hand side per COLUMN — did you pass (k, n)?)"
+                    if b_block.shape[1] == self.matrix.ncols else "")
+            raise ValueError(f"solve_batch got B of shape {b_block.shape} for a "
+                             f"{self.matrix.shape} matrix{hint}")
+        n, k = b_block.shape
+
+        norm_b = np.linalg.norm(b_block, axis=0)
+        norm_b = np.where(norm_b == 0.0, 1.0, norm_b)
+        if x0 is None:
+            x = np.zeros((n, k), dtype=np.float64)
+        else:
+            x = np.array(x0, dtype=np.float64)
+            if x.ndim == 1 and k == 1:
+                x = x[:, None]
+            if x.shape != (n, k):
+                raise ValueError(f"x0 has shape {np.shape(x0)}; expected ({n}, {k}) "
+                                 "(one initial guess per COLUMN, matching B)")
+        primary = self.primary_preconditioner
+        start_applications = (count_primary_applications(primary)
+                              if primary is not None else 0)
+        mat64 = self.matrix.astype(Precision.FP64)
+
+        def true_relres(cols: np.ndarray) -> np.ndarray:
+            r = b_block[:, cols] - mat64.matmat(x[:, cols], record=False)
+            return np.linalg.norm(r, axis=0) / norm_b[cols]
+
+        histories = [ConvergenceHistory() for _ in range(k)]
+        total_iterations = np.zeros(k, dtype=np.int64)
+        restarts = np.zeros(k, dtype=np.int64)
+        converged = np.zeros(k, dtype=bool)
+        final_relres = true_relres(np.arange(k))
+        for i in range(k):
+            histories[i].append(final_relres[i])
+        converged[:] = final_relres < self.tol
+        active = [i for i in range(k) if not converged[i]]
+
+        while active:
+            act = np.array(active, dtype=np.int64)
+            if x[:, act].any():
+                r = b_block[:, act] - mat64.matmat(x[:, act], record=False)
+            else:
+                r = b_block[:, act].copy()
+            r_norm = np.linalg.norm(r, axis=0)
+            r_level = vo.cast_block(r, vec_prec)
+            rel_tol = self.tol * norm_b[act] / np.maximum(r_norm, 1e-300)
+
+            z, iters, _ = fgmres_cycle_batch(
+                self.matrix, r_level, self.child, self.m, vec_prec,
+                rel_tol=rel_tol, workspace=self._workspace.workspace,
+            )
+            x[:, act] += z.astype(np.float64)
+            total_iterations[act] += iters
+
+            relres_act = true_relres(act)
+            final_relres[act] = relres_act
+            next_active = []
+            for pos, i in enumerate(act):
+                histories[i].append(relres_act[pos])
+                if relres_act[pos] < self.tol:
+                    converged[i] = True
+                else:
+                    # count like the sequential solve: the increment lands even
+                    # on the final failed cycle, so restarts agree across APIs
+                    restarts[i] += 1
+                    if restarts[i] <= self.max_restarts:
+                        next_active.append(int(i))
+                    # else: restart budget exhausted; the column leaves unconverged
+            active = next_active
+
+        wall_time = time.perf_counter() - start_time
+        applications = ((count_primary_applications(primary) - start_applications)
+                        if primary is not None else 0)
+        # lockstep batches cannot attribute applications per column; split the
+        # exact batch total evenly (remainder to the leading columns)
+        share, extra = divmod(applications, k)
+        results = [
+            SolveResult(
+                x=x[:, i].copy(),
+                converged=bool(converged[i]),
+                iterations=int(total_iterations[i]),
+                preconditioner_applications=share + (1 if i < extra else 0),
+                relative_residual=float(final_relres[i]),
+                history=histories[i],
+                restarts=int(restarts[i]),
+                solver_name=self.name,
+                wall_time=wall_time / k,
+            )
+            for i in range(k)
+        ]
+        return BatchSolveResult(x=x, results=results, wall_time=wall_time)

@@ -24,7 +24,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..precision import LevelPrecision, Precision, as_precision
+from ..perf.counters import counters_enabled, record_bytes, record_flops, record_kernel
+from ..precision import (
+    LevelPrecision,
+    Precision,
+    as_precision,
+    precision_of_dtype,
+    promote,
+)
 from ..sparse import vectorops as vo
 from .base import InnerSolver
 
@@ -135,6 +142,96 @@ class RichardsonLevel(InnerSolver):
             self.weight_history.append(self.weights.copy())
         self.call_count = cntr
         return z
+
+    # ------------------------------------------------------------------ #
+    def apply_batch(self, v: np.ndarray) -> np.ndarray:
+        """Lockstep Richardson sweep over ``k`` residual columns.
+
+        The recurrence is identical to ``k`` sequential :meth:`apply` calls
+        with the current weights — the matvec runs as SpMM and ``M`` through
+        its batched application.  The batched invocation counts as ``k``
+        calls of Algorithm 1's global counter; when the counter window
+        crosses a refresh boundary, ω'_k is computed per column (one batched
+        SpMM + column-wise reductions in fp32) and the globally shared weight
+        is blended with the batch mean — the batch analogue of Eq. (5)'s
+        cumulative average.
+        """
+        v = np.asarray(v)
+        if v.ndim != 2:
+            raise ValueError(f"apply_batch expects V of shape (n, k); got {v.shape}")
+        k = v.shape[1]
+        vec_prec = self.precisions.vector
+        wp = self.weight_precision
+        cntr_end = self.call_count + k
+        refresh = self.adaptive and (self.call_count // self.cycle) != (cntr_end // self.cycle)
+
+        v_level = vo.cast_block(v, vec_prec)
+        z = np.zeros(v_level.shape, dtype=vec_prec.dtype)
+        r = v_level
+
+        for step in range(self.m):
+            if step > 0:
+                az = self.matrix.matmat(z, out_precision=vec_prec)
+                r = self._batched_axpy(-1.0, az, v_level, vec_prec)
+
+            mr = self.preconditioner.apply_batch(r)
+            mr = vo.cast_block(mr, vec_prec)
+
+            if refresh:
+                mr32 = vo.cast_block(mr, wp)
+                amr = self.matrix.matmat(mr32, out_precision=wp)
+                r32 = vo.cast_block(r, wp)
+                denom = np.einsum("nk,nk->k", amr, amr).astype(np.float64)
+                numer = np.einsum("nk,nk->k", r32, amr).astype(np.float64)
+                if counters_enabled():
+                    record_kernel("dot", 2 * k)
+                    record_bytes(wp, 4 * k * amr.shape[0] * wp.bytes)
+                    record_flops(wp, 4 * k * amr.shape[0])
+                omega = np.where(denom > 0.0, numer / np.where(denom > 0.0, denom, 1.0),
+                                 self.weights[step])
+                z = self._batched_weighted_update(omega, mr, z, vec_prec)
+                l = cntr_end // self.cycle
+                self.weights[step] = (l * self.weights[step] + float(omega.mean())) / (l + 1)
+            else:
+                z = self._batched_weighted_update(
+                    np.full(k, self.weights[step]), mr, z, vec_prec)
+
+        if refresh:
+            self.update_count += 1
+            self.weight_history.append(self.weights.copy())
+        self.call_count = cntr_end
+        return z
+
+    @staticmethod
+    def _batched_axpy(alpha: float, x: np.ndarray, y: np.ndarray,
+                      out_precision: Precision) -> np.ndarray:
+        """``alpha * X + Y`` column-wise with the axpy promotion/recording rules."""
+        px = precision_of_dtype(x.dtype)
+        py = precision_of_dtype(y.dtype)
+        compute = promote(px, py)
+        out = as_precision(out_precision)
+        result = (compute.dtype.type(alpha) * x.astype(compute.dtype, copy=False)
+                  + y.astype(compute.dtype, copy=False)).astype(out.dtype, copy=False)
+        if counters_enabled():
+            k, n = x.shape[1], x.shape[0]
+            record_kernel("axpy", k)
+            record_bytes(px, k * n * px.bytes)
+            record_bytes(py, k * n * py.bytes)
+            record_bytes(out, k * n * out.bytes)
+            record_flops(compute, 2 * k * n)
+        return result
+
+    def _batched_weighted_update(self, omega: np.ndarray, mr: np.ndarray,
+                                 z: np.ndarray, vec_prec: Precision) -> np.ndarray:
+        """``z + omega_j * mr_j`` per column, arithmetic in the level dtype."""
+        dtype = vec_prec.dtype
+        result = (omega.astype(dtype)[None, :] * mr + z).astype(dtype, copy=False)
+        if counters_enabled():
+            k, n = mr.shape[1], mr.shape[0]
+            record_kernel("axpy", k)
+            record_bytes(vec_prec, 3 * k * n * vec_prec.bytes)
+            record_flops(vec_prec, 2 * k * n)
+        return result
 
 
 def richardson_solve(matrix, b, preconditioner, m: int, weight: float = 1.0,

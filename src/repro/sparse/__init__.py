@@ -4,7 +4,13 @@ from .coo import COOMatrix
 from .csr import CSRMatrix, spmv_csr
 from .ell import SlicedEllMatrix
 from .blocking import BlockPartition, partition_rows
-from .triangular import TriangularFactor, compute_levels, solve_lower, solve_upper
+from .triangular import (
+    TriangularFactor,
+    compute_levels,
+    fuse_block_diagonal,
+    solve_lower,
+    solve_upper,
+)
 from .ops import (
     apply_diagonal_scaling,
     diagonal_scaling,
@@ -27,6 +33,7 @@ __all__ = [
     "partition_rows",
     "TriangularFactor",
     "compute_levels",
+    "fuse_block_diagonal",
     "solve_lower",
     "solve_upper",
     "apply_diagonal_scaling",

@@ -56,7 +56,8 @@ class CSRMatrix(ScratchOwner):
         ``(nrows, ncols)``.
     """
 
-    __slots__ = ("values", "indices", "indptr", "shape", "_transpose", "_scratch")
+    __slots__ = ("values", "indices", "indptr", "shape", "_transpose", "_scratch",
+                 "_fingerprint")
 
     def __init__(self, values, indices, indptr, shape) -> None:
         self.indices = np.ascontiguousarray(indices, dtype=np.int32)
@@ -74,6 +75,7 @@ class CSRMatrix(ScratchOwner):
             raise ValueError("malformed indptr")
         self._transpose: CSRMatrix | None = None
         self._scratch: ThreadLocalWorkspace | None = None
+        self._fingerprint: str | None = None
         self._sort_rows()
 
     # ------------------------------------------------------------------ #
@@ -134,7 +136,24 @@ class CSRMatrix(ScratchOwner):
                                       out_precision=out_precision, record=record,
                                       scratch=self.scratch())
 
-    __matmul__ = matvec
+    def matmat(self, x: np.ndarray, out_precision: Precision | str | None = None,
+               record: bool = True) -> np.ndarray:
+        """Batched product ``A @ X`` for ``X`` of shape ``(ncols, k)``.
+
+        One column per right-hand side; the active backend's SpMM kernel
+        streams the matrix once over all columns (the ``fast`` engine) or
+        loops the SpMV oracle column by column (``reference``).
+        """
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[0] != self.ncols:
+            raise ValueError(f"dimension mismatch: A is {self.shape}, X has shape {x.shape}")
+        return get_backend().spmm_csr(self.values, self.indices, self.indptr, x,
+                                      out_precision=out_precision, record=record,
+                                      scratch=self.scratch())
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        return self.matmat(x) if x.ndim == 2 else self.matvec(x)
 
     def rmatvec(self, x: np.ndarray, record: bool = True) -> np.ndarray:
         """Transpose product ``A.T @ x`` (used by AINV construction and tests)."""
@@ -249,6 +268,25 @@ class CSRMatrix(ScratchOwner):
         indptr = np.zeros(m + 1, dtype=np.int32)
         np.cumsum(np.bincount(rows[mask], minlength=m), out=indptr[1:])
         return CSRMatrix(sel_vals, sel_cols, indptr, (m, m))
+
+    def fingerprint(self) -> str:
+        """Content hash of the matrix (structure + values + dtype + shape).
+
+        Computed once and cached — matrices are immutable after construction.
+        Used by :class:`repro.serve.BatchDispatcher` to group solve requests
+        that target the same operator and to key its preconditioner cache.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(repr((self.shape, str(self.values.dtype))).encode())
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            h.update(self.values.tobytes())
+            fp = self._fingerprint = h.hexdigest()
+        return fp
 
     def is_symmetric(self, tol: float = 1e-12) -> bool:
         """Check structural+numerical symmetry (within ``tol``) via A - A^T.

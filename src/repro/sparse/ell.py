@@ -145,7 +145,18 @@ class SlicedEllMatrix(ScratchOwner):
         return get_backend().spmv_ell(self, x, out_precision=out_precision,
                                       record=record)
 
-    __matmul__ = matvec
+    def matmat(self, x: np.ndarray, out_precision: Precision | str | None = None,
+               record: bool = True) -> np.ndarray:
+        """Batched product ``A @ X`` for ``X`` of shape ``(ncols, k)``."""
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[0] != self.ncols:
+            raise ValueError("dimension mismatch in sliced-ELLPACK matmat")
+        return get_backend().spmm_ell(self, x, out_precision=out_precision,
+                                      record=record)
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        return self.matmat(x) if x.ndim == 2 else self.matvec(x)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SlicedEllMatrix(shape={self.shape}, chunk_size={self.chunk_size}, "

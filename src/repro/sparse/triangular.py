@@ -28,7 +28,8 @@ from ..backends.workspace import ScratchOwner
 from ..precision import Precision, as_precision, precision_of_dtype
 from .csr import CSRMatrix
 
-__all__ = ["TriangularFactor", "compute_levels", "solve_lower", "solve_upper"]
+__all__ = ["TriangularFactor", "compute_levels", "fuse_block_diagonal",
+           "solve_lower", "solve_upper"]
 
 
 def compute_levels(indices: np.ndarray, indptr: np.ndarray, lower: bool) -> list[np.ndarray]:
@@ -150,6 +151,84 @@ class TriangularFactor(ScratchOwner):
         """Solve ``T x = b`` by level-scheduled substitution."""
         return get_backend().trsv(self, np.asarray(b), out_precision=out_precision,
                                   record=record)
+
+    def solve_batch(self, b: np.ndarray,
+                    out_precision: Precision | str | None = None,
+                    record: bool = True) -> np.ndarray:
+        """Solve ``T X = B`` for ``B`` of shape ``(n, k)`` (one RHS per column).
+
+        The ``fast`` engine sweeps each dependency level once for all columns,
+        amortizing the level-schedule traversal; ``reference`` loops the
+        single-RHS oracle.
+        """
+        b = np.asarray(b)
+        if b.ndim != 2 or b.shape[0] != self.nrows:
+            raise ValueError(f"batched triangular solve needs B of shape "
+                             f"({self.nrows}, k); got {b.shape}")
+        return get_backend().trsm(self, b, out_precision=out_precision,
+                                  record=record)
+
+
+def fuse_block_diagonal(factors: list[TriangularFactor]) -> TriangularFactor:
+    """Fuse independent factors into one block-diagonal factor.
+
+    The blocks of a block-Jacobi preconditioner are mutually independent, so
+    their dependency-level schedules merge — level ``i`` of every block can
+    solve together — and one level sweep of the fused factor serves all
+    blocks at once (the emulation analogue of thread-per-block execution).
+
+    The fused factor copies each block's *numerical state* (off-diagonal
+    values, diagonal, inverse diagonal) verbatim rather than re-deriving it
+    from the concatenated matrix, so solving with it is bit-identical to the
+    per-block loop even after precision casts (``astype`` rounds a factor's
+    cached ``inv_diag``; recomputing ``1/diag`` from cast values would
+    differ).
+    """
+    if not factors:
+        raise ValueError("fuse_block_diagonal needs at least one factor")
+    first = factors[0]
+    if any(f.lower != first.lower or f.unit_diagonal != first.unit_diagonal
+           or f.precision != first.precision for f in factors):
+        raise ValueError("fused factors must agree on orientation, diagonal "
+                         "convention and precision")
+    sizes = [f.nrows for f in factors]
+    offsets = np.cumsum([0] + sizes[:-1])
+    n = int(sum(sizes))
+
+    out = object.__new__(TriangularFactor)
+    # block-diagonal CSR of the underlying matrices (dtype preserved)
+    values = np.concatenate([f.matrix.values for f in factors])
+    indices = np.concatenate([f.matrix.indices.astype(np.int64) + off
+                              for f, off in zip(factors, offsets)]).astype(np.int32)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.concatenate([np.diff(f.matrix.indptr) for f in factors]),
+              out=indptr[1:])
+    out.matrix = CSRMatrix(values, indices, indptr.astype(np.int32), (n, n))
+
+    out.lower = first.lower
+    out.unit_diagonal = first.unit_diagonal
+    out.off_cols = np.concatenate([f.off_cols.astype(np.int64) + off
+                                   for f, off in zip(factors, offsets)]).astype(
+                                       first.off_cols.dtype)
+    out.off_vals = np.concatenate([f.off_vals for f in factors])
+    off_rowptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.concatenate([np.diff(f.off_rowptr) for f in factors]),
+              out=off_rowptr[1:])
+    out.off_rowptr = off_rowptr
+    out.diag = np.concatenate([f.diag for f in factors])
+    out.inv_diag = np.concatenate([f.inv_diag for f in factors])
+    out.precision = first.precision
+    nlevels = max(f.nlevels for f in factors)
+    out.levels = [
+        np.concatenate([f.levels[i].astype(np.int64) + off
+                        for f, off in zip(factors, offsets)
+                        if i < f.nlevels]).astype(np.int32)
+        for i in range(nlevels)
+    ]
+    out._fast_plan = None
+    out._fast_vals = {}
+    out._scratch = None
+    return out
 
 
 def solve_lower(matrix: CSRMatrix, b: np.ndarray, unit_diagonal: bool = False,

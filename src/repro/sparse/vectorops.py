@@ -17,7 +17,8 @@ import numpy as np
 from ..perf.counters import record_bytes, record_flops, record_kernel
 from ..precision import Precision, as_precision, precision_of_dtype, promote
 
-__all__ = ["dot", "nrm2", "axpy", "xpby", "waxpby", "scal", "vcopy", "vzeros", "cast_vector"]
+__all__ = ["dot", "nrm2", "axpy", "xpby", "waxpby", "scal", "vcopy", "vzeros",
+           "cast_vector", "cast_block"]
 
 
 def _prec(x: np.ndarray) -> Precision:
@@ -35,6 +36,20 @@ def cast_vector(x: np.ndarray, precision: Precision | str, record: bool = True) 
     src = _prec(x)
     if record and p != src:
         record_kernel("cast")
+        record_bytes(src, x.size * src.bytes)
+        record_bytes(p, x.size * p.bytes)
+    if x.dtype == p.dtype:
+        return x
+    return x.astype(p.dtype)
+
+
+def cast_block(x: np.ndarray, precision: Precision | str, record: bool = True) -> np.ndarray:
+    """Round a ``(n, k)`` block to ``precision`` (counter parity with ``k``
+    :func:`cast_vector` calls)."""
+    p = as_precision(precision)
+    src = _prec(x)
+    if record and p != src:
+        record_kernel("cast", x.shape[1])
         record_bytes(src, x.size * src.bytes)
         record_bytes(p, x.size * p.bytes)
     if x.dtype == p.dtype:

@@ -2,12 +2,33 @@
 
 Matrices are kept small (a few hundred unknowns) so the full suite runs in a
 couple of minutes despite the emulated low-precision kernels.
+
+Two suite-wide conventions live here:
+
+* **Tier markers** — every test file declares a module-level ``pytestmark``
+  of ``tier1`` (fast, deterministic; the default suite and the CI gate) or
+  ``tier2`` (hypothesis sweeps and paper-claim integration tests, run by
+  ``make test-all``).  ``make lint-tests`` enforces the convention.
+* **Hypothesis profiles** — under ``CI=1`` the ``ci`` profile pins a
+  deterministic derandomized run with a reduced example budget, so tier-2
+  sweeps are reproducible and bounded in time; the default ``dev`` profile
+  keeps randomized exploration for local runs.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Profiles are registered at import time so per-test @settings(...) decorators
+# (which override only the fields they name) compose with the active profile.
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True, max_examples=15,
+                          database=None, print_blob=False)
+settings.load_profile("ci" if os.environ.get("CI", "") == "1" else "dev")
 
 from repro.matgen import (
     hpcg_matrix,

@@ -10,6 +10,8 @@ kernels with identical operation order (triangular solve, ILU(0)) must agree
 exactly.
 """
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -30,7 +32,12 @@ from repro.precision import Precision
 from repro.solvers import RestartedFGMRES, fgmres_cycle
 from repro.sparse import COOMatrix, CSRMatrix, SlicedEllMatrix, TriangularFactor
 
-COMMON = dict(max_examples=25, deadline=None)
+pytestmark = pytest.mark.tier1
+
+# hypothesis sweeps ride in tier 2; under CI=1 the example budget comes from
+# the deterministic "ci" profile registered in conftest.py
+COMMON = (dict(deadline=None) if os.environ.get("CI", "") == "1"
+          else dict(max_examples=25, deadline=None))
 
 finite_floats = st.floats(min_value=-1e2, max_value=1e2, allow_nan=False,
                           allow_infinity=False, width=64)
@@ -74,6 +81,7 @@ def _both_backends(fn):
 
 # --------------------------------------------------------------------------- #
 class TestSpmvEquivalence:
+    @pytest.mark.tier2
     @settings(**COMMON)
     @given(csr_matrices(), st.sampled_from(DTYPES), st.sampled_from(DTYPES),
            st.integers(0, 2**31 - 1))
@@ -88,6 +96,7 @@ class TestSpmvEquivalence:
                            **TOLS[compute])
         assert ref.dtype == fast.dtype
 
+    @pytest.mark.tier2
     @settings(**COMMON)
     @given(csr_matrices(), st.sampled_from(DTYPES), st.sampled_from([1, 3, 8, 32]),
            st.integers(0, 2**31 - 1))
@@ -139,6 +148,7 @@ class TestSpmvEquivalence:
 
 # --------------------------------------------------------------------------- #
 class TestTrsvEquivalence:
+    @pytest.mark.tier2
     @settings(**COMMON)
     @given(csr_matrices(with_diagonal=True), st.sampled_from(DTYPES),
            st.booleans(), st.booleans(), st.integers(0, 2**31 - 1))
@@ -181,6 +191,7 @@ class TestTrsvEquivalence:
 
 # --------------------------------------------------------------------------- #
 class TestIlu0Equivalence:
+    @pytest.mark.tier2
     @settings(**COMMON)
     @given(csr_matrices(with_diagonal=True), st.floats(0.9, 1.1))
     def test_factors_match_reference(self, csr, alpha):
@@ -231,6 +242,7 @@ class TestFgmresEquivalence:
 
 
 # --------------------------------------------------------------------------- #
+@pytest.mark.tier2
 class TestSolverSweepEquivalence:
     """Tier-2: every solver variant produces equivalent solves on both backends."""
 
@@ -567,3 +579,191 @@ class TestConfigBackendScopesConstruction:
         finally:
             _FACTORIES.pop("tracing-ref", None)
             _INSTANCES.pop("tracing-ref", None)
+
+
+# --------------------------------------------------------------------------- #
+def _looped_matvec(op, x: np.ndarray, record: bool = False) -> np.ndarray:
+    """Column-by-column oracle for any operator with a ``matvec`` method."""
+    return np.stack([op.matvec(np.ascontiguousarray(x[:, j]), record=record)
+                     for j in range(x.shape[1])], axis=1)
+
+
+class TestBatchedKernelEquivalence:
+    """Batched multi-RHS kernels must equal the column-by-column loop.
+
+    On ``reference`` the batched entry points *are* the loop (the base-class
+    oracle); on ``fast`` they are vectorized SpMM / batched-trsm kernels, so
+    these sweeps are what licenses using them interchangeably.  SpMM may fuse
+    multiply-adds (scipy path), so it matches to compute-precision tolerance;
+    the batched triangular solve performs the identical operation order per
+    column and must match exactly.
+    """
+
+    @pytest.mark.tier2
+    @settings(**COMMON)
+    @given(csr_matrices(), st.sampled_from(DTYPES), st.sampled_from(DTYPES),
+           st.integers(1, 6), st.integers(0, 2**31 - 1))
+    def test_spmm_csr_matches_looped(self, csr, mat_prec, vec_prec, k, seed):
+        a = csr.astype(mat_prec)
+        x = (np.random.default_rng(seed)
+             .uniform(-1, 1, (a.ncols, k)).astype(vec_prec.dtype))
+        compute = mat_prec if mat_prec.bytes >= vec_prec.bytes else vec_prec
+        for backend in ("reference", "fast"):
+            with use_backend(backend):
+                batched = a.matmat(x, record=False)
+                looped = _looped_matvec(a, x)
+            assert batched.shape == (a.nrows, k)
+            assert batched.dtype == looped.dtype
+            assert np.allclose(batched.astype(np.float64),
+                               looped.astype(np.float64), **TOLS[compute])
+
+    @pytest.mark.tier2
+    @settings(**COMMON)
+    @given(csr_matrices(), st.sampled_from(DTYPES), st.sampled_from([1, 3, 8, 32]),
+           st.integers(1, 6), st.integers(0, 2**31 - 1))
+    def test_spmm_ell_matches_looped(self, csr, mat_prec, chunk_size, k, seed):
+        ell = SlicedEllMatrix(csr, chunk_size=chunk_size).astype(mat_prec)
+        x = np.random.default_rng(seed).uniform(-1, 1, (csr.ncols, k))
+        for backend in ("reference", "fast"):
+            with use_backend(backend):
+                batched = ell.matmat(x, record=False)
+                looped = _looped_matvec(ell, x)
+            assert np.allclose(batched, looped, **TOLS[Precision.FP64])
+            assert batched.dtype == looped.dtype
+
+    @pytest.mark.tier2
+    @settings(**COMMON)
+    @given(csr_matrices(with_diagonal=True), st.sampled_from(DTYPES),
+           st.booleans(), st.booleans(), st.integers(1, 6),
+           st.integers(0, 2**31 - 1))
+    def test_trsm_matches_looped_trsv(self, csr, prec, lower, unit_diagonal, k,
+                                      seed):
+        from repro.sparse import split_triangular
+
+        lo, diag, up = split_triangular(csr)
+        tri = lo if lower else up
+        if not unit_diagonal:
+            n = csr.nrows
+            coo = tri.to_coo()
+            tri = COOMatrix(np.concatenate([coo.rows, np.arange(n, dtype=np.int32)]),
+                            np.concatenate([coo.cols, np.arange(n, dtype=np.int32)]),
+                            np.concatenate([coo.values, diag]), (n, n)).to_csr()
+        b = np.random.default_rng(seed).uniform(-1, 1, (csr.nrows, k))
+
+        results = {}
+        for backend in ("reference", "fast"):
+            with use_backend(backend):
+                factor = TriangularFactor(tri.astype(prec), lower=lower,
+                                          unit_diagonal=unit_diagonal)
+                batched = factor.solve_batch(b, record=False)
+                looped = np.stack([factor.solve(np.ascontiguousarray(b[:, j]),
+                                                record=False)
+                                   for j in range(k)], axis=1)
+            # identical per-column operation order => exact equality
+            assert np.array_equal(batched, looped, equal_nan=True), backend
+            results[backend] = batched
+        assert np.array_equal(results["reference"], results["fast"], equal_nan=True)
+
+    # -- deterministic tier-1 coverage across every precision pair ---------- #
+    @pytest.mark.parametrize("mat_prec", DTYPES)
+    @pytest.mark.parametrize("vec_prec", DTYPES)
+    def test_batched_kernels_fixed_matrix(self, mat_prec, vec_prec):
+        from repro.precond import ilu0_factor
+
+        rng = np.random.default_rng(17)
+        dense = rng.uniform(-1, 1, (41, 41)) * (rng.random((41, 41)) < 0.2)
+        np.fill_diagonal(dense, 4.0 + rng.random(41))
+        csr = CSRMatrix.from_dense(dense)
+        a = csr.astype(mat_prec)
+        ell = SlicedEllMatrix(csr, chunk_size=8).astype(mat_prec)
+        x = rng.uniform(-1, 1, (41, 5)).astype(vec_prec.dtype)
+        compute = mat_prec if mat_prec.bytes >= vec_prec.bytes else vec_prec
+        lower, _ = ilu0_factor(csr)
+
+        for backend in ("reference", "fast"):
+            with use_backend(backend):
+                assert np.allclose(a.matmat(x, record=False).astype(np.float64),
+                                   _looped_matvec(a, x).astype(np.float64),
+                                   **TOLS[compute])
+                assert np.allclose(ell.matmat(x, record=False),
+                                   _looped_matvec(ell, x), **TOLS[compute])
+                factor = TriangularFactor(lower.astype(mat_prec), lower=True,
+                                          unit_diagonal=True)
+                assert np.array_equal(
+                    factor.solve_batch(x, record=False),
+                    np.stack([factor.solve(np.ascontiguousarray(x[:, j]),
+                                           record=False) for j in range(5)],
+                             axis=1),
+                    equal_nan=True)
+
+    def test_empty_and_single_column_batches(self):
+        csr = CSRMatrix.from_dense(np.diag(np.arange(1.0, 6.0)) + np.tri(5, k=-1))
+        x1 = np.arange(1.0, 6.0)[:, None]
+        for backend in ("reference", "fast"):
+            with use_backend(backend):
+                batched = csr.matmat(x1, record=False)
+                assert np.array_equal(batched[:, 0],
+                                      csr.matvec(x1[:, 0], record=False))
+
+    def test_matmul_operator_dispatches_on_ndim(self):
+        csr = CSRMatrix.from_dense(np.eye(4) * 2.0)
+        x = np.arange(4.0)
+        assert (csr @ x).shape == (4,)
+        assert (csr @ np.stack([x, x], axis=1)).shape == (4, 2)
+        ell = SlicedEllMatrix(csr, chunk_size=2)
+        assert (ell @ x).shape == (4,)
+        assert (ell @ np.stack([x, x], axis=1)).shape == (4, 2)
+
+    def test_shape_validation(self):
+        csr = CSRMatrix.from_dense(np.eye(4))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            csr.matmat(np.zeros((5, 2)))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            csr.matmat(np.zeros(4))
+
+
+class TestBatchedCounterParity:
+    """Per-column counter parity: a batched kernel records exactly what the
+    column-by-column loop records, on both engines."""
+
+    def _traffic(self, fn, backend):
+        with use_backend(backend):
+            with counting() as counter:
+                fn()
+        return counter.summary()
+
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    def test_spmm_parity(self, spd_matrix, backend):
+        x = np.random.default_rng(5).uniform(-1, 1, (spd_matrix.ncols, 4))
+        looped = self._traffic(lambda: _looped_matvec(spd_matrix, x, record=True),
+                               backend)
+        batched = self._traffic(lambda: spd_matrix.matmat(x), backend)
+        assert looped == batched
+
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    def test_trsm_parity(self, spd_matrix, backend):
+        from repro.precond import ilu0_factor
+
+        lower, _ = ilu0_factor(spd_matrix)
+        b = np.random.default_rng(6).uniform(-1, 1, (spd_matrix.nrows, 4))
+        factor = TriangularFactor(lower, lower=True, unit_diagonal=True)
+        looped = self._traffic(
+            lambda: [factor.solve(np.ascontiguousarray(b[:, j]))
+                     for j in range(4)], backend)
+        batched = self._traffic(lambda: factor.solve_batch(b), backend)
+        assert looped == batched
+
+    def test_spmm_parity_across_backends(self, spd_matrix):
+        x = np.random.default_rng(7).uniform(-1, 1, (spd_matrix.ncols, 3))
+        ref = self._traffic(lambda: spd_matrix.matmat(x), "reference")
+        fast = self._traffic(lambda: spd_matrix.matmat(x), "fast")
+        assert ref == fast
+
+    def test_precond_apply_batch_counts_k_applications(self, spd_matrix):
+        from repro.precond import BlockJacobiILU0
+
+        precond = BlockJacobiILU0(spd_matrix, nblocks=4)
+        r = np.random.default_rng(8).uniform(-1, 1, (spd_matrix.nrows, 6))
+        before = precond.num_applications
+        precond.apply_batch(r)
+        assert precond.num_applications - before == 6

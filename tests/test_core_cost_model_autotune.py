@@ -19,6 +19,8 @@ from repro.core import (
 )
 from repro.precond import JacobiPreconditioner
 
+pytestmark = pytest.mark.tier1
+
 
 class TestCostFormulas:
     def test_fgmres_formula(self):

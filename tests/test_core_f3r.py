@@ -10,6 +10,8 @@ from repro.precision import Precision
 from repro.solvers import count_primary_applications
 from repro.sparse import residual_norm
 
+pytestmark = pytest.mark.tier1
+
 
 class TestF3RConfig:
     def test_paper_defaults(self):

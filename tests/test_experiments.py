@@ -19,6 +19,8 @@ from repro.experiments import (
 )
 from repro.perf import GPU_NODE
 
+pytestmark = pytest.mark.tier1
+
 
 @pytest.fixture(scope="module")
 def demo_problem():

@@ -21,6 +21,8 @@ from repro.experiments import build_problem, run_f3r, run_krylov_baseline, run_v
 from repro.perf import CPU_NODE, TrafficCounter, counting
 from repro.precision import Precision
 
+pytestmark = pytest.mark.tier2
+
 
 @pytest.fixture(scope="module")
 def hpcg_problem():

@@ -28,6 +28,8 @@ from repro.matgen import (
 )
 from repro.sparse import extract_diagonal
 
+pytestmark = pytest.mark.tier1
+
 
 class TestHPCG:
     def test_size(self):

@@ -24,6 +24,8 @@ from repro.perf import (
 )
 from repro.precision import Precision
 
+pytestmark = pytest.mark.tier1
+
 
 class TestTrafficCounter:
     def test_accumulation(self):

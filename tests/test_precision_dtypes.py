@@ -15,6 +15,8 @@ from repro.precision import (
 )
 from repro.precision.dtypes import as_precision as as_precision_direct
 
+pytestmark = pytest.mark.tier1
+
 
 class TestPrecisionEnum:
     def test_three_members(self):

@@ -13,6 +13,8 @@ from repro.precision import (
     saturate,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestRoundTo:
     def test_roundtrip_exact_for_representable(self):

@@ -16,6 +16,8 @@ from repro.precision import (
     uniform_spec,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class TestPrecisionSpec:
     def test_compute_defaults_to_promotion(self):

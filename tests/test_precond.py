@@ -18,6 +18,8 @@ from repro.precond import (
 )
 from repro.sparse import diagonal_scaling, extract_diagonal
 
+pytestmark = pytest.mark.tier1
+
 
 class TestIdentity:
     def test_apply_is_copy(self, rng):

@@ -15,6 +15,8 @@ from repro.solvers import (
 )
 from repro.sparse import residual_norm
 
+pytestmark = pytest.mark.tier1
+
 
 def _check_solution(matrix, result, b, tol=1e-7):
     assert result.converged

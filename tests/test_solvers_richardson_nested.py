@@ -14,6 +14,8 @@ from repro.solvers import (
 )
 from repro.sparse import residual_norm
 
+pytestmark = pytest.mark.tier1
+
 
 def _fp64_level():
     return LevelPrecision(Precision.FP64, Precision.FP64, Precision.FP64)

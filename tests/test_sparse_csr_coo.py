@@ -6,6 +6,8 @@ import pytest
 from repro.precision import Precision
 from repro.sparse import COOMatrix, CSRMatrix
 
+pytestmark = pytest.mark.tier1
+
 
 def _example_dense():
     return np.array([

@@ -8,6 +8,8 @@ from repro.precision import Precision
 from repro.sparse import CSRMatrix, SlicedEllMatrix
 from repro.sparse import vectorops as vo
 
+pytestmark = pytest.mark.tier1
+
 
 class TestSlicedEll:
     def test_matvec_matches_csr(self, spd_matrix, rng):

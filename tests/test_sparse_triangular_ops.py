@@ -26,6 +26,8 @@ from repro.sparse import (
 )
 from repro.sparse.blocking import BlockPartition
 
+pytestmark = pytest.mark.tier1
+
 
 def _random_lower(n, seed=0, unit=False):
     rng = np.random.default_rng(seed)

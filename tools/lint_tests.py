@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Fail if any test file lacks a tier marker (``make lint-tests``).
+
+Every file under ``tests/`` must carry a module-level tier marker so the
+tier-1 / tier-2 split stays exhaustive::
+
+    pytestmark = pytest.mark.tier1        # or tier2, or a list including one
+
+Class- or function-level tier markers may *refine* the file's default (e.g. a
+tier-2 hypothesis sweep inside a tier-1 file), but the module-level marker is
+what guarantees nothing silently falls out of both suites.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent.parent / "tests"
+
+#: module-level assignment like ``pytestmark = pytest.mark.tier1`` or
+#: ``pytestmark = [pytest.mark.tier2, ...]`` (anchored to column 0)
+MARKER_RE = re.compile(r"^pytestmark\s*=.*pytest\.mark\.tier[12]", re.MULTILINE)
+
+
+def main() -> int:
+    test_files = sorted(TESTS_DIR.glob("test_*.py"))
+    if not test_files:
+        print(f"lint-tests: no test files found under {TESTS_DIR}", file=sys.stderr)
+        return 2
+    missing = [path for path in test_files
+               if not MARKER_RE.search(path.read_text(encoding="utf-8"))]
+    if missing:
+        print("lint-tests: test files without a module-level tier marker "
+              "(add `pytestmark = pytest.mark.tier1` or tier2):", file=sys.stderr)
+        for path in missing:
+            print(f"  {path.relative_to(TESTS_DIR.parent)}", file=sys.stderr)
+        return 1
+    print(f"lint-tests: OK ({len(test_files)} test files, all tier-marked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
