@@ -23,9 +23,10 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_kernels.py --scale smoke --check
 
 ## Kernel micro-benchmarks at medium scale with the issues' floors: >=3x on
-## ELL-SpMV / FGMRES-cycle (kernel engine) and >=3x on solve_batch (batching)
+## ELL-SpMV / FGMRES-cycle (kernel engine), >=3x on solve_batch (batching),
+## and >=1x matrix-free-over-assembled stencil applies at 64^3 (operators)
 bench-kernels:
-	$(PYTHON) benchmarks/bench_kernels.py --scale medium --require 3.0 --require-batched 3.0
+	$(PYTHON) benchmarks/bench_kernels.py --scale medium --require 3.0 --require-batched 3.0 --require-stencil 1.0
 
 ## Refresh the committed smoke baseline (run on a quiet machine)
 bench-baseline:

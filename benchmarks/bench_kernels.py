@@ -3,8 +3,10 @@ batched (multi-RHS) vs looped execution.
 
 Times the four hot kernels — CSR SpMV, sliced-ELLPACK SpMV, level-scheduled
 triangular solve, and one FGMRES(m) cycle — on both registered backends, plus
-the batched kernels (CSR SpMM, batched trsm) and a full ``solve_batch`` of
-the fp16-F3R solver against ``k`` sequential ``solve`` calls, and emits a
+the batched kernels (CSR SpMM, batched trsm), a full ``solve_batch`` of
+the fp16-F3R solver against ``k`` sequential ``solve`` calls, and the
+matrix-free stencil applies (single + batched) against the assembled CSR
+kernels on the HPCG 27-point operator at a 64³ grid, and emits a
 ``BENCH_kernels.json`` speedup summary.
 
 Not collected by pytest (the tier-1 suite); run directly or via make:
@@ -15,11 +17,14 @@ Not collected by pytest (the tier-1 suite); run directly or via make:
 
 ``--check`` compares the measured speedups against the committed baseline
 (``benchmarks/BENCH_kernels_baseline.json``) and exits non-zero when any
-kernel's fast-backend (or batched-over-looped) speedup regressed by more than
-2x — speedup ratios are compared rather than wall times so the gate is stable
-across machines.  ``--require X`` enforces an absolute floor on the ELL-SpMV
-and FGMRES-cycle speedups (kernel-engine issue), ``--require-batched X`` on
-the ``solve_batch`` speedup (batched-solve issue).
+kernel's fast-backend (or batched-over-looped / matrix-free-over-assembled)
+speedup regressed by more than 2x — speedup ratios are compared rather than
+wall times so the gate is stable across machines.  ``--require X`` enforces
+an absolute floor on the ELL-SpMV and FGMRES-cycle speedups (kernel-engine
+issue), ``--require-batched X`` on the ``solve_batch`` speedup (batched-solve
+issue), and ``--require-stencil X`` on the matrix-free-over-assembled apply
+speedups (operator-layer issue: the batched stencil apply must beat the
+assembled CSR SpMM at >= 64³ grid points).
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ import numpy as np
 
 from repro.backends import use_backend
 from repro.core import F3RConfig, F3RSolver
-from repro.matgen import poisson2d
+from repro.matgen import hpcg_matrix, hpcg_operator, poisson2d
 from repro.precision import Precision
 from repro.precond import ilu0_factor
 from repro.solvers import fgmres_cycle
@@ -50,6 +55,11 @@ SOLVE_SCALES = {"smoke": 40, "small": 90, "medium": 300}
 #: right-hand sides per batch in the batched benchmarks
 BATCH_K = 8
 
+#: grid side of the matrix-free stencil benchmark (HPCG 27-point); 64³ is the
+#: operator-layer acceptance threshold — the batched matrix-free apply must
+#: beat the assembled CSR SpMM at this size
+STENCIL_GRID = 64
+
 BASELINE_PATH = Path(__file__).parent / "BENCH_kernels_baseline.json"
 OUTPUT_PATH = Path(__file__).parent / "BENCH_kernels.json"
 
@@ -58,6 +68,9 @@ REQUIRED_KERNELS = ("spmv_ell", "fgmres_cycle")
 
 #: batched entries the --require-batched floor applies to
 REQUIRED_BATCHED = ("solve_batch",)
+
+#: stencil entries the --require-stencil floor applies to
+REQUIRED_STENCIL = ("stencil_apply", "stencil_apply_batch")
 
 
 def _time(fn, repeats: int, warmup: int = 1) -> float:
@@ -157,6 +170,37 @@ def bench_solve_batch(scale: str, k: int = BATCH_K) -> dict:
     }
 
 
+def bench_stencil(repeats: int, k: int = BATCH_K, grid: int = STENCIL_GRID) -> dict[str, dict]:
+    """Matrix-free stencil applies vs the assembled CSR kernels (fast engine).
+
+    The HPCG 27-point operator is box-separable, so the matrix-free apply
+    runs as per-axis fused convolution sweeps with no value/index streams —
+    the regime where dropping assembled storage wins even against scipy's
+    compiled CSR kernels.
+    """
+    matrix = hpcg_matrix(grid)
+    op = hpcg_operator(grid)
+    rng = np.random.default_rng(3)
+    x = rng.uniform(-1.0, 1.0, op.nrows)
+    x_block = rng.uniform(-1.0, 1.0, (op.nrows, k))
+    entries = {}
+    with use_backend("fast"):
+        entries["stencil_apply"] = {
+            "assembled_s": _time(lambda: matrix.matvec(x), repeats),
+            "matrix_free_s": _time(lambda: op.apply(x), repeats),
+        }
+        entries["stencil_apply_batch"] = {
+            "assembled_s": _time(lambda: matrix.matmat(x_block), repeats),
+            "matrix_free_s": _time(lambda: op.apply_batch(x_block), repeats),
+            "k": k,
+        }
+    for row in entries.values():
+        row["speedup"] = round(row["assembled_s"] / row["matrix_free_s"]
+                               if row["matrix_free_s"] > 0 else float("inf"), 3)
+        row["grid"] = f"{grid}^3"
+    return entries
+
+
 def run(scale: str, repeats: int, m: int) -> dict:
     side = SCALES[scale]
     problem = build_problem(side)
@@ -172,6 +216,7 @@ def run(scale: str, repeats: int, m: int) -> dict:
         }
     batched = bench_batched_kernels(problem, repeats)
     batched["solve_batch"] = bench_solve_batch(scale)
+    stencil = bench_stencil(repeats)
     return {
         "scale": scale,
         "n": problem["n"],
@@ -180,6 +225,7 @@ def run(scale: str, repeats: int, m: int) -> dict:
         "repeats": repeats,
         "kernels": kernels,
         "batched": batched,
+        "stencil": stencil,
     }
 
 
@@ -195,7 +241,7 @@ def check_regressions(report: dict, baseline: dict, factor: float = 2.0) -> list
                             f"--write-baseline")
     if failures:
         return failures
-    for section in ("kernels", "batched"):
+    for section in ("kernels", "batched", "stencil"):
         for name, base in baseline.get(section, {}).items():
             current = report.get(section, {}).get(name)
             if current is None:
@@ -224,6 +270,9 @@ def main(argv=None) -> int:
                         help="fail unless ELL-SpMV and FGMRES-cycle speedups >= X")
     parser.add_argument("--require-batched", type=float, default=None, metavar="X",
                         help="fail unless the solve_batch speedup >= X")
+    parser.add_argument("--require-stencil", type=float, default=None, metavar="X",
+                        help="fail unless the matrix-free stencil apply speedups "
+                             "over the assembled kernels are >= X")
     parser.add_argument("--write-baseline", action="store_true",
                         help="overwrite the committed baseline with this run")
     args = parser.parse_args(argv)
@@ -239,6 +288,12 @@ def main(argv=None) -> int:
     for name, row in report["batched"].items():
         print(f"  {name:<14} looped    {row['looped_s'] * 1e3:9.3f} ms   "
               f"batched {row['batched_s'] * 1e3:6.3f} ms   speedup {row['speedup']:6.2f}x")
+    print(f"matrix-free stencil vs assembled CSR — fast engine, "
+          f"HPCG {STENCIL_GRID}^3")
+    for name, row in report["stencil"].items():
+        print(f"  {name:<19} assembled {row['assembled_s'] * 1e3:9.3f} ms   "
+              f"matrix-free {row['matrix_free_s'] * 1e3:9.3f} ms   "
+              f"speedup {row['speedup']:6.2f}x")
 
     args.json.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.json}")
@@ -272,6 +327,13 @@ def main(argv=None) -> int:
             if speedup < args.require_batched:
                 print(f"REQUIREMENT FAILED: {name} speedup {speedup:.2f}x "
                       f"< {args.require_batched:g}x", file=sys.stderr)
+                status = 1
+    if args.require_stencil is not None:
+        for name in REQUIRED_STENCIL:
+            speedup = report["stencil"][name]["speedup"]
+            if speedup < args.require_stencil:
+                print(f"REQUIREMENT FAILED: {name} speedup {speedup:.2f}x "
+                      f"< {args.require_stencil:g}x", file=sys.stderr)
                 status = 1
     return status
 

@@ -1,0 +1,89 @@
+"""Matrix-free solves: the operator abstraction layer end to end.
+
+The solver stack only ever *applies* the coefficient matrix, so it targets
+the ``LinearOperator`` contract instead of assembled CSR storage.  This
+example:
+
+1. builds a matrix-free :class:`~repro.operators.StencilOperator` for the
+   HPCG 27-point problem and compares its memory footprint and apply speed
+   against the assembled matrix;
+2. runs the full F3R solver matrix-free (preconditioner ``"auto"`` falls
+   back to Jacobi built from ``operator.diagonal()``) and shows it matches
+   the assembled solve's iteration counts;
+3. scales the operator compositionally with
+   :class:`~repro.operators.ScaledOperator` — no re-assembly;
+4. serves mixed assembled and matrix-free requests through one
+   :class:`~repro.serve.BatchDispatcher` queue, grouped by
+   ``operator.fingerprint()``.
+
+Run:  PYTHONPATH=src python examples/matrix_free.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import BatchDispatcher, F3RConfig, F3RSolver, ScaledOperator
+from repro.matgen import hpcg_matrix, hpcg_operator
+from repro.precond import JacobiPreconditioner
+
+
+def main() -> None:
+    grid = 32
+    matrix = hpcg_matrix(grid)          # assembled CSR, ~27 nnz/row
+    op = hpcg_operator(grid)            # the same operator, matrix-free
+
+    print(f"HPCG {grid}^3: n = {op.nrows}, nnz = {op.nnz}")
+    print(f"  assembled storage: {matrix.memory_bytes() / 1e6:8.2f} MB")
+    print(f"  matrix-free storage: {op.memory_bytes():6d} B "
+          f"({op.npoints} stencil coefficients)")
+
+    # -- apply speed: fused stencil sweep vs assembled CSR ---------------- #
+    rng = np.random.default_rng(0)
+    x_block = rng.standard_normal((op.nrows, 8))
+    for target, label in ((matrix, "assembled CSR SpMM"),
+                          (op, "matrix-free batched apply")):
+        target.apply_batch(x_block)     # warm up plans/workspaces
+        start = time.perf_counter()
+        for _ in range(5):
+            target.apply_batch(x_block)
+        print(f"  {label:<26} {(time.perf_counter() - start) / 5 * 1e3:7.2f} ms")
+
+    # -- matrix-free F3R: same convergence as the assembled solve --------- #
+    b = rng.standard_normal(op.nrows)
+    config = F3RConfig(variant="fp16", tol=1e-8)
+    free = F3RSolver(op, preconditioner="auto", config=config)
+    assert isinstance(free.preconditioner, JacobiPreconditioner)
+    result_free = free.solve(b)
+    result_asm = F3RSolver(matrix, preconditioner="jacobi", config=config).solve(b)
+    print(f"matrix-free F3R: converged={result_free.converged} "
+          f"iterations={result_free.iterations} "
+          f"relres={result_free.relative_residual:.2e}")
+    print(f"assembled  F3R: converged={result_asm.converged} "
+          f"iterations={result_asm.iterations} "
+          f"relres={result_asm.relative_residual:.2e}")
+
+    # -- compositional diagonal scaling (no re-assembly) ------------------ #
+    scale = 1.0 / np.sqrt(np.abs(op.diagonal()))
+    scaled = ScaledOperator.symmetric(op, scale)
+    result_scaled = F3RSolver(scaled, preconditioner="auto",
+                              config=config).solve(b)
+    print(f"scaled operator: converged={result_scaled.converged} "
+          f"iterations={result_scaled.iterations}")
+
+    # -- one dispatcher queue for assembled and matrix-free requests ------ #
+    with BatchDispatcher(F3RConfig(variant="fp32"), max_batch=4) as dispatcher:
+        futures = [dispatcher.submit(matrix, rng.standard_normal(matrix.nrows))
+                   for _ in range(3)]
+        futures += [dispatcher.submit(hpcg_operator(grid),   # equal fingerprint
+                                      rng.standard_normal(op.nrows))
+                    for _ in range(3)]
+        dispatcher.drain()
+        ok = all(f.result().converged for f in futures)
+    stats = dispatcher.stats.summary()
+    print(f"dispatcher: all converged={ok}; {stats['batches']} batches for "
+          f"{stats['requests']} mixed requests (one group per fingerprint)")
+
+
+if __name__ == "__main__":
+    main()

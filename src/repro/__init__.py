@@ -35,6 +35,14 @@ from .core import (
     solve_f3r,
     tune_f3r,
 )
+from .operators import (
+    AssembledOperator,
+    LinearOperator,
+    ScaledOperator,
+    ShiftedOperator,
+    StencilOperator,
+    as_operator,
+)
 from .precision import Precision
 from .precond import make_primary_preconditioner
 from .serve import BatchDispatcher
@@ -69,6 +77,12 @@ __all__ = [
     "BatchSolveResult",
     "BatchDispatcher",
     "CSRMatrix",
+    "LinearOperator",
+    "AssembledOperator",
+    "StencilOperator",
+    "ShiftedOperator",
+    "ScaledOperator",
+    "as_operator",
     "active_backend",
     "available_backends",
     "register_backend",

@@ -178,6 +178,57 @@ class KernelBackend(abc.ABC):
         return np.stack(cols, axis=1)
 
     # ------------------------------------------------------------------ #
+    # Matrix-free stencil applies
+    #
+    # The default single-RHS kernel is the loop-faithful oracle: it gathers
+    # each offset's products into the exact per-row, column-ordered slots of
+    # the assembled CSR product stream and reduces them with the same
+    # ``row_segment_sums`` helper the CSR kernels use — so a stencil apply
+    # on the oracle is bit-identical to the reference SpMV on the assembled
+    # matrix.  The batched default loops columns over the single-RHS kernel
+    # (the batched oracle); overrides must keep per-column counter parity.
+    # ------------------------------------------------------------------ #
+    def apply_stencil(self, op, x: np.ndarray, out_precision=None,
+                      record: bool = True) -> np.ndarray:
+        """``y = A @ x`` for a :class:`~repro.operators.StencilOperator`."""
+        mat_prec, vec_prec, compute, out_prec = spmv_setup(op.values.dtype, x.dtype,
+                                                           out_precision)
+        cdtype = compute.dtype
+        x_c = x if x.dtype == cdtype else x.astype(cdtype)
+        vals_c = op.values.astype(cdtype, copy=False)
+        indptr, entries = op.csr_gather_plan()
+        products = np.empty(op.nnz, dtype=cdtype)
+        for pos, positions, src in entries:
+            products[positions] = vals_c[pos] * x_c[src]
+        y = np.zeros(op.nrows, dtype=cdtype)
+        row_segment_sums(products, indptr, y)
+        y = y.astype(out_prec.dtype, copy=False)
+        if record:
+            self._record_stencil(mat_prec, vec_prec, out_prec, compute,
+                                 op.nrows, op.nnz, op.npoints)
+        return y
+
+    def apply_stencil_batch(self, op, x: np.ndarray, out_precision=None,
+                            record: bool = True) -> np.ndarray:
+        """``Y = A @ X`` for a stencil operator and ``X`` of shape ``(n, k)``."""
+        cols = [self.apply_stencil(op, np.ascontiguousarray(x[:, j]),
+                                   out_precision=out_precision, record=record)
+                for j in range(x.shape[1])]
+        return np.stack(cols, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Assembled-format preference (AssembledOperator auto-selection hook)
+    # ------------------------------------------------------------------ #
+    def preferred_assembled_format(self, precision) -> str | None:
+        """Storage format this backend wants for an assembled operator.
+
+        Return ``"csr"`` / ``"ell"`` to pin a format, or ``None`` to let
+        :class:`~repro.operators.AssembledOperator` decide from the cost
+        model's traffic comparison.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
     # Triangular substitution
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
@@ -244,6 +295,24 @@ class KernelBackend(abc.ABC):
         record_bytes(vec_prec, factor.nrows * vec_prec.bytes)
         record_bytes(out_prec, factor.nrows * out_prec.bytes)
         record_flops(compute, 2 * factor.off_vals.size + 2 * factor.nrows)
+
+    @staticmethod
+    def _record_stencil(mat_prec, vec_prec, out_prec, compute, n: int, nnz: int,
+                        npoints: int, k: int = 1) -> None:
+        """Traffic of ``k`` fused stencil applies (shared by every backend).
+
+        A matrix-free apply reads the input vector and the ``npoints``-entry
+        coefficient table and writes the output — no value or index streams,
+        which is exactly the ``cA`` collapse the cost model predicts.  Flops
+        match the assembled SpMV (one multiply-add per structural nonzero).
+        """
+        if not counters_enabled():
+            return
+        record_kernel("stencil", k)
+        record_bytes(mat_prec, k * npoints * mat_prec.bytes)
+        record_bytes(vec_prec, k * n * vec_prec.bytes)
+        record_bytes(out_prec, k * n * out_prec.bytes)
+        record_flops(compute, k * 2 * nnz)
 
     @staticmethod
     def _record_spmm(mat_prec, vec_prec, out_prec, compute, n: int, nnz: int,

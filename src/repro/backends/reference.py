@@ -11,7 +11,12 @@ The batched multi-RHS kernels (``spmm_csr``, ``spmm_ell``, ``trsm``) are
 inherited from :class:`~repro.backends.base.KernelBackend` unchanged: on this
 backend a batched call *is* the column-by-column loop over the single-RHS
 oracle kernels, which is exactly what the batched-vs-looped equivalence tests
-pin the ``fast`` engine against.
+pin the ``fast`` engine against.  The matrix-free stencil kernels
+(``apply_stencil``/``apply_stencil_batch``) are likewise inherited: the base
+oracle materializes each offset's products in the assembled matrix's CSR
+slot order and reduces them with the shared ``row_segment_sums`` helper, so
+a stencil apply on this backend is bit-identical to the reference SpMV on
+the assembled twin.
 """
 
 from __future__ import annotations

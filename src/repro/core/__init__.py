@@ -10,6 +10,7 @@ from .cost_model import (
     cost_nested_fr,
     cost_richardson,
     nesting_benefit,
+    operator_traffic_constant,
     optimal_split,
     preconditioner_constant,
     traffic_constant,
@@ -37,6 +38,7 @@ __all__ = [
     "nesting_benefit",
     "optimal_split",
     "traffic_constant",
+    "operator_traffic_constant",
     "preconditioner_constant",
     "TuneResult",
     "default_candidates",

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..precision import BYTES_PER_INDEX, Precision, as_precision
-from ..sparse import CSRMatrix
 
 __all__ = [
     "cost_fgmres",
@@ -32,6 +31,7 @@ __all__ = [
     "cost_nested_fr",
     "nesting_benefit",
     "traffic_constant",
+    "operator_traffic_constant",
     "preconditioner_constant",
     "CostModel",
     "optimal_split",
@@ -40,14 +40,38 @@ __all__ = [
 _WORD = 8.0  # fp64 word, the unit the paper's constants are expressed in
 
 
-def traffic_constant(matrix: CSRMatrix, value_precision: Precision | str = Precision.FP64) -> float:
+def traffic_constant(matrix, value_precision: Precision | str = Precision.FP64) -> float:
     """``cA``: memory accesses per row for one SpMV, in fp64-word equivalents.
 
     ``cA = (nnz/row) * (value_bytes + index_bytes) / 8``; the paper's example
-    (30 nnz/row, fp64 values, 32-bit indices) gives 45.
+    (30 nnz/row, fp64 values, 32-bit indices) gives 45.  ``matrix`` is
+    anything exposing ``nnz_per_row`` (a :class:`CSRMatrix` or a
+    :class:`~repro.operators.LinearOperator`).  For a matrix-free
+    :class:`~repro.operators.StencilOperator` the *assembled* constant no
+    longer reflects the traffic its fused apply actually moves — the value
+    and index streams vanish; see :func:`operator_traffic_constant`.
     """
     p = as_precision(value_precision)
     return matrix.nnz_per_row * (p.bytes + BYTES_PER_INDEX) / _WORD
+
+
+def operator_traffic_constant(operator,
+                              value_precision: Precision | str = Precision.FP64) -> float:
+    """``cA`` of the operator's actual apply kernel, in fp64 words per row.
+
+    Assembled operators stream values + indices (``cA`` of Eq. 1); a
+    matrix-free stencil reads only its coefficient table, so its per-row
+    constant collapses to effectively zero, and composites delegate to
+    their base.  The estimate lives on the operator contract
+    (:meth:`repro.operators.LinearOperator.apply_traffic_constant`); a raw
+    :class:`CSRMatrix` falls back to the assembled formula.  This is the
+    constant to feed the nesting model when solving matrix-free.
+    """
+    p = as_precision(value_precision)
+    estimate = getattr(operator, "apply_traffic_constant", None)
+    if estimate is not None:
+        return float(estimate(p))
+    return traffic_constant(operator, p)
 
 
 def preconditioner_constant(preconditioner, n: int | None = None) -> float:
@@ -132,10 +156,17 @@ class CostModel:
     c_m: float
 
     @classmethod
-    def for_problem(cls, matrix: CSRMatrix, preconditioner,
+    def for_problem(cls, matrix, preconditioner,
                     value_precision: Precision | str = Precision.FP64) -> "CostModel":
+        """Model for a matrix/preconditioner pair.
+
+        ``matrix`` may be assembled or any operator; matrix-free stencil
+        operators get the collapsed ``cA`` of their fused apply
+        (:func:`operator_traffic_constant`), so nesting-depth choices made
+        from the model reflect the traffic the solve actually moves.
+        """
         return cls(
-            c_a=traffic_constant(matrix, value_precision),
+            c_a=operator_traffic_constant(matrix, value_precision),
             c_m=preconditioner_constant(preconditioner, matrix.nrows),
         )
 

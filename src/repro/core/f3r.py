@@ -13,6 +13,7 @@ import contextlib
 import numpy as np
 
 from ..backends import use_backend
+from ..operators import as_operator
 from ..precond import make_primary_preconditioner
 from ..precond.base import Preconditioner
 from ..solvers import (
@@ -22,7 +23,6 @@ from ..solvers import (
     SolveResult,
     build_nested_solver,
 )
-from ..sparse import CSRMatrix
 from .config import F3RConfig
 
 __all__ = ["build_f3r", "solve_f3r", "F3RSolver"]
@@ -45,12 +45,14 @@ def _level_specs(config: F3RConfig) -> list[LevelSpec]:
     ]
 
 
-def build_f3r(matrix: CSRMatrix, preconditioner: Preconditioner,
+def build_f3r(matrix, preconditioner: Preconditioner,
               config: F3RConfig | None = None) -> OuterFGMRES:
     """Construct the F3R solver for ``matrix`` with the given primary preconditioner.
 
-    The preconditioner should be constructed in fp64; the builder casts it to
-    the precision required by the innermost level of the chosen variant.
+    ``matrix`` may be an assembled :class:`~repro.sparse.CSRMatrix` or any
+    :class:`~repro.operators.LinearOperator` (the solver levels only apply
+    it).  The preconditioner should be constructed in fp64; the builder casts
+    it to the precision required by the innermost level of the chosen variant.
     """
     config = config or F3RConfig()
     levels = _level_specs(config)
@@ -71,10 +73,14 @@ class F3RSolver:
         result = solver.solve(b)
     """
 
-    def __init__(self, matrix: CSRMatrix, preconditioner="auto",
+    def __init__(self, matrix, preconditioner="auto",
                  config: F3RConfig | None = None, nblocks: int | None = None,
                  alpha: float = 1.0) -> None:
-        self.matrix = matrix
+        # Anything satisfying the LinearOperator contract works: assembled
+        # CSR (wrapped for format auto-selection), matrix-free stencils,
+        # composites.  Preconditioner "auto" falls back to Jacobi built from
+        # operator.diagonal() when entries aren't assembled.
+        self.matrix = as_operator(matrix)
         self.config = config or F3RConfig()
         # The backend knob scopes construction too: preconditioner setup
         # (ILU(0) factorization, triangular plans) must run on the same
@@ -82,10 +88,10 @@ class F3RSolver:
         with self._backend_scope():
             if isinstance(preconditioner, str):
                 preconditioner = make_primary_preconditioner(
-                    matrix, kind=preconditioner, nblocks=nblocks, alpha=alpha,
+                    self.matrix, kind=preconditioner, nblocks=nblocks, alpha=alpha,
                 )
             self.preconditioner = preconditioner
-            self._outer = build_f3r(matrix, preconditioner, self.config)
+            self._outer = build_f3r(self.matrix, preconditioner, self.config)
 
     def _backend_scope(self):
         """``use_backend(config.backend)`` or a no-op when unset."""
@@ -122,7 +128,7 @@ class F3RSolver:
         return F3RSolver(self.matrix, self.preconditioner, config=config)
 
 
-def solve_f3r(matrix: CSRMatrix, b: np.ndarray, preconditioner="auto",
+def solve_f3r(matrix, b: np.ndarray, preconditioner="auto",
               config: F3RConfig | None = None, nblocks: int | None = None,
               alpha: float = 1.0, x0: np.ndarray | None = None) -> SolveResult:
     """One-call F3R solve: build the preconditioner and solver, then run it."""

@@ -14,6 +14,17 @@ from .random_matrices import (
     random_spd,
     random_tridiagonal,
 )
+from .operators import (
+    anisotropic_diffusion_3d_operator,
+    convection_diffusion_2d_operator,
+    convection_diffusion_3d_operator,
+    hpcg_operator,
+    hpgmp_operator,
+    laplacian_1d_operator,
+    poisson2d_operator,
+    poisson3d_operator,
+    stencil27_operator,
+)
 from .registry import (
     MATRIX_REGISTRY,
     MatrixSpec,
@@ -42,6 +53,15 @@ __all__ = [
     "random_sparse",
     "random_spd",
     "random_tridiagonal",
+    "anisotropic_diffusion_3d_operator",
+    "convection_diffusion_2d_operator",
+    "convection_diffusion_3d_operator",
+    "hpcg_operator",
+    "hpgmp_operator",
+    "laplacian_1d_operator",
+    "poisson2d_operator",
+    "poisson3d_operator",
+    "stencil27_operator",
     "MATRIX_REGISTRY",
     "MatrixSpec",
     "get_matrix",

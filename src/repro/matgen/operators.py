@@ -1,0 +1,165 @@
+"""Matrix-free counterparts of the assembled stencil generators.
+
+Every regular-grid generator in this package has a
+:class:`~repro.operators.StencilOperator` twin here, built from the same
+stencil coefficients on the same grid layout — ``<name>_operator(...)``
+produces the operator whose :meth:`~repro.operators.StencilOperator.assemble`
+is entry-for-entry the matrix ``<name>(...)`` builds (the equivalence tests
+pin this).  The assembled generators index their grids x-fastest
+(``idx = ix + nx*(iy + ny*iz)``) except the Poisson family, which uses
+NumPy's C order; the operators translate both into the C-ordered ``dims``
+convention of :class:`StencilOperator`.
+"""
+
+from __future__ import annotations
+
+from ..operators import StencilOperator
+
+__all__ = [
+    "anisotropic_diffusion_3d_operator",
+    "convection_diffusion_2d_operator",
+    "convection_diffusion_3d_operator",
+    "hpcg_operator",
+    "hpgmp_operator",
+    "laplacian_1d_operator",
+    "poisson2d_operator",
+    "poisson3d_operator",
+    "stencil27_operator",
+]
+
+
+def laplacian_1d_operator(n: int, scale: float = 1.0) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.laplacian_1d`."""
+    return StencilOperator((n,), [(0,), (-1,), (1,)],
+                           [2.0 * scale, -1.0 * scale, -1.0 * scale])
+
+
+def poisson2d_operator(nx: int, ny: int | None = None) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.poisson2d` (5-point)."""
+    ny = nx if ny is None else ny
+    offsets = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+    return StencilOperator((nx, ny), offsets, [4.0, -1.0, -1.0, -1.0, -1.0])
+
+
+def poisson3d_operator(nx: int, ny: int | None = None,
+                       nz: int | None = None) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.poisson3d` (7-point)."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    offsets = [(0, 0, 0), (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0),
+               (0, 0, -1), (0, 0, 1)]
+    return StencilOperator((nx, ny, nz), offsets, [6.0] + [-1.0] * 6)
+
+
+def stencil27_operator(
+    nx: int,
+    ny: int,
+    nz: int,
+    diag_value: float = 26.0,
+    off_value: float = -1.0,
+    z_forward_value: float | None = None,
+    z_backward_value: float | None = None,
+) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.stencil27_matrix`.
+
+    The assembled generator indexes x-fastest, so the C-ordered grid is
+    ``(nz, ny, nx)`` with offsets ``(dz, dy, dx)``.
+    """
+    zf = off_value if z_forward_value is None else z_forward_value
+    zb = off_value if z_backward_value is None else z_backward_value
+    offsets, values = [], []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                offsets.append((dz, dy, dx))
+                if (dx, dy, dz) == (0, 0, 0):
+                    values.append(diag_value)
+                elif (dx, dy, dz) == (0, 0, 1):
+                    values.append(zf)
+                elif (dx, dy, dz) == (0, 0, -1):
+                    values.append(zb)
+                else:
+                    values.append(off_value)
+    return StencilOperator((nz, ny, nx), offsets, values)
+
+
+def hpcg_operator(nx: int, ny: int | None = None,
+                  nz: int | None = None) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.hpcg_matrix`."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    return stencil27_operator(nx, ny, nz, diag_value=26.0, off_value=-1.0)
+
+
+def hpgmp_operator(nx: int, ny: int | None = None, nz: int | None = None,
+                   beta: float = 0.5) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.hpgmp_matrix`."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    return stencil27_operator(nx, ny, nz, diag_value=26.0, off_value=-1.0,
+                              z_forward_value=-1.0 + beta,
+                              z_backward_value=-1.0 - beta)
+
+
+def convection_diffusion_2d_operator(
+        nx: int, ny: int | None = None, peclet: float = 10.0,
+        velocity: tuple[float, float] = (1.0, 0.5)) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.convection_diffusion_2d`."""
+    ny = nx if ny is None else ny
+    h = 1.0 / (nx + 1)
+    vx, vy = velocity
+    cx = peclet * abs(vx) * h
+    cy = peclet * abs(vy) * h
+    # x-fastest assembled indexing -> C-ordered dims (ny, nx), offsets (dy, dx)
+    offsets = [(0, 0), (0, -1), (0, 1), (-1, 0), (1, 0)]
+    values = [
+        4.0 + cx + cy,
+        -1.0 - (cx if vx > 0 else 0.0),   # west (upwind for vx > 0)
+        -1.0 - (cx if vx < 0 else 0.0),   # east
+        -1.0 - (cy if vy > 0 else 0.0),   # south
+        -1.0 - (cy if vy < 0 else 0.0),   # north
+    ]
+    return StencilOperator((ny, nx), offsets, values)
+
+
+def convection_diffusion_3d_operator(
+        nx: int, ny: int | None = None, nz: int | None = None,
+        peclet: float = 10.0,
+        velocity: tuple[float, float, float] = (1.0, 0.5, 0.25)) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.convection_diffusion_3d`."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    h = 1.0 / (nx + 1)
+    vx, vy, vz = velocity
+    cx = peclet * abs(vx) * h
+    cy = peclet * abs(vy) * h
+    cz = peclet * abs(vz) * h
+    offsets = [(0, 0, 0), (0, 0, -1), (0, 0, 1), (0, -1, 0), (0, 1, 0),
+               (-1, 0, 0), (1, 0, 0)]
+    values = [
+        6.0 + cx + cy + cz,
+        -1.0 - (cx if vx > 0 else 0.0),
+        -1.0 - (cx if vx < 0 else 0.0),
+        -1.0 - (cy if vy > 0 else 0.0),
+        -1.0 - (cy if vy < 0 else 0.0),
+        -1.0 - (cz if vz > 0 else 0.0),
+        -1.0 - (cz if vz < 0 else 0.0),
+    ]
+    return StencilOperator((nz, ny, nx), offsets, values)
+
+
+def anisotropic_diffusion_3d_operator(
+        nx: int, ny: int | None = None, nz: int | None = None,
+        epsilon_y: float = 1e-2, epsilon_z: float = 1e-4) -> StencilOperator:
+    """Matrix-free twin of :func:`repro.matgen.anisotropic_diffusion_3d`."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    offsets = [(0, 0, 0), (0, 0, -1), (0, 0, 1), (0, -1, 0), (0, 1, 0),
+               (-1, 0, 0), (1, 0, 0)]
+    values = [
+        2.0 * (1.0 + epsilon_y + epsilon_z),
+        -1.0, -1.0,
+        -epsilon_y, -epsilon_y,
+        -epsilon_z, -epsilon_z,
+    ]
+    return StencilOperator((nz, ny, nx), offsets, values)

@@ -28,7 +28,30 @@ def make_primary_preconditioner(matrix, kind: str = "auto", nblocks: int | None 
     ``"ilu0"`` / ``"ic0"``, ``"sd-ainv"`` (GPU experiments), ``"jacobi"``,
     ``"identity"``, or ``"auto"`` which selects block-IC(0) for symmetric
     matrices and block-ILU(0) otherwise, as the paper does.
+
+    ``matrix`` may be an assembled :class:`~repro.sparse.CSRMatrix` or any
+    :class:`~repro.operators.LinearOperator`.  Operators that can produce
+    entries (``assembled_entries()``: wrapped CSR, composites over assembled
+    bases) keep the full selection; genuinely matrix-free operators expose
+    no entries, so factorization-based kinds are rejected for them and
+    ``"auto"`` falls back to Jacobi built from ``operator.diagonal()``.
     """
+    from ..operators import LinearOperator
+
+    if isinstance(matrix, LinearOperator):
+        entries = matrix.assembled_entries()
+        if entries is not None:
+            matrix = entries
+        else:
+            if kind in ("auto", "jacobi"):
+                return JacobiPreconditioner(matrix, precision=precision)
+            if kind == "identity":
+                return IdentityPreconditioner(matrix.nrows, precision=precision)
+            raise ValueError(
+                f"preconditioner kind {kind!r} needs assembled entries; a "
+                f"matrix-free {type(matrix).__name__} supports only "
+                "'auto' (-> jacobi), 'jacobi' or 'identity'")
+
     if symmetric is None and kind in ("auto",):
         symmetric = matrix.is_symmetric(tol=1e-10)
     if kind == "auto":

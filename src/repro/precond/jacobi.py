@@ -12,18 +12,25 @@ import numpy as np
 
 from ..perf.counters import record_bytes, record_flops, record_kernel
 from ..precision import Precision, as_precision, precision_of_dtype, promote
-from ..sparse import CSRMatrix, extract_diagonal
+from ..sparse import extract_diagonal
 from .base import Preconditioner
 
 __all__ = ["JacobiPreconditioner"]
 
 
 class JacobiPreconditioner(Preconditioner):
-    """``M = diag(A)``; application is an element-wise multiply by 1/diag."""
+    """``M = diag(A)``; application is an element-wise multiply by 1/diag.
 
-    def __init__(self, matrix: CSRMatrix, precision: Precision | str = Precision.FP64) -> None:
+    ``matrix`` may be an assembled :class:`CSRMatrix` or any operator with a
+    ``diagonal()`` method — this is the fallback primary preconditioner for
+    matrix-free solves, where factorization-based preconditioners have no
+    entries to work on.
+    """
+
+    def __init__(self, matrix, precision: Precision | str = Precision.FP64) -> None:
         super().__init__(precision)
-        diag = extract_diagonal(matrix)
+        diag = np.asarray(matrix.diagonal() if hasattr(matrix, "diagonal")
+                          else extract_diagonal(matrix), dtype=np.float64)
         if np.any(diag == 0.0):
             raise ValueError("Jacobi preconditioner requires a zero-free diagonal")
         self._n = matrix.nrows

@@ -5,10 +5,14 @@ solve requests: the same handful of operators (one per model / grid / time
 step) hit with ever-changing right-hand sides.  The
 :class:`BatchDispatcher` turns that request stream into efficient work:
 
-* **Grouping** — incoming ``(matrix, rhs)`` requests are grouped by the
-  matrix's content :meth:`~repro.sparse.CSRMatrix.fingerprint`, so requests
-  against the same operator land in the same batch even when callers hold
-  different (equal-valued) matrix objects.
+* **Grouping** — incoming ``(operator, rhs)`` requests are grouped by the
+  operator's ``fingerprint()`` — assembled matrices and matrix-free stencil
+  operators flow through one queue — so requests against the same operator
+  land in the same batch even when callers hold different operator objects:
+  independently *built* equal operators share a content hash, and precision
+  casts of one operator share an O(1) key derived from their common source
+  (a cast copy does not, however, batch with an equal matrix built directly
+  at the target precision — see :meth:`~repro.sparse.CSRMatrix.fingerprint`).
 * **Setup caching** — the expensive per-matrix setup (precision casts, ILU(0)
   factorization, triangular-solve plans) is built once per
   ``(fingerprint, config)`` and kept in a bounded LRU; subsequent batches
@@ -35,6 +39,7 @@ import numpy as np
 
 from ..backends import use_backend
 from ..core import F3RConfig, F3RSolver
+from ..operators import LinearOperator
 from ..solvers import SolveResult
 from ..sparse import CSRMatrix
 
@@ -120,9 +125,11 @@ class BatchDispatcher:
         self._pool = ThreadPoolExecutor(max_workers=max_workers,
                                         thread_name_prefix="repro-serve")
         self._lock = threading.Lock()
-        # fingerprint -> (matrix, [pending requests]); insertion-ordered so
-        # flush dispatches groups in arrival order
-        self._pending: OrderedDict[str, tuple[CSRMatrix, list[_Request]]] = OrderedDict()
+        # fingerprint -> (operator, [pending requests]); insertion-ordered so
+        # flush dispatches groups in arrival order.  Assembled and
+        # matrix-free operators share the one queue.
+        self._pending: OrderedDict[
+            str, tuple[CSRMatrix | LinearOperator, list[_Request]]] = OrderedDict()
         self._solvers: OrderedDict[tuple, F3RSolver] = OrderedDict()
         self._building: dict[tuple, Future] = {}
         self._inflight: list[Future] = []
@@ -130,12 +137,15 @@ class BatchDispatcher:
         self.stats = DispatchStats()
 
     # ------------------------------------------------------------------ #
-    def submit(self, matrix: CSRMatrix, rhs: np.ndarray) -> Future:
+    def submit(self, matrix: CSRMatrix | LinearOperator, rhs: np.ndarray) -> Future:
         """Enqueue one solve request; returns a future resolving to its
         :class:`~repro.solvers.SolveResult`.
 
-        The request is dispatched when its matrix group fills to
-        ``max_batch`` or on the next :meth:`flush`.
+        ``matrix`` is anything :class:`~repro.core.F3RSolver` accepts — an
+        assembled :class:`~repro.sparse.CSRMatrix` or any
+        :class:`~repro.operators.LinearOperator` (matrix-free stencils,
+        composites).  The request is dispatched when its operator group
+        fills to ``max_batch`` or on the next :meth:`flush`.
         """
         rhs = np.asarray(rhs, dtype=np.float64)
         if rhs.shape != (matrix.nrows,):
@@ -177,13 +187,13 @@ class BatchDispatcher:
                 f.exception()        # wait; per-request errors live on request futures
 
     def solve_many(self, pairs) -> list[SolveResult]:
-        """Submit ``(matrix, rhs)`` pairs, run everything, return results in order."""
+        """Submit ``(operator, rhs)`` pairs, run everything, return results in order."""
         futures = [self.submit(matrix, rhs) for matrix, rhs in pairs]
         self.drain()
         return [f.result() for f in futures]
 
     # ------------------------------------------------------------------ #
-    def _solver_for(self, matrix: CSRMatrix) -> F3RSolver:
+    def _solver_for(self, matrix: CSRMatrix | LinearOperator) -> F3RSolver:
         key = (matrix.fingerprint(), self.config)
         with self._lock:
             solver = self._solvers.get(key)
@@ -223,7 +233,7 @@ class BatchDispatcher:
         build.set_result(solver)
         return solver
 
-    def _dispatch(self, matrix: CSRMatrix, requests: list[_Request]) -> None:
+    def _dispatch(self, matrix, requests: list[_Request]) -> None:
         future = self._pool.submit(self._execute, matrix, requests)
         with self._lock:
             self._inflight.append(future)
@@ -231,7 +241,7 @@ class BatchDispatcher:
             self.stats.batched_requests += len(requests)
             self.stats.largest_batch = max(self.stats.largest_batch, len(requests))
 
-    def _execute(self, matrix: CSRMatrix, requests: list[_Request]) -> None:
+    def _execute(self, matrix, requests: list[_Request]) -> None:
         try:
             solver = self._solver_for(matrix)
             rhs_block = np.stack([req.rhs for req in requests], axis=1)

@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from ..operators import as_operator
 from ..precision import Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
@@ -26,7 +27,7 @@ class BiCGStab:
 
     def __init__(self, matrix, preconditioner=None, tol: float = 1e-8,
                  max_iterations: int = 10_000, name: str = "BiCGStab") -> None:
-        self.matrix = matrix
+        self.matrix = as_operator(matrix)
         self.preconditioner = preconditioner
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
@@ -53,7 +54,7 @@ class BiCGStab:
         start_apps = count_primary_applications(primary) if primary is not None else 0
 
         a64 = self.matrix
-        r = b64 - a64.matvec(x, out_precision=Precision.FP64) if x.any() else b64.copy()
+        r = b64 - a64.apply(x, out_precision=Precision.FP64) if x.any() else b64.copy()
         r_hat = r.copy()
         rho_prev = alpha = omega = 1.0
         v = np.zeros(n)
@@ -74,7 +75,7 @@ class BiCGStab:
                 beta = (rho / rho_prev) * (alpha / omega) if rho_prev != 0.0 and omega != 0.0 else 0.0
                 p = vo.xpby(r, beta, vo.axpy(-omega, v, p))
             phat = self._precondition(p)
-            v = a64.matvec(phat, out_precision=Precision.FP64)
+            v = a64.apply(phat, out_precision=Precision.FP64)
             rhat_v = vo.dot(r_hat, v)
             if rhat_v == 0.0 or not np.isfinite(rhat_v):
                 break
@@ -90,7 +91,7 @@ class BiCGStab:
                 break
 
             shat = self._precondition(s)
-            t = a64.matvec(shat, out_precision=Precision.FP64)
+            t = a64.apply(shat, out_precision=Precision.FP64)
             tt = vo.dot(t, t)
             omega = vo.dot(t, s) / tt if tt != 0.0 else 0.0
             x = vo.axpy(alpha, phat, vo.axpy(omega, shat, x))

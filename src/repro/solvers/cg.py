@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from ..operators import as_operator
 from ..precision import Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
@@ -26,7 +27,7 @@ class ConjugateGradient:
 
     def __init__(self, matrix, preconditioner=None, tol: float = 1e-8,
                  max_iterations: int = 10_000, name: str = "CG") -> None:
-        self.matrix = matrix
+        self.matrix = as_operator(matrix)
         self.preconditioner = preconditioner
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
@@ -48,7 +49,7 @@ class ConjugateGradient:
         start_apps = count_primary_applications(primary) if primary is not None else 0
 
         a64 = self.matrix
-        r = b64 - a64.matvec(x, out_precision=Precision.FP64) if x.any() else b64.copy()
+        r = b64 - a64.apply(x, out_precision=Precision.FP64) if x.any() else b64.copy()
         z = (self.preconditioner.apply(r).astype(np.float64)
              if self.preconditioner is not None else r.copy())
         p = z.copy()
@@ -60,7 +61,7 @@ class ConjugateGradient:
         history.append(relres)
 
         for k in range(self.max_iterations):
-            ap = a64.matvec(p, out_precision=Precision.FP64)
+            ap = a64.apply(p, out_precision=Precision.FP64)
             pap = vo.dot(p, ap)
             if pap <= 0.0 or not np.isfinite(pap):
                 break  # loss of positive definiteness (or breakdown)

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..backends import Workspace, get_backend
 from ..backends.workspace import ThreadLocalWorkspace
+from ..operators import as_operator
 from ..perf.counters import counters_enabled, record_bytes, record_flops, record_kernel
 from ..precision import LevelPrecision, Precision
 from ..sparse import residual_norm
@@ -82,7 +83,10 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
     Parameters
     ----------
     matrix:
-        Operator providing ``matvec`` (stored at the level's matrix precision).
+        The coefficient operator — anything satisfying the
+        :class:`~repro.operators.LinearOperator` contract (an assembled
+        matrix, a matrix-free stencil, a composite), stored at the level's
+        matrix precision.  Only ``apply``/``apply_batch`` are used.
     rhs:
         Right-hand side ``v`` of the correction equation ``A z = v`` (already in
         the level's vector precision).
@@ -138,7 +142,7 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
         zj = _apply_child(child, basis[j])
         zj = vo.cast_vector(zj, vec_prec)
         z_vectors[j] = zj
-        w = matrix.matvec(zj, out_precision=vec_prec)
+        w = matrix.apply(zj, out_precision=vec_prec)
 
         # classical Gram-Schmidt against basis[:j+1] (backend kernel; the fast
         # engine runs it as BLAS-2, the reference as per-column BLAS-1 loops)
@@ -294,7 +298,7 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
         zj = _apply_child_batch(child, np.ascontiguousarray(basis[:ka, j, :].T))
         zj = vo.cast_block(zj, vec_prec)
         z_vectors[:ka, j, :] = zj.T
-        w = matrix.matmat(zj, out_precision=vec_prec)
+        w = matrix.apply_batch(zj, out_precision=vec_prec)
         w = np.ascontiguousarray(w.T)                      # (ka, n)
 
         # classical Gram-Schmidt for all columns in one stacked matmul
@@ -379,7 +383,7 @@ class FGMRESLevel(InnerSolver):
                  precisions: LevelPrecision | None = None) -> None:
         if m < 1:
             raise ValueError("FGMRES level requires m >= 1")
-        self.matrix = matrix
+        self.matrix = as_operator(matrix)
         self.child = child
         self.m = int(m)
         self.precisions = precisions or LevelPrecision(
@@ -431,7 +435,7 @@ class OuterFGMRES:
     def __init__(self, matrix, child, m: int = 100, tol: float = 1e-8,
                  max_restarts: int = 2,
                  precisions: LevelPrecision | None = None, name: str = "") -> None:
-        self.matrix = matrix
+        self.matrix = as_operator(matrix)
         self.child = child
         self.m = int(m)
         self.tol = float(tol)
@@ -471,14 +475,15 @@ class OuterFGMRES:
         total_iterations = 0
         restarts = 0
         converged = False
+        mat64 = (self.matrix if self.matrix.precision == Precision.FP64
+                 else self.matrix.astype(Precision.FP64))
         relres = residual_norm(self.matrix, x, b64) / norm_b
         history.append(relres)
         if relres < self.tol:
             converged = True
 
         while not converged and restarts <= self.max_restarts:
-            r = b64 - self.matrix.astype(Precision.FP64).matvec(x, record=False) \
-                if x.any() else b64.copy()
+            r = b64 - mat64.apply(x, record=False) if x.any() else b64.copy()
             r_level = vo.cast_vector(r, vec_prec)
             cycle_residuals: list[float] = []
             z, iters, _ = fgmres_cycle(
@@ -558,10 +563,11 @@ class OuterFGMRES:
         primary = self.primary_preconditioner
         start_applications = (count_primary_applications(primary)
                               if primary is not None else 0)
-        mat64 = self.matrix.astype(Precision.FP64)
+        mat64 = (self.matrix if self.matrix.precision == Precision.FP64
+                 else self.matrix.astype(Precision.FP64))
 
         def true_relres(cols: np.ndarray) -> np.ndarray:
-            r = b_block[:, cols] - mat64.matmat(x[:, cols], record=False)
+            r = b_block[:, cols] - mat64.apply_batch(x[:, cols], record=False)
             return np.linalg.norm(r, axis=0) / norm_b[cols]
 
         histories = [ConvergenceHistory() for _ in range(k)]
@@ -577,7 +583,7 @@ class OuterFGMRES:
         while active:
             act = np.array(active, dtype=np.int64)
             if x[:, act].any():
-                r = b_block[:, act] - mat64.matmat(x[:, act], record=False)
+                r = b_block[:, act] - mat64.apply_batch(x[:, act], record=False)
             else:
                 r = b_block[:, act].copy()
             r_norm = np.linalg.norm(r, axis=0)

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..operators import LinearOperator, as_operator
 from ..precision import LevelPrecision, Precision, as_precision
-from ..sparse import CSRMatrix
 from .fgmres import FGMRESLevel, OuterFGMRES
 from .richardson import RichardsonLevel
 
@@ -61,8 +61,9 @@ class LevelSpec:
 class NestedSolverBuilder:
     """Builds an :class:`OuterFGMRES`-rooted nested solver from level specs."""
 
-    def __init__(self, matrix: CSRMatrix, primary_preconditioner,
+    def __init__(self, matrix, primary_preconditioner,
                  tol: float = 1e-8, max_restarts: int = 2, name: str = "") -> None:
+        matrix = as_operator(matrix)
         if matrix.precision != Precision.FP64:
             matrix = matrix.astype(Precision.FP64)
         self.matrix = matrix
@@ -70,9 +71,10 @@ class NestedSolverBuilder:
         self.tol = float(tol)
         self.max_restarts = int(max_restarts)
         self.name = name
-        self._matrix_cache: dict[Precision, CSRMatrix] = {Precision.FP64: matrix}
+        # one operator per precision, shared by every level that uses it
+        self._matrix_cache: dict[Precision, LinearOperator] = {Precision.FP64: matrix}
 
-    def _matrix_for(self, precision: Precision | str) -> CSRMatrix:
+    def _matrix_for(self, precision: Precision | str) -> LinearOperator:
         p = as_precision(precision)
         if p not in self._matrix_cache:
             self._matrix_cache[p] = self.matrix.astype(p)
@@ -116,10 +118,14 @@ class NestedSolverBuilder:
         return outer
 
 
-def build_nested_solver(matrix: CSRMatrix, primary_preconditioner,
+def build_nested_solver(matrix, primary_preconditioner,
                         levels: list[LevelSpec], tol: float = 1e-8,
                         max_restarts: int = 2, name: str = "") -> OuterFGMRES:
-    """Convenience wrapper around :class:`NestedSolverBuilder`."""
+    """Convenience wrapper around :class:`NestedSolverBuilder`.
+
+    ``matrix`` may be an assembled :class:`~repro.sparse.CSRMatrix` or any
+    :class:`~repro.operators.LinearOperator` (e.g. a matrix-free stencil).
+    """
     builder = NestedSolverBuilder(matrix, primary_preconditioner, tol=tol,
                                   max_restarts=max_restarts, name=name)
     return builder.build(levels)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..operators import as_operator
 from ..perf.counters import counters_enabled, record_bytes, record_flops, record_kernel
 from ..precision import (
     LevelPrecision,
@@ -44,8 +45,10 @@ class RichardsonLevel(InnerSolver):
     Parameters
     ----------
     matrix:
-        Coefficient matrix stored at the level's matrix precision (fp16 in
-        F3R's default configuration).
+        Coefficient operator (any :class:`~repro.operators.LinearOperator`
+        or a raw :class:`~repro.sparse.CSRMatrix`) stored at the level's
+        matrix precision (fp16 in F3R's default configuration); only
+        ``apply``/``apply_batch`` are used.
     preconditioner:
         The primary preconditioner ``M`` (values typically stored in fp16).
     m:
@@ -72,7 +75,7 @@ class RichardsonLevel(InnerSolver):
             raise ValueError("Richardson requires at least one iteration per invocation")
         if cycle < 1:
             raise ValueError("the weight-update cycle c must be >= 1")
-        self.matrix = matrix
+        self.matrix = as_operator(matrix)
         self.preconditioner = preconditioner
         self.m = int(m)
         self.cycle = int(cycle)
@@ -117,7 +120,7 @@ class RichardsonLevel(InnerSolver):
 
         for k in range(self.m):
             if k > 0:
-                az = self.matrix.matvec(z, out_precision=vec_prec)
+                az = self.matrix.apply(z, out_precision=vec_prec)
                 r = vo.axpy(-1.0, az, v_level, out_precision=vec_prec)
 
             mr = self.preconditioner.apply(r)
@@ -126,7 +129,7 @@ class RichardsonLevel(InnerSolver):
             if refresh:
                 # ω'_k computed in fp32: one extra SpMV and two reductions.
                 mr32 = vo.cast_vector(mr, wp)
-                amr = self.matrix.matvec(mr32, out_precision=wp)
+                amr = self.matrix.apply(mr32, out_precision=wp)
                 r32 = vo.cast_vector(r, wp)
                 denom = vo.dot(amr, amr)
                 numer = vo.dot(r32, amr)
@@ -171,7 +174,7 @@ class RichardsonLevel(InnerSolver):
 
         for step in range(self.m):
             if step > 0:
-                az = self.matrix.matmat(z, out_precision=vec_prec)
+                az = self.matrix.apply_batch(z, out_precision=vec_prec)
                 r = self._batched_axpy(-1.0, az, v_level, vec_prec)
 
             mr = self.preconditioner.apply_batch(r)
@@ -179,7 +182,7 @@ class RichardsonLevel(InnerSolver):
 
             if refresh:
                 mr32 = vo.cast_block(mr, wp)
-                amr = self.matrix.matmat(mr32, out_precision=wp)
+                amr = self.matrix.apply_batch(mr32, out_precision=wp)
                 r32 = vo.cast_block(r, wp)
                 denom = np.einsum("nk,nk->k", amr, amr).astype(np.float64)
                 numer = np.einsum("nk,nk->k", r32, amr).astype(np.float64)

@@ -57,7 +57,7 @@ class CSRMatrix(ScratchOwner):
     """
 
     __slots__ = ("values", "indices", "indptr", "shape", "_transpose", "_scratch",
-                 "_fingerprint")
+                 "_fingerprint", "_fingerprint_parent")
 
     def __init__(self, values, indices, indptr, shape) -> None:
         self.indices = np.ascontiguousarray(indices, dtype=np.int32)
@@ -76,6 +76,12 @@ class CSRMatrix(ScratchOwner):
         self._transpose: CSRMatrix | None = None
         self._scratch: ThreadLocalWorkspace | None = None
         self._fingerprint: str | None = None
+        # (source values array, target-precision label or None) when this
+        # matrix is an astype copy of a not-yet-fingerprinted source: lets
+        # fingerprint() derive the source's content hash lazily without
+        # retaining the source *object* (its cached transpose, scratch
+        # arenas, ...) — the index arrays are shared with the copy anyway
+        self._fingerprint_parent: tuple | None = None
         self._sort_rows()
 
     # ------------------------------------------------------------------ #
@@ -151,6 +157,18 @@ class CSRMatrix(ScratchOwner):
                                       out_precision=out_precision, record=record,
                                       scratch=self.scratch())
 
+    # Operator-contract aliases: a CSRMatrix satisfies the
+    # :class:`repro.operators.LinearOperator` surface structurally, so the
+    # solver stack (which targets ``apply``/``apply_batch``) accepts a raw
+    # matrix as well as a wrapped operator.
+    def apply(self, x: np.ndarray, out_precision: Precision | str | None = None,
+              record: bool = True) -> np.ndarray:
+        return self.matvec(x, out_precision=out_precision, record=record)
+
+    def apply_batch(self, x: np.ndarray, out_precision: Precision | str | None = None,
+                    record: bool = True) -> np.ndarray:
+        return self.matmat(x, out_precision=out_precision, record=record)
+
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)
         return self.matmat(x) if x.ndim == 2 else self.matvec(x)
@@ -193,9 +211,38 @@ class CSRMatrix(ScratchOwner):
         return result
 
     def astype(self, precision: Precision | str) -> "CSRMatrix":
-        """Copy with values cast to ``precision`` (indices shared)."""
+        """Copy with values cast to ``precision`` (indices shared).
+
+        The copy's :meth:`fingerprint` is threaded through rather than
+        rehashed: a same-precision cast keeps the source fingerprint (the
+        content is identical) and a converting cast derives its fingerprint
+        from the source's in O(1).  Every ``astype`` product of one matrix
+        therefore yields the same dispatcher cache key for a given target
+        precision, without re-reading the value array.  The derivation is
+        lazy — solve paths that never fingerprint pay no hashing at all;
+        until first use the copy holds a reference to its source (the index
+        arrays are shared with it anyway).
+        """
         p = as_precision(precision)
-        return CSRMatrix(self.values.astype(p.dtype), self.indices, self.indptr, self.shape)
+        out = CSRMatrix(self.values.astype(p.dtype), self.indices, self.indptr,
+                        self.shape)
+        fp = self._fingerprint
+        if fp is None and self._fingerprint_parent is not None:
+            # chained casts are rare: resolve this copy's own derived
+            # fingerprint now so every descendant derives from one lineage
+            fp = self.fingerprint()
+        if fp is not None:
+            if p.dtype != self.values.dtype:
+                from ..operators.base import derived_fingerprint
+
+                fp = derived_fingerprint(fp, "astype", p.label)
+            out._fingerprint = fp
+        else:
+            # defer all hashing: keep only the source's hash inputs (its
+            # values array; indices/indptr are shared with the copy)
+            label = None if p.dtype == self.values.dtype else p.label
+            out._fingerprint_parent = (self.values, label)
+        return out
 
     def copy(self) -> "CSRMatrix":
         return CSRMatrix(self.values.copy(), self.indices.copy(), self.indptr.copy(), self.shape)
@@ -270,23 +317,48 @@ class CSRMatrix(ScratchOwner):
         return CSRMatrix(sel_vals, sel_cols, indptr, (m, m))
 
     def fingerprint(self) -> str:
-        """Content hash of the matrix (structure + values + dtype + shape).
+        """Stable identity hash of the matrix, computed once and cached.
 
-        Computed once and cached — matrices are immutable after construction.
-        Used by :class:`repro.serve.BatchDispatcher` to group solve requests
-        that target the same operator and to key its preconditioner cache.
+        For a directly constructed matrix this is a content hash (structure
+        + values + dtype + shape): independently built equal-valued matrices
+        fingerprint identically.  An :meth:`astype` copy instead *derives*
+        its fingerprint from its source's in O(1) — every cast of one matrix
+        to a given precision yields the same key, but a converting cast's
+        key intentionally differs from that of an equal matrix built
+        directly at the target precision (the value array is never
+        re-hashed).  Used by :class:`repro.serve.BatchDispatcher` to group
+        solve requests targeting the same operator and to key its
+        preconditioner cache.
         """
         fp = self._fingerprint
         if fp is None:
-            import hashlib
+            parent = self._fingerprint_parent
+            if parent is not None:
+                # astype copy: recompute the source's content hash from its
+                # retained hash inputs, then derive this copy's key (a
+                # same-dtype cast keeps the source key — equal content)
+                source_values, label = parent
+                fp = self._content_hash(source_values)
+                if label is not None:
+                    from ..operators.base import derived_fingerprint
 
-            h = hashlib.blake2b(digest_size=16)
-            h.update(repr((self.shape, str(self.values.dtype))).encode())
-            h.update(self.indptr.tobytes())
-            h.update(self.indices.tobytes())
-            h.update(self.values.tobytes())
-            fp = self._fingerprint = h.hexdigest()
+                    fp = derived_fingerprint(fp, "astype", label)
+                self._fingerprint_parent = None   # release the source values
+            else:
+                fp = self._content_hash(self.values)
+            self._fingerprint = fp
         return fp
+
+    def _content_hash(self, values: np.ndarray) -> str:
+        """Content hash over (shape, dtype, indptr, indices, values)."""
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=16)
+        h.update(repr((self.shape, str(values.dtype))).encode())
+        h.update(self.indptr.tobytes())
+        h.update(self.indices.tobytes())
+        h.update(values.tobytes())
+        return h.hexdigest()
 
     def is_symmetric(self, tol: float = 1e-12) -> bool:
         """Check structural+numerical symmetry (within ``tol``) via A - A^T.

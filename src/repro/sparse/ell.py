@@ -20,7 +20,29 @@ from ..backends import get_backend
 from ..backends.workspace import ScratchOwner, ThreadLocalWorkspace
 from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype
 
-__all__ = ["SlicedEllMatrix"]
+__all__ = ["SlicedEllMatrix", "chunk_widths", "padded_entry_count"]
+
+
+def chunk_widths(row_nnz: np.ndarray, chunk_size: int) -> np.ndarray:
+    """Per-chunk padded width (the longest row of each ``chunk_size`` slice).
+
+    The single source of the sliced-ELLPACK padding rule: every chunk —
+    including a partial trailing one — stores ``width * chunk_size`` entries.
+    Shared by :class:`SlicedEllMatrix` and the format auto-selection cost
+    estimate so the two can never diverge.
+    """
+    nrows = int(row_nnz.size)
+    nchunks = (nrows + chunk_size - 1) // chunk_size
+    if not nchunks:
+        return np.zeros(0, dtype=np.int32)
+    starts = np.arange(nchunks, dtype=np.int64) * chunk_size
+    return np.maximum.reduceat(row_nnz, starts).astype(np.int32)
+
+
+def padded_entry_count(row_nnz: np.ndarray, chunk_size: int) -> int:
+    """Stored (padded) entries of the sliced-ELL layout for these row lengths."""
+    widths = chunk_widths(np.asarray(row_nnz, dtype=np.int64), chunk_size)
+    return int(widths.astype(np.int64).sum()) * int(chunk_size)
 
 
 class SlicedEllMatrix(ScratchOwner):
@@ -50,17 +72,11 @@ class SlicedEllMatrix(ScratchOwner):
         self._scratch = None
 
         row_nnz = np.diff(csr.indptr).astype(np.int64)
-        nchunks = (nrows + chunk_size - 1) // chunk_size
-
-        if nchunks:
-            chunk_starts = np.arange(nchunks, dtype=np.int64) * chunk_size
-            chunk_widths = np.maximum.reduceat(row_nnz, chunk_starts).astype(np.int32)
-        else:
-            chunk_widths = np.zeros(0, dtype=np.int32)
-        self.chunk_widths = chunk_widths
+        self.chunk_widths = chunk_widths(row_nnz, chunk_size)
+        nchunks = self.chunk_widths.size
 
         offsets = np.zeros(nchunks + 1, dtype=np.int64)
-        np.cumsum(chunk_widths.astype(np.int64) * chunk_size, out=offsets[1:])
+        np.cumsum(self.chunk_widths.astype(np.int64) * chunk_size, out=offsets[1:])
         self.chunk_offsets = offsets
 
         total = int(offsets[-1])
@@ -108,6 +124,12 @@ class SlicedEllMatrix(ScratchOwner):
         return self.nnz / max(1, self._source_nnz)
 
     @property
+    def nnz_per_row(self) -> float:
+        """Stored (padded) entries per row — what an ELL apply streams, the
+        honest ``cA`` input for this layout."""
+        return self.nnz / max(1, self.nrows)
+
+    @property
     def precision(self) -> Precision:
         return precision_of_dtype(self.values.dtype)
 
@@ -153,6 +175,15 @@ class SlicedEllMatrix(ScratchOwner):
             raise ValueError("dimension mismatch in sliced-ELLPACK matmat")
         return get_backend().spmm_ell(self, x, out_precision=out_precision,
                                       record=record)
+
+    # operator-contract aliases (see CSRMatrix.apply)
+    def apply(self, x: np.ndarray, out_precision: Precision | str | None = None,
+              record: bool = True) -> np.ndarray:
+        return self.matvec(x, out_precision=out_precision, record=record)
+
+    def apply_batch(self, x: np.ndarray, out_precision: Precision | str | None = None,
+                    record: bool = True) -> np.ndarray:
+        return self.matmat(x, out_precision=out_precision, record=record)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)

@@ -114,15 +114,16 @@ def frobenius_norm(matrix: CSRMatrix) -> float:
     return float(np.sqrt(np.dot(vals, vals)))
 
 
-def residual_norm(matrix: CSRMatrix, x: np.ndarray, b: np.ndarray) -> float:
+def residual_norm(matrix, x: np.ndarray, b: np.ndarray) -> float:
     """||b - A x||_2 evaluated in fp64 regardless of storage precision.
 
     This is the solver-independent "true residual" used for convergence checks
     in the experiments (the paper checks convergence only in the fp64 outermost
-    level, which amounts to the same thing).
+    level, which amounts to the same thing).  ``matrix`` may be a
+    :class:`CSRMatrix` or any :class:`~repro.operators.LinearOperator`.
     """
     x64 = np.asarray(x, dtype=np.float64)
     b64 = np.asarray(b, dtype=np.float64)
-    a64 = matrix if matrix.values.dtype == np.float64 else matrix.astype(Precision.FP64)
-    r = b64 - a64.matvec(x64, record=False)
+    a64 = matrix if matrix.precision == Precision.FP64 else matrix.astype(Precision.FP64)
+    r = b64 - a64.apply(x64, record=False)
     return float(np.linalg.norm(r))

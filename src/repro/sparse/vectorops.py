@@ -17,8 +17,8 @@ import numpy as np
 from ..perf.counters import record_bytes, record_flops, record_kernel
 from ..precision import Precision, as_precision, precision_of_dtype, promote
 
-__all__ = ["dot", "nrm2", "axpy", "xpby", "waxpby", "scal", "vcopy", "vzeros",
-           "cast_vector", "cast_block"]
+__all__ = ["dot", "nrm2", "axpy", "axpy_block", "diagmul", "xpby", "waxpby",
+           "scal", "vcopy", "vzeros", "cast_vector", "cast_block"]
 
 
 def _prec(x: np.ndarray) -> Precision:
@@ -99,6 +99,58 @@ def axpy(alpha: float, x: np.ndarray, y: np.ndarray,
         record_bytes(py, y.size * py.bytes)
         record_bytes(out, result.size * out.bytes)
         record_flops(compute, 2 * x.size)
+    return result
+
+
+def axpy_block(alpha: float, x: np.ndarray, y: np.ndarray,
+               out_precision: Precision | str | None = None,
+               record: bool = True) -> np.ndarray:
+    """``alpha * X + Y`` column-wise for ``(n, k)`` blocks.
+
+    Counter parity with ``k`` :func:`axpy` calls — the batched form used by
+    the composite operators and lockstep solver levels.
+    """
+    px, py = _prec(x), _prec(y)
+    compute = promote(px, py)
+    out = as_precision(out_precision) if out_precision is not None else py
+    alpha_c = compute.dtype.type(alpha)
+    result = (alpha_c * x.astype(compute.dtype, copy=False)
+              + y.astype(compute.dtype, copy=False)).astype(out.dtype, copy=False)
+    if record:
+        n, k = x.shape
+        record_kernel("axpy", k)
+        record_bytes(px, k * n * px.bytes)
+        record_bytes(py, k * n * py.bytes)
+        record_bytes(out, k * n * out.bytes)
+        record_flops(compute, 2 * k * n)
+    return result
+
+
+def diagmul(scale: np.ndarray, x: np.ndarray,
+            out_precision: Precision | str | None = None,
+            record: bool = True) -> np.ndarray:
+    """``diag(scale) @ x`` for a vector or an ``(n, k)`` block.
+
+    Arithmetic in the promotion of the scale and vector precisions, rounded
+    to ``out_precision`` (default: the vector precision); counter parity
+    with ``k`` single-vector multiplies (Jacobi-style accounting).
+    """
+    sp = _prec(scale)
+    vp = _prec(x)
+    compute = promote(sp, vp)
+    out = as_precision(out_precision) if out_precision is not None else vp
+    s = scale.astype(compute.dtype, copy=False)
+    if x.ndim == 2:
+        s = s[:, None]
+    result = (x.astype(compute.dtype, copy=False) * s).astype(out.dtype, copy=False)
+    if record:
+        n = x.shape[0]
+        k = x.shape[1] if x.ndim == 2 else 1
+        record_kernel("diag_scale", k)
+        record_bytes(sp, k * n * sp.bytes)
+        record_bytes(vp, k * n * vp.bytes)
+        record_bytes(out, k * n * out.bytes)
+        record_flops(compute, k * n)
     return result
 
 

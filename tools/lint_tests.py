@@ -9,6 +9,12 @@ tier-1 / tier-2 split stays exhaustive::
 Class- or function-level tier markers may *refine* the file's default (e.g. a
 tier-2 hypothesis sweep inside a tier-1 file), but the module-level marker is
 what guarantees nothing silently falls out of both suites.
+
+The checker also pins a manifest of *required* test-module globs
+(:data:`REQUIRED_MODULES`): suites that gate an acceptance criterion — the
+backend-equivalence contract, the batched-solve sweeps, the operator-layer
+equivalence/end-to-end files — must exist under ``tests/``, so a rename or
+deletion fails the lint instead of silently dropping the gate.
 """
 
 from __future__ import annotations
@@ -23,12 +29,21 @@ TESTS_DIR = Path(__file__).resolve().parent.parent / "tests"
 #: ``pytestmark = [pytest.mark.tier2, ...]`` (anchored to column 0)
 MARKER_RE = re.compile(r"^pytestmark\s*=.*pytest\.mark\.tier[12]", re.MULTILINE)
 
+#: globs that must each match at least one test file: the suites that pin an
+#: issue's acceptance criteria
+REQUIRED_MODULES = (
+    "test_backends_equivalence*.py",   # kernel-engine contract (PR 1)
+    "test_batched_solves*.py",         # batched multi-RHS engine (PR 2)
+    "test_operators*.py",              # operator layer: equivalence + e2e (PR 3)
+)
+
 
 def main() -> int:
     test_files = sorted(TESTS_DIR.glob("test_*.py"))
     if not test_files:
         print(f"lint-tests: no test files found under {TESTS_DIR}", file=sys.stderr)
         return 2
+    status = 0
     missing = [path for path in test_files
                if not MARKER_RE.search(path.read_text(encoding="utf-8"))]
     if missing:
@@ -36,9 +51,18 @@ def main() -> int:
               "(add `pytestmark = pytest.mark.tier1` or tier2):", file=sys.stderr)
         for path in missing:
             print(f"  {path.relative_to(TESTS_DIR.parent)}", file=sys.stderr)
-        return 1
-    print(f"lint-tests: OK ({len(test_files)} test files, all tier-marked)")
-    return 0
+        status = 1
+    absent = [glob for glob in REQUIRED_MODULES if not list(TESTS_DIR.glob(glob))]
+    if absent:
+        print("lint-tests: required test modules are missing (an acceptance "
+              "gate was renamed or deleted):", file=sys.stderr)
+        for glob in absent:
+            print(f"  tests/{glob}", file=sys.stderr)
+        status = 1
+    if status == 0:
+        print(f"lint-tests: OK ({len(test_files)} test files, all tier-marked; "
+              f"{len(REQUIRED_MODULES)} required suites present)")
+    return status
 
 
 if __name__ == "__main__":
