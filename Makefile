@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all lint-tests bench-smoke bench-kernels bench-baseline
+.PHONY: test test-all lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline
 
 ## Tier-1 test suite (the CI gate): fast deterministic tests only
 ## (pytest.ini's addopts deselect the tier2 marker by default)
@@ -24,10 +24,20 @@ bench-smoke:
 
 ## Kernel micro-benchmarks at medium scale with the issues' floors: >=3x on
 ## ELL-SpMV / FGMRES-cycle (kernel engine), >=3x on solve_batch (batching),
-## and >=1x matrix-free-over-assembled stencil applies at 64^3 (operators)
+## >=1x matrix-free-over-assembled stencil applies at 64^3 (operators), and
+## >=1x on every fused solve-plan kernel vs its unfused sequence (plans)
 bench-kernels:
-	$(PYTHON) benchmarks/bench_kernels.py --scale medium --require 3.0 --require-batched 3.0 --require-stencil 1.0
+	$(PYTHON) benchmarks/bench_kernels.py --scale medium --require 3.0 --require-batched 3.0 --require-stencil 1.0 --require-fused 1.0
 
 ## Refresh the committed smoke baseline (run on a quiet machine)
 bench-baseline:
 	$(PYTHON) benchmarks/bench_kernels.py --scale smoke --write-baseline
+
+## End-to-end planned-vs-legacy solve benchmark at smoke scale (<60 s);
+## fails on >2x speedup regression against the committed baseline JSON
+bench-solves-smoke:
+	$(PYTHON) benchmarks/bench_solves.py --scale smoke --check
+
+## Refresh the committed solve baseline (run on a quiet machine)
+bench-solves-baseline:
+	$(PYTHON) benchmarks/bench_solves.py --scale smoke --write-baseline

@@ -72,6 +72,10 @@ REQUIRED_BATCHED = ("solve_batch",)
 #: stencil entries the --require-stencil floor applies to
 REQUIRED_STENCIL = ("stencil_apply", "stencil_apply_batch")
 
+#: fused entries the --require-fused floor applies to (solve-plan issue)
+REQUIRED_FUSED = ("spmv_axpy", "orthonormalize", "weighted_update_fp16",
+                  "stencil_fp16_staged")
+
 
 def _time(fn, repeats: int, warmup: int = 1) -> float:
     """Best-of-``repeats`` wall time of ``fn`` (seconds)."""
@@ -201,6 +205,84 @@ def bench_stencil(repeats: int, k: int = BATCH_K, grid: int = STENCIL_GRID) -> d
     return entries
 
 
+def bench_fused(problem, repeats: int) -> dict[str, dict]:
+    """Fused solve-plan kernels vs their unfused sequences (fast engine).
+
+    The fp16 rows use subnormal-heavy vectors (tiny residual magnitudes, the
+    steady-state regime of the inner Richardson level) — the case the staged
+    float32 paths exist for.
+    """
+    from repro.backends import Workspace, get_backend, halfvec
+    from repro.matgen import hpcg_operator
+    from repro.sparse import vectorops as vo
+
+    matrix = problem["matrix"]
+    n = problem["n"]
+    rng = np.random.default_rng(5)
+    x = rng.uniform(-1.0, 1.0, n)
+    b = rng.uniform(-1.0, 1.0, n)
+    entries = {}
+    with use_backend("fast"):
+        backend = get_backend()
+        scratch = matrix.scratch()
+
+        unfused = _time(lambda: vo.axpy(
+            -1.0, matrix.matvec(x, record=False), b,
+            out_precision=Precision.FP64, record=False), repeats)
+        fused = _time(lambda: backend.spmv_axpy(
+            matrix.values, matrix.indices, matrix.indptr, x, b,
+            out_precision=Precision.FP64, record=False, scratch=scratch),
+            repeats)
+        entries["spmv_axpy"] = {"unfused_s": unfused, "fused_s": fused}
+
+        ws1, ws2 = Workspace(), Workspace()
+        basis1 = ws1.get("b", (3, n), np.float32)
+        basis2 = ws2.get("b", (3, n), np.float32)
+        v0 = rng.standard_normal(n).astype(np.float32)
+        v0 /= np.linalg.norm(v0)
+        basis1[0] = v0
+        basis2[0] = v0
+        w = rng.standard_normal(n).astype(np.float32)
+
+        def unfused_gs():
+            h, w_o, h_norm = backend.orthogonalize(basis1, 0, w.copy(),
+                                                   Precision.FP32,
+                                                   scratch=ws1, record=False)
+            basis1[1] = vo.scal(1.0 / h_norm, w_o, record=False)
+
+        fused = _time(lambda: backend.orthonormalize(
+            basis2, 0, w.copy(), Precision.FP32, scratch=ws2, record=False),
+            repeats)
+        unfused = _time(unfused_gs, repeats)
+        entries["orthonormalize"] = {"unfused_s": unfused, "fused_s": fused}
+
+        # steady-state fp16 magnitudes: mostly fp16-subnormal values
+        z16 = (rng.uniform(-1.0, 1.0, n) * 2e-5).astype(np.float16)
+        mr16 = (rng.uniform(-1.0, 1.0, n) * 2e-5).astype(np.float16)
+        ws = Workspace()
+        unfused = _time(lambda: vo.axpy(0.97, mr16, z16, record=False),
+                        repeats)
+        fused = _time(lambda: backend.weighted_update(
+            z16.copy(), mr16, 0.97, Precision.FP16, scratch=ws, record=False),
+            repeats)
+        entries["weighted_update_fp16"] = {"unfused_s": unfused, "fused_s": fused}
+
+        op16 = hpcg_operator(32).astype(Precision.FP16)
+        x16 = (rng.uniform(-1.0, 1.0, op16.nrows) * 2e-5).astype(np.float16)
+        fused = _time(lambda: op16.apply(x16, record=False), repeats)
+        staged_state = halfvec.set_staged_half(False)
+        try:
+            unfused = _time(lambda: op16.apply(x16, record=False), repeats)
+        finally:
+            halfvec.set_staged_half(staged_state)
+        entries["stencil_fp16_staged"] = {"unfused_s": unfused, "fused_s": fused}
+
+    for row in entries.values():
+        row["speedup"] = round(row["unfused_s"] / row["fused_s"]
+                               if row["fused_s"] > 0 else float("inf"), 3)
+    return entries
+
+
 def run(scale: str, repeats: int, m: int) -> dict:
     side = SCALES[scale]
     problem = build_problem(side)
@@ -217,6 +299,7 @@ def run(scale: str, repeats: int, m: int) -> dict:
     batched = bench_batched_kernels(problem, repeats)
     batched["solve_batch"] = bench_solve_batch(scale)
     stencil = bench_stencil(repeats)
+    fused = bench_fused(problem, repeats)
     return {
         "scale": scale,
         "n": problem["n"],
@@ -226,6 +309,7 @@ def run(scale: str, repeats: int, m: int) -> dict:
         "kernels": kernels,
         "batched": batched,
         "stencil": stencil,
+        "fused": fused,
     }
 
 
@@ -241,7 +325,7 @@ def check_regressions(report: dict, baseline: dict, factor: float = 2.0) -> list
                             f"--write-baseline")
     if failures:
         return failures
-    for section in ("kernels", "batched", "stencil"):
+    for section in ("kernels", "batched", "stencil", "fused"):
         for name, base in baseline.get(section, {}).items():
             current = report.get(section, {}).get(name)
             if current is None:
@@ -273,6 +357,9 @@ def main(argv=None) -> int:
     parser.add_argument("--require-stencil", type=float, default=None, metavar="X",
                         help="fail unless the matrix-free stencil apply speedups "
                              "over the assembled kernels are >= X")
+    parser.add_argument("--require-fused", type=float, default=None, metavar="X",
+                        help="fail unless every fused solve-plan kernel is >= X "
+                             "times its unfused sequence")
     parser.add_argument("--write-baseline", action="store_true",
                         help="overwrite the committed baseline with this run")
     args = parser.parse_args(argv)
@@ -293,6 +380,11 @@ def main(argv=None) -> int:
     for name, row in report["stencil"].items():
         print(f"  {name:<19} assembled {row['assembled_s'] * 1e3:9.3f} ms   "
               f"matrix-free {row['matrix_free_s'] * 1e3:9.3f} ms   "
+              f"speedup {row['speedup']:6.2f}x")
+    print("fused solve-plan kernels vs unfused sequences — fast engine")
+    for name, row in report["fused"].items():
+        print(f"  {name:<21} unfused {row['unfused_s'] * 1e3:9.3f} ms   "
+              f"fused {row['fused_s'] * 1e3:9.3f} ms   "
               f"speedup {row['speedup']:6.2f}x")
 
     args.json.write_text(json.dumps(report, indent=2) + "\n")
@@ -334,6 +426,13 @@ def main(argv=None) -> int:
             if speedup < args.require_stencil:
                 print(f"REQUIREMENT FAILED: {name} speedup {speedup:.2f}x "
                       f"< {args.require_stencil:g}x", file=sys.stderr)
+                status = 1
+    if args.require_fused is not None:
+        for name in REQUIRED_FUSED:
+            speedup = report["fused"][name]["speedup"]
+            if speedup < args.require_fused:
+                print(f"REQUIREMENT FAILED: {name} speedup {speedup:.2f}x "
+                      f"< {args.require_fused:g}x", file=sys.stderr)
                 status = 1
     return status
 

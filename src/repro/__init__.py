@@ -43,6 +43,14 @@ from .operators import (
     StencilOperator,
     as_operator,
 )
+from .plans import (
+    SolvePlan,
+    plan_cache_stats,
+    plan_for,
+    plans_enabled,
+    set_plans_enabled,
+    use_plans,
+)
 from .precision import Precision
 from .precond import make_primary_preconditioner
 from .serve import BatchDispatcher

@@ -245,6 +245,97 @@ class KernelBackend(abc.ABC):
         return np.stack(cols, axis=1)
 
     # ------------------------------------------------------------------ #
+    # Fused solve-plan kernels
+    #
+    # The hot loops of the compiled solve plans (:mod:`repro.plans`) call
+    # these instead of kernel pairs.  Every default below *composes the
+    # existing unfused kernels in exactly the order the solver loops used to
+    # run them* — so the defaults are bit-identical to the unfused sequences
+    # and record identical counter totals (the fused-vs-unfused parity
+    # oracle).  A backend override may reorder/fuse the arithmetic (results
+    # then agree to the compute-precision tolerance, like every other
+    # vectorized kernel) but must keep the counter totals.
+    # ------------------------------------------------------------------ #
+    def spmv_axpy(self, values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
+                  x: np.ndarray, y: np.ndarray, out_precision=None,
+                  record: bool = True, scratch=None) -> np.ndarray:
+        """Fused residual update ``r = y − A·x`` for CSR arrays.
+
+        Semantics of the unfused pair: the product is rounded to
+        ``out_precision`` first, then combined with ``y`` under the axpy
+        promotion rules (``vo.axpy(-1.0, A@x, y)``).
+        """
+        ax = self.spmv_csr(values, indices, indptr, x, out_precision=out_precision,
+                           record=record, scratch=scratch)
+        return self.residual_update(y, ax, out_precision=out_precision,
+                                    record=record, scratch=scratch)
+
+    def spmm_axpy(self, values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
+                  x: np.ndarray, y: np.ndarray, out_precision=None,
+                  record: bool = True, scratch=None) -> np.ndarray:
+        """Batched fused residual ``R = Y − A·X`` (column-loop oracle)."""
+        cols = [self.spmv_axpy(values, indices, indptr,
+                               np.ascontiguousarray(x[:, j]),
+                               np.ascontiguousarray(y[:, j]),
+                               out_precision=out_precision, record=record,
+                               scratch=scratch)
+                for j in range(x.shape[1])]
+        return np.stack(cols, axis=1)
+
+    def residual_update(self, v: np.ndarray, az: np.ndarray, out_precision=None,
+                        record: bool = True, scratch=None) -> np.ndarray:
+        """``r = v − az`` with the axpy promotion/rounding/recording rules.
+
+        The residual-combine half of the fused sweep, usable with any
+        operator storage (the plan composes ``apply`` + this for storages
+        without a fully fused kernel).
+        """
+        from ..sparse import vectorops as vo
+
+        return vo.axpy(-1.0, az, v, out_precision=out_precision, record=record)
+
+    def residual_update_batch(self, v: np.ndarray, az: np.ndarray,
+                              out_precision=None, record: bool = True,
+                              scratch=None) -> np.ndarray:
+        """``R = V − AZ`` column-wise (counter parity with ``k`` updates)."""
+        from ..sparse import vectorops as vo
+
+        return vo.axpy_block(-1.0, az, v, out_precision=out_precision, record=record)
+
+    def weighted_update(self, z: np.ndarray, mr: np.ndarray, omega: float,
+                        vec_prec: Precision, scratch=None,
+                        record: bool = True) -> np.ndarray:
+        """Richardson weighted update ``z + ω·mr`` in the level dtype.
+
+        ``z`` is *consumed*: an override may update it in place and return
+        it, so callers must use only the returned array.
+        """
+        from ..sparse import vectorops as vo
+
+        return vo.axpy(omega, mr, z, out_precision=vec_prec, record=record)
+
+    def orthonormalize(self, basis: np.ndarray, j: int, w: np.ndarray,
+                       vec_prec: Precision, scratch=None, record: bool = True):
+        """Fused CGS orthogonalize-normalize step.
+
+        Orthogonalizes ``w`` against ``basis[:j+1]`` and — unless the step
+        broke down — writes the normalized vector into ``basis[j+1]`` with
+        the exact arithmetic of the unfused ``scal`` (reciprocal rounded to
+        the level dtype, multiply in that dtype).  Returns
+        ``(h_col, h_norm, normalized)``; ``w`` is consumed either way.
+        Callers use it on iterations that always continue (inner levels /
+        no early-stop), where the normalization is unconditional.
+        """
+        h_col, w, h_norm = self.orthogonalize(basis, j, w, vec_prec,
+                                              scratch=scratch, record=record)
+        normalized = h_norm != 0.0 and np.isfinite(h_norm)
+        if normalized:
+            from ..sparse import vectorops as vo
+
+            basis[j + 1] = vo.scal(1.0 / h_norm, w, record=record)
+        return h_col, h_norm, normalized
+
+    # ------------------------------------------------------------------ #
     # FGMRES building blocks
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
@@ -336,6 +427,27 @@ class KernelBackend(abc.ABC):
         record_bytes(vec_prec, k * factor.nrows * vec_prec.bytes)
         record_bytes(out_prec, k * factor.nrows * out_prec.bytes)
         record_flops(compute, k * (2 * factor.off_vals.size + 2 * factor.nrows))
+
+    @staticmethod
+    def _record_axpy(px: Precision, py: Precision, out_prec: Precision,
+                     compute: Precision, n: int, k: int = 1) -> None:
+        """Traffic of ``k`` axpy-shaped updates (parity with ``vo.axpy``)."""
+        if not counters_enabled():
+            return
+        record_kernel("axpy", k)
+        record_bytes(px, k * n * px.bytes)
+        record_bytes(py, k * n * py.bytes)
+        record_bytes(out_prec, k * n * out_prec.bytes)
+        record_flops(compute, 2 * k * n)
+
+    @staticmethod
+    def _record_scal(p: Precision, n: int) -> None:
+        """Traffic of one scal (parity with ``vo.scal``)."""
+        if not counters_enabled():
+            return
+        record_kernel("scal")
+        record_bytes(p, 2 * n * p.bytes)
+        record_flops(p, n)
 
     @staticmethod
     def _record_gram_schmidt(p: Precision, n: int, ncols: int) -> None:

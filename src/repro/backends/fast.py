@@ -39,6 +39,7 @@ import numpy as np
 
 from ..perf.counters import counters_enabled
 from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype, promote
+from . import halfvec
 from .base import (
     KernelBackend,
     ilu0_setup,
@@ -53,7 +54,15 @@ try:  # pragma: no cover - scipy ships with the test environment
 except ImportError:  # pragma: no cover
     _scipy_sparse = None
 
+try:  # pragma: no cover - private but stable; guarded with a compose fallback
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+except ImportError:  # pragma: no cover
+    _scipy_sparsetools = None
+
 __all__ = ["FastBackend"]
+
+_HALF = halfvec.HALF
+_STAGE = halfvec.STAGE
 
 #: compute dtypes scipy's compiled CSR matvec handles natively without
 #: changing the emulated accumulation precision (fp16 would be upcast)
@@ -143,7 +152,23 @@ class FastBackend(KernelBackend):
                                                  shape=(n, x.size)))
             y = sp_mat @ x_c
         else:
-            if scratch is not None:
+            if (scratch is not None and np.dtype(cdtype) == _HALF
+                    and halfvec.staged_half_enabled()):
+                # fp16 products staged through fp32: gather+multiply run as
+                # SIMD fp32 passes and each product is rounded to fp16 by the
+                # same conversion the fp16 ufunc applies per element — the
+                # product stream is bit-identical, and the row reduction
+                # keeps the per-add fp16 rounding (reduceat on fp16).
+                vals32 = scratch.cast("csr_values_stage", values, _STAGE)
+                x32 = halfvec.upcast(x_c, scratch.get("spmv_x32", x_c.size, _STAGE),
+                                      scratch=scratch)
+                prods32 = scratch.get("spmv_prod32", nnz, _STAGE)
+                np.take(x32, indices, out=prods32)
+                np.multiply(prods32, vals32, out=prods32)
+                prods = halfvec.round_into(prods32,
+                                           scratch.get("spmv_prod", nnz, cdtype),
+                                           scratch=scratch)
+            elif scratch is not None:
                 vals_c = scratch.cast("csr_values", values, cdtype)
                 prods = scratch.get("spmv_prod", nnz, cdtype)
                 np.take(x_c, indices, out=prods)
@@ -181,6 +206,22 @@ class FastBackend(KernelBackend):
                 lambda: _scipy_sparse.csr_matrix((vals_c, indices, indptr),
                                                  shape=(n, x.shape[0])))
             y = sp_mat @ np.ascontiguousarray(x_c)
+        elif (scratch is not None and np.dtype(cdtype) == _HALF
+                and halfvec.staged_half_enabled()):
+            # staged fp16 product block (see spmv_csr): bit-identical fp16
+            # products from one fp32 gather-multiply, fp16 row reduction —
+            # arena-backed like the single-RHS path, with the subnormal-safe
+            # rounding
+            vals32 = scratch.cast("csr_values_stage", values, _STAGE)
+            x32 = halfvec.upcast(x_c, scratch.get("spmm_x32", x_c.shape, _STAGE))
+            prods32 = scratch.get("spmm_prod32", (nnz, k), _STAGE)
+            np.take(x32, indices, axis=0, out=prods32)
+            np.multiply(prods32, vals32[:, None], out=prods32)
+            prods = halfvec.round_into(prods32,
+                                       scratch.get("spmm_prod", (nnz, k), cdtype),
+                                       scratch=scratch)
+            y = np.zeros((n, k), dtype=cdtype)
+            row_segment_sums(prods, indptr, y)
         else:
             vals_c = (scratch.cast("csr_values", values, cdtype)
                       if scratch is not None
@@ -219,9 +260,25 @@ class FastBackend(KernelBackend):
             ell._rm_vals[cdtype] = vals_rm
 
         x_c = x if x.dtype == cdtype else x.astype(cdtype)
-        prods = scratch.get("spmv_prod", order.size, cdtype)
-        np.take(x_c, cols_rm, out=prods)
-        np.multiply(prods, vals_rm, out=prods)
+        if np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled():
+            # staged fp16 products (see spmv_csr): fp32 gather-multiply with a
+            # bit-identical fp16 rounding, fp16 row reduction
+            vals32 = ell._rm_vals.get(_STAGE)
+            if vals32 is None:
+                vals32 = vals_rm.astype(_STAGE)
+                ell._rm_vals[_STAGE] = vals32
+            x32 = halfvec.upcast(x_c, scratch.get("spmv_x32", x_c.size, _STAGE),
+                                  scratch=scratch)
+            prods32 = scratch.get("spmv_prod32", order.size, _STAGE)
+            np.take(x32, cols_rm, out=prods32)
+            np.multiply(prods32, vals32, out=prods32)
+            prods = halfvec.round_into(prods32,
+                                       scratch.get("spmv_prod", order.size, cdtype),
+                                       scratch=scratch)
+        else:
+            prods = scratch.get("spmv_prod", order.size, cdtype)
+            np.take(x_c, cols_rm, out=prods)
+            np.multiply(prods, vals_rm, out=prods)
         y = np.zeros(ell.nrows, dtype=cdtype)
         row_segment_sums(prods, rm_indptr, y)
         y = y.astype(out_prec.dtype, copy=False)
@@ -335,11 +392,125 @@ class FastBackend(KernelBackend):
             didx[axis] = c
             nxtg[tuple(didx)] = 0 if acc is None else acc
 
+    def _stencil_conv_axis_staged(self, op, cur32, nxt32, axis, taps, kk, ws):
+        """Staged-fp16 variant of :meth:`_stencil_conv_axis`.
+
+        ``cur32``/``nxt32`` are fp32 arrays holding exactly
+        fp16-representable values; every elementary operation runs as one
+        SIMD fp32 pass and is immediately snapped back onto the fp16 grid
+        with :func:`~repro.backends.halfvec.quantize32` — reproducing the
+        direct ``np.float16`` ufunc chain bit for bit without ever touching
+        the scalar half-conversion routines.  Sign flips and ``±1`` copies
+        are exact and skip the redundant rounding.
+        """
+        n_flat = cur32.size
+        stride = int(op.strides[axis]) * kk
+        tmp32 = None
+        first = True
+        for j, w in taps:
+            off = j * stride
+            lo_e = max(0, -off)
+            hi_e = n_flat - max(0, off)
+            dst = nxt32[lo_e:hi_e]
+            src = cur32[lo_e + off:hi_e + off]
+            w16 = np.float16(w)
+            w32 = np.float32(w16)
+            rounded = True
+            if first:
+                if w16 == 1.0:
+                    np.copyto(dst, src)          # exact: no rounding needed
+                elif w16 == -1.0:
+                    np.negative(src, out=dst)    # sign flip is exact
+                else:
+                    np.multiply(src, w32, out=dst)
+                    rounded = False
+                if lo_e:
+                    nxt32[:lo_e] = 0
+                if hi_e < n_flat:
+                    nxt32[hi_e:] = 0
+                first = False
+            elif w16 == -1.0:
+                np.subtract(dst, src, out=dst)
+                rounded = False
+            elif w16 == 1.0:
+                np.add(dst, src, out=dst)
+                rounded = False
+            else:
+                if tmp32 is None:
+                    tmp32 = ws.get("stencil_tap32", n_flat, _STAGE)
+                t = tmp32[:dst.size]
+                np.multiply(src, w32, out=t)
+                halfvec.quantize32(t, scratch=ws)         # round the product
+                np.add(dst, t, out=dst)
+                rounded = False
+            if not rounded:
+                halfvec.quantize32(dst, scratch=ws)       # round to fp16 grid
+        # rewrite the contaminated edge planes exactly (same structure as the
+        # direct path, with the per-operation fp16 roundings made explicit)
+        dim = op.dims[axis]
+        shape = op.dims + ((kk,) if kk > 1 else ())
+        curg = cur32.reshape(shape)
+        nxtg = nxt32.reshape(shape)
+        reach = max(max(-j for j, _ in taps), max(j for j, _ in taps), 0)
+        edge = sorted(set(range(min(reach, dim)))
+                      | set(range(max(0, dim - reach), dim)))
+        base = [slice(None)] * len(op.dims) + ([slice(None)] if kk > 1 else [])
+        for c in edge:
+            acc = None
+            for j, w in taps:
+                cc = c + j
+                if cc < 0 or cc >= dim:
+                    continue
+                sidx = list(base)
+                sidx[axis] = cc
+                w16 = np.float16(w)
+                term = np.float32(w16) * curg[tuple(sidx)]
+                if abs(w16) != 1.0:
+                    term = halfvec.quantize32(np.ascontiguousarray(term))
+                if acc is None:
+                    acc = term
+                else:
+                    acc = halfvec.quantize32(acc + term)
+            didx = list(base)
+            didx[axis] = c
+            nxtg[tuple(didx)] = 0 if acc is None else acc
+
+    def _apply_stencil_separable_staged(self, op, x_c, kk):
+        """fp16 separable sweep on fp32-staged buffers (bit-identical)."""
+        ws = op.scratch()
+        sep = op.box_separable()
+        alpha, taps = sep
+        n_flat = op.nrows * kk
+        x32 = halfvec.upcast(x_c.reshape(-1),
+                             ws.get("stencil_x32", n_flat, _STAGE), scratch=ws)
+        buffers = (ws.get("stencil_sep_a32", n_flat, _STAGE),
+                   ws.get("stencil_sep_b32", n_flat, _STAGE))
+        cur = x32
+        for axis, axis_taps in enumerate(taps):
+            nxt = buffers[axis % 2]
+            self._stencil_conv_axis_staged(op, cur, nxt, axis, axis_taps, kk, ws)
+            cur = nxt
+        # fresh fp16 output: y = alpha * x + chain, each op rounded; the
+        # operands are already on the fp16 grid so the final store is exact
+        y = np.empty(n_flat, dtype=_HALF)
+        if alpha != 0.0:
+            a32 = np.float32(np.float16(alpha))
+            t32 = ws.get("stencil_tap32", n_flat, _STAGE)
+            np.multiply(x32, a32, out=t32)
+            halfvec.quantize32(t32, scratch=ws)           # round alpha·x
+            np.add(t32, cur, out=t32)
+            halfvec.round_into(t32, y, scratch=ws)        # round the sum
+        else:
+            np.copyto(y, cur, casting="unsafe")           # exact conversion
+        return y
+
     def _apply_stencil_separable(self, op, x_c, cdtype, kk):
         """Separable sweep; returns the flat result or ``None`` if inapplicable."""
         sep = op.box_separable()
         if sep is None:
             return None
+        if np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled():
+            return self._apply_stencil_separable_staged(op, x_c, kk)
         alpha, taps = sep
         ws = op.scratch()
         n_flat = op.nrows * kk
@@ -540,6 +711,158 @@ class FastBackend(KernelBackend):
         if record:
             self._record_combine(vec_prec, n, k)
         return z
+
+    # ------------------------------------------------------------------ #
+    # Fused solve-plan kernels (vectorized overrides; identical counters)
+    # ------------------------------------------------------------------ #
+    def orthonormalize(self, basis, j, w, vec_prec: Precision, scratch=None,
+                       record=True):
+        h_col, w, h_norm = self.orthogonalize(basis, j, w, vec_prec,
+                                              scratch=scratch, record=record)
+        normalized = h_norm != 0.0 and np.isfinite(h_norm)
+        if normalized:
+            # the unfused scal's arithmetic (reciprocal rounded to the level
+            # dtype, multiply in that dtype), written straight into the basis
+            # arena — no fresh vector, no row copy
+            dtype = vec_prec.dtype
+            np.multiply(w, dtype.type(1.0 / h_norm), out=basis[j + 1])
+            if record:
+                self._record_scal(vec_prec, w.size)
+        return h_col, h_norm, normalized
+
+    def residual_update(self, v, az, out_precision=None, record=True,
+                        scratch=None):
+        pv = precision_of_dtype(v.dtype)
+        paz = precision_of_dtype(az.dtype)
+        compute = promote(pv, paz)
+        out_prec = as_precision(out_precision) if out_precision is not None else pv
+        cdtype = compute.dtype
+        if (np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled()
+                and out_prec.dtype == _HALF):
+            # v − az == (−1)·az + v bitwise (negation is exact, addition is
+            # commutative), staged through fp32
+            if scratch is not None:
+                v32 = halfvec.upcast(v, scratch.get("resid_v32", v.shape, _STAGE),
+                                     scratch=scratch)
+                az32 = halfvec.upcast(az, scratch.get("resid_az32", az.shape, _STAGE),
+                                      scratch=scratch)
+            else:
+                v32, az32 = halfvec.upcast(v), halfvec.upcast(az)
+            r = halfvec.binop_round(np.subtract, v32, az32, scratch=scratch)
+        else:
+            v_c = v if v.dtype == cdtype else v.astype(cdtype)
+            az_c = az if az.dtype == cdtype else az.astype(cdtype)
+            r = np.subtract(v_c, az_c).astype(out_prec.dtype, copy=False)
+        if record:
+            self._record_axpy(paz, pv, out_prec, compute, v.shape[0],
+                              v.shape[1] if v.ndim == 2 else 1)
+        return r
+
+    def residual_update_batch(self, v, az, out_precision=None, record=True,
+                              scratch=None):
+        return self.residual_update(v, az, out_precision=out_precision,
+                                    record=record, scratch=scratch)
+
+    def weighted_update(self, z, mr, omega, vec_prec: Precision, scratch=None,
+                        record=True):
+        dtype = vec_prec.dtype
+        pz = precision_of_dtype(z.dtype)
+        pm = precision_of_dtype(mr.dtype)
+        compute = promote(pz, pm)
+        if (np.dtype(compute.dtype) == _HALF and halfvec.staged_half_enabled()
+                and np.dtype(dtype) == _HALF):
+            result = halfvec.staged_axpy(omega, mr, z, scratch=scratch)
+        else:
+            # in-place consume of z when dtypes line up (the documented
+            # contract); same operation order as vo.axpy
+            cdtype = compute.dtype
+            alpha_c = cdtype.type(omega)
+            if z.dtype == cdtype == np.dtype(dtype) and mr.dtype == cdtype:
+                if scratch is not None:
+                    t = scratch.get("wupd_t", mr.size, cdtype)
+                    np.multiply(mr, alpha_c, out=t)
+                else:
+                    t = alpha_c * mr
+                np.add(t, z, out=z)
+                result = z
+            else:
+                mr_c = mr if mr.dtype == cdtype else mr.astype(cdtype)
+                z_c = z if z.dtype == cdtype else z.astype(cdtype)
+                result = (alpha_c * mr_c + z_c).astype(dtype, copy=False)
+        if record:
+            self._record_axpy(pm, pz, vec_prec, compute, mr.size)
+        return result
+
+    def spmv_axpy(self, values, indices, indptr, x, y, out_precision=None,
+                  record=True, scratch=None):
+        mat_prec, vec_prec, compute, out_prec = spmv_setup(values.dtype, x.dtype,
+                                                           out_precision)
+        cdtype = compute.dtype
+        n = indptr.size - 1
+        nnz = values.size
+        fusable = (scratch is not None and _scipy_sparse is not None
+                   and _scipy_sparsetools is not None
+                   and np.dtype(cdtype) in _SCIPY_DTYPES
+                   and out_prec.dtype == np.dtype(cdtype)
+                   and y.dtype == np.dtype(cdtype)
+                   and indptr.dtype == indices.dtype)
+        if not fusable:
+            # compose (the oracle order); both halves use their own fast paths
+            ax = self.spmv_csr(values, indices, indptr, x,
+                               out_precision=out_precision, record=record,
+                               scratch=scratch)
+            return self.residual_update(y, ax, out_precision=out_precision,
+                                        record=record, scratch=scratch)
+        # one pass: r starts as a copy of y and scipy's compiled matvec
+        # accumulates (−A)·x into it — no intermediate product vector.
+        # Negated values are exact, so each row contributes −Σ aᵢⱼxⱼ with the
+        # usual reordering-tolerance agreement.
+        vals_c = scratch.cast("csr_values", values, cdtype)
+        neg_vals = scratch.memo(("csr_values_neg", np.dtype(cdtype)),
+                                lambda: -vals_c)
+        x_c = x if x.dtype == cdtype else x.astype(cdtype)
+        r = y.astype(cdtype, order="C", copy=True)
+        _scipy_sparsetools.csr_matvec(n, x.size, indptr, indices, neg_vals, x_c, r)
+        if record and counters_enabled():
+            self._record_spmv(mat_prec, vec_prec, out_prec, compute, n, nnz,
+                              nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX)
+            self._record_axpy(out_prec, precision_of_dtype(y.dtype), out_prec,
+                              promote(out_prec, precision_of_dtype(y.dtype)), n)
+        return r
+
+    def spmm_axpy(self, values, indices, indptr, x, y, out_precision=None,
+                  record=True, scratch=None):
+        mat_prec, vec_prec, compute, out_prec = spmv_setup(values.dtype, x.dtype,
+                                                           out_precision)
+        cdtype = compute.dtype
+        n = indptr.size - 1
+        nnz = values.size
+        k = x.shape[1]
+        fusable = (scratch is not None and _scipy_sparse is not None
+                   and _scipy_sparsetools is not None
+                   and np.dtype(cdtype) in _SCIPY_DTYPES
+                   and out_prec.dtype == np.dtype(cdtype)
+                   and y.dtype == np.dtype(cdtype)
+                   and indptr.dtype == indices.dtype)
+        if not fusable:
+            az = self.spmm_csr(values, indices, indptr, x,
+                               out_precision=out_precision, record=record,
+                               scratch=scratch)
+            return self.residual_update_batch(y, az, out_precision=out_precision,
+                                              record=record, scratch=scratch)
+        vals_c = scratch.cast("csr_values", values, cdtype)
+        neg_vals = scratch.memo(("csr_values_neg", np.dtype(cdtype)),
+                                lambda: -vals_c)
+        x_c = np.ascontiguousarray(x, dtype=cdtype)
+        r = y.astype(cdtype, order="C", copy=True)
+        _scipy_sparsetools.csr_matvecs(n, x.shape[0], k, indptr, indices,
+                                       neg_vals, x_c.ravel(), r.ravel())
+        if record and counters_enabled():
+            self._record_spmm(mat_prec, vec_prec, out_prec, compute, n, nnz,
+                              nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX, k)
+            py = precision_of_dtype(y.dtype)
+            self._record_axpy(out_prec, py, out_prec, promote(out_prec, py), n, k)
+        return r
 
     # ------------------------------------------------------------------ #
     def ilu0_factor(self, matrix, alpha: float = 1.0, breakdown_shift: float = 1e-12):

@@ -33,29 +33,65 @@ import threading
 
 import numpy as np
 
-__all__ = ["ScratchOwner", "ThreadLocalWorkspace", "Workspace"]
+__all__ = ["ScratchOwner", "ThreadLocalWorkspace", "Workspace",
+           "arena_alloc_count"]
+
+#: process-wide count of fresh arena arrays ever created (all workspaces);
+#: the allocation-regression tests assert it stays flat across warm
+#: steady-state iterations.  Lock-guarded: workspaces are per-thread but the
+#: counter is shared, and dispatcher workers warm their arenas concurrently.
+_TOTAL_ALLOCS = 0
+_ALLOC_LOCK = threading.Lock()
+
+
+def arena_alloc_count() -> int:
+    """Total arena-array creations across every workspace in the process."""
+    return _TOTAL_ALLOCS
+
+
+def _count_alloc() -> None:
+    global _TOTAL_ALLOCS
+    with _ALLOC_LOCK:
+        _TOTAL_ALLOCS += 1
 
 
 class Workspace:
     """Arena of reusable scratch arrays keyed by ``(name, shape, dtype)``."""
 
-    __slots__ = ("_buffers", "_casts", "_memos", "_rows")
+    __slots__ = ("_buffers", "_casts", "_memos", "_rows", "alloc_count")
 
     def __init__(self) -> None:
         self._buffers: dict = {}
         self._casts: dict = {}
         self._memos: dict = {}
         self._rows: dict = {}
+        #: fresh arena arrays created so far — a *stable* count after warm-up
+        #: is what the allocation-regression tests assert (see
+        #: ``tests/test_plans_alloc.py``)
+        self.alloc_count: int = 0
 
     def get(self, name: str, shape, dtype, zero: bool = False) -> np.ndarray:
         """Return a reusable buffer; contents are arbitrary unless ``zero``."""
         if not isinstance(shape, (tuple, list)):
             shape = (shape,)
-        key = (name, tuple(int(s) for s in shape), np.dtype(dtype))
+        # Key fast path: the hottest call sites request the same
+        # (shape, dtype) under one name on every iteration, so the canonical
+        # key — tuple of ints plus an np.dtype — is memoized per name instead
+        # of being rebuilt each call.  Memo keys are plain name strings; the
+        # other users of ``_memos`` (gather plans, scipy handles) key on
+        # tuples, so the namespaces cannot collide.
+        memo = self._memos.get(name)
+        if memo is not None and memo[0] == shape and memo[1] == dtype:
+            key = memo[2]
+        else:
+            key = (name, tuple(int(s) for s in shape), np.dtype(dtype))
+            self._memos[name] = (shape, dtype, key)
         buf = self._buffers.get(key)
         if buf is None:
             buf = np.zeros(key[1], dtype=key[2]) if zero else np.empty(key[1], dtype=key[2])
             self._buffers[key] = buf
+            self.alloc_count += 1
+            _count_alloc()
         elif zero:
             buf.fill(0)
         return buf
@@ -75,6 +111,8 @@ class Workspace:
         if buf is None or buf.shape[0] < nrows:
             buf = np.empty((int(nrows),) + key[1], dtype=key[2])
             self._rows[key] = buf
+            self.alloc_count += 1
+            _count_alloc()
         return buf[:nrows]
 
     def cast(self, name: str, array: np.ndarray, dtype) -> np.ndarray:
@@ -91,14 +129,22 @@ class Workspace:
         if cached is None or cached.shape != array.shape:
             cached = array.astype(dt)
             self._casts[key] = cached
+            self.alloc_count += 1
+            _count_alloc()
         return cached
 
     def memo(self, key, factory):
-        """Compute-once cache for derived arrays (gather plans, permutations)."""
+        """Compute-once cache for derived arrays (gather plans, permutations).
+
+        Keys must be tuples (or anything that is not a plain string): string
+        keys are reserved for :meth:`get`'s per-name key memo.
+        """
         value = self._memos.get(key)
         if value is None:
             value = factory()
             self._memos[key] = value
+            self.alloc_count += 1
+            _count_alloc()
         return value
 
     def nbytes(self) -> int:

@@ -100,9 +100,19 @@ class AssembledOperator(LinearOperator):
         if choice is None:
             choice = backend.preferred_assembled_format(self.precision)
             if choice not in ("csr", "ell"):
-                # cost-model comparison (Section 4.1 traffic constants, in
-                # bytes per row): CSR reads values + column indices + one
-                # row-pointer word; sliced ELL reads its padded entries.
+                # measured verdict first: the plan autotuner times a few
+                # warm-up applies per format and caches the result per
+                # (fingerprint, backend, precision) — in-process and
+                # optionally on disk (REPRO_TUNE_CACHE)
+                from ..plans.autotune import measured_assembled_format
+
+                choice = measured_assembled_format(self, backend)
+            if choice not in ("csr", "ell"):
+                # measurement disabled (REPRO_TUNE=0) or out of budget: the
+                # analytic cost-model comparison (Section 4.1 traffic
+                # constants, in bytes per row): CSR reads values + column
+                # indices + one row-pointer word; sliced ELL reads its
+                # padded entries.
                 nrows = max(1, self.csr.nrows)
                 entry = self.precision.bytes + BYTES_PER_INDEX
                 csr_bytes = self.csr.nnz_per_row * entry + BYTES_PER_INDEX
@@ -111,15 +121,19 @@ class AssembledOperator(LinearOperator):
             self._format_choice[backend.name] = choice
         return choice
 
-    def storage(self):
-        """The storage object the active backend's applies will run on."""
-        if self._choose_format(get_backend()) == "ell":
+    def storage_for(self, backend):
+        """The storage object applies run on under ``backend``."""
+        if self._choose_format(backend) == "ell":
             if self._ell is None:
                 from ..sparse.ell import SlicedEllMatrix
 
                 self._ell = SlicedEllMatrix(self.csr, chunk_size=self.chunk_size)
             return self._ell
         return self.csr
+
+    def storage(self):
+        """The storage object the active backend's applies will run on."""
+        return self.storage_for(get_backend())
 
     # ------------------------------------------------------------------ #
     def apply(self, x, out_precision=None, record: bool = True):

@@ -1,0 +1,190 @@
+"""Measured storage-format autotuning for compiled solve plans.
+
+The cost model's analytic CSR-vs-sliced-ELL comparison (Section 4.1 traffic
+constants) predicts which assembled layout moves fewer bytes — but bytes are
+a proxy, and on an emulated software stack the gather patterns, padding and
+kernel constants can flip the verdict.  This module *measures* instead: the
+first plan compiled for a ``(matrix fingerprint, backend, precision)``
+combination times a few warm-up applies of each candidate format and picks
+the faster one.  The verdict is cached
+
+* **in-process** — every later plan/solver for the same fingerprint reuses
+  it instantly (the :class:`~repro.serve.BatchDispatcher`'s repeated-
+  fingerprint traffic never re-measures), and
+* **optionally on disk** — point ``REPRO_TUNE_CACHE`` at a JSON file and
+  verdicts persist across processes (loaded lazily, written atomically).
+
+``REPRO_TUNE=0`` disables measurement entirely; callers then fall back to
+the analytic cost-model comparison, exactly as before this layer existed.
+Measurement runs with counters disabled and ``record=False`` so tuning never
+perturbs traffic accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from ..perf.counters import counters_disabled
+
+__all__ = [
+    "tuning_enabled",
+    "set_tuning_enabled",
+    "measured_assembled_format",
+    "autotune_stats",
+    "clear_autotune_cache",
+]
+
+_ENABLED = os.environ.get("REPRO_TUNE", "1").strip().lower() not in (
+    "0", "off", "false", "no")
+
+#: matrices larger than this measure too slowly relative to their setup
+#: budget; the analytic model handles them
+_MAX_TUNE_NNZ = 50_000_000
+
+#: below this the kernels finish in microseconds — timing is noise and the
+#: format choice is irrelevant, so the analytic model decides
+_MIN_TUNE_ROWS = 4096
+
+#: timing repeats per candidate (after one warm-up apply)
+_REPEATS = 3
+
+_LOCK = threading.Lock()
+_CACHE: dict[tuple, str] = {}
+_DISK_LOADED = False
+_STATS = {"measured": 0, "hits": 0, "disk_hits": 0}
+
+
+def tuning_enabled() -> bool:
+    """Whether measured format selection is active (``REPRO_TUNE``)."""
+    return _ENABLED
+
+
+def set_tuning_enabled(enabled: bool) -> bool:
+    """Enable/disable measurement (process-wide); returns the old state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def autotune_stats() -> dict:
+    """Counters describing the tuner's cache behaviour (for tests/serving)."""
+    with _LOCK:
+        return dict(_STATS, cached=len(_CACHE))
+
+
+def clear_autotune_cache() -> None:
+    """Forget every in-process verdict (tests)."""
+    global _DISK_LOADED
+    with _LOCK:
+        _CACHE.clear()
+        _DISK_LOADED = False
+        for k in _STATS:
+            _STATS[k] = 0
+
+
+def _cache_path() -> str | None:
+    path = os.environ.get("REPRO_TUNE_CACHE", "").strip()
+    return path or None
+
+
+def _load_disk_cache_locked() -> None:
+    """Merge the on-disk verdicts into the in-process cache (best effort)."""
+    global _DISK_LOADED
+    if _DISK_LOADED:
+        return
+    _DISK_LOADED = True
+    path = _cache_path()
+    if path is None or not os.path.exists(path):
+        return
+    try:
+        with open(path, encoding="utf-8") as fh:
+            stored = json.load(fh)
+        for key_str, choice in stored.items():
+            if choice in ("csr", "ell"):
+                _CACHE.setdefault(tuple(key_str.split("|")), choice)
+    except (OSError, ValueError):  # pragma: no cover - corrupt/racing cache
+        pass
+
+
+def _store_disk_cache(snapshot: dict[tuple, str]) -> None:
+    """Atomically rewrite the disk cache with the current verdicts."""
+    path = _cache_path()
+    if path is None:
+        return
+    payload = {"|".join(key): choice for key, choice in snapshot.items()}
+    try:
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=0, sort_keys=True)
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - read-only cache dir etc.
+        pass
+
+
+def _time_apply(fn, repeats: int = _REPEATS) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` after one warm-up call."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measured_assembled_format(operator, backend) -> str | None:
+    """Timed CSR-vs-sliced-ELL verdict for an ``AssembledOperator``.
+
+    Returns ``"csr"`` / ``"ell"``, or ``None`` when measurement is disabled,
+    the matrix is outside the tuning budget, or timing failed — the caller
+    then falls back to the analytic cost model.
+    """
+    if not _ENABLED:
+        return None
+    csr = operator.csr
+    if csr.nnz > _MAX_TUNE_NNZ or csr.nrows < _MIN_TUNE_ROWS:
+        return None
+    key = (csr.fingerprint(), backend.name, operator.precision.label,
+           str(int(operator.chunk_size)))
+    with _LOCK:
+        _load_disk_cache_locked()
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _STATS["hits"] += 1
+            return cached
+
+    try:
+        from ..sparse.ell import SlicedEllMatrix
+
+        ell = operator._ell
+        if ell is None:
+            ell = SlicedEllMatrix(csr, chunk_size=operator.chunk_size)
+        # deterministic probe in the matrix storage dtype (the level's apply
+        # promotes vectors to at least this precision)
+        x = (np.random.default_rng(csr.nrows)
+             .uniform(-1.0, 1.0, csr.ncols).astype(operator.dtype))
+        with counters_disabled():
+            csr_s = _time_apply(lambda: backend.spmv_csr(
+                csr.values, csr.indices, csr.indptr, x, record=False,
+                scratch=csr.scratch()))
+            ell_s = _time_apply(lambda: backend.spmv_ell(ell, x, record=False))
+        choice = "ell" if ell_s < csr_s else "csr"
+        if choice == "ell":
+            operator._ell = ell          # keep the winner's storage warm
+    except Exception:  # pragma: no cover - measurement must never break solves
+        return None
+
+    with _LOCK:
+        _CACHE[key] = choice
+        _STATS["measured"] += 1
+        snapshot = dict(_CACHE)
+    _store_disk_cache(snapshot)
+    return choice

@@ -1,0 +1,284 @@
+"""Compiled solve plans: setup once, iterate free.
+
+A :class:`SolvePlan` binds, once per ``(operator fingerprint, backend,
+vector precision)``, everything the iteration hot loop used to re-derive on
+every call:
+
+* the **resolved storage and kernel** — the CSR arrays / sliced-ELL plan /
+  matrix-free stencil the applies actually run on, chosen by the *measured*
+  autotuner (:mod:`repro.plans.autotune`) with the analytic cost model as
+  the fallback, and the backend kernel bound directly (no per-call operator
+  dispatch, format lookup or argument validation);
+* **fused kernels** — ``residual`` runs the one-pass ``spmv_axpy`` for CSR
+  storage and the ``apply`` + ``residual_update`` pair elsewhere, with the
+  exact unfused rounding/counter semantics;
+* a **workspace arena** — per-thread scratch the staged fp16 paths and
+  fused updates reuse, so steady-state iterations stop allocating.
+
+Plans are immutable once compiled and safe to share across threads (all
+mutable scratch is thread-local).  The module-level cache
+(:func:`plan_for`) is keyed by content fingerprint, so repeated-fingerprint
+traffic — the :class:`~repro.serve.BatchDispatcher`'s common case — skips
+plan setup entirely, even across solver instances.
+
+``REPRO_PLANS=0`` (or :func:`set_plans_enabled`) disables the layer; the
+solver stack then runs its legacy unplanned path, which is what
+``benchmarks/bench_solves.py`` measures the speedup against.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..backends import get_backend
+from ..backends.workspace import ThreadLocalWorkspace
+from ..precision import Precision, as_precision
+
+__all__ = [
+    "SolvePlan",
+    "compile_plan",
+    "plan_for",
+    "plans_enabled",
+    "set_plans_enabled",
+    "use_plans",
+    "plan_cache_stats",
+    "clear_plan_cache",
+]
+
+_ENABLED = os.environ.get("REPRO_PLANS", "1").strip().lower() not in (
+    "0", "off", "false", "no")
+
+
+def plans_enabled() -> bool:
+    """Whether solvers compile and use solve plans."""
+    return _ENABLED
+
+
+def set_plans_enabled(enabled: bool) -> bool:
+    """Enable/disable the plan layer (process-wide); returns the old state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_plans(enabled: bool = True):
+    """Scoped plan-layer toggle (benchmarks compare both paths)."""
+    previous = set_plans_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_plans_enabled(previous)
+
+
+def _storage_config(operator) -> tuple:
+    """Storage-affecting operator config that the content hash does not cover.
+
+    An ``AssembledOperator``'s fingerprint is its matrix's content hash —
+    ``format=``/``chunk_size=`` pins change which storage (and therefore
+    which counters and fp16 summation structure) a plan binds, so they must
+    be part of the cache key.
+    """
+    fmt = getattr(operator, "format", None)
+    chunk = getattr(operator, "chunk_size", None)
+    return (fmt, int(chunk) if chunk is not None else None)
+
+
+class SolvePlan:
+    """Pre-bound apply/residual kernels for one operator on one backend.
+
+    Every method mirrors the semantics of the unplanned path exactly — the
+    same backend kernels run on the same resolved storage with the same
+    counter totals — minus the per-call dispatch, validation and format
+    lookups.  ``record=False`` skips traffic recording (the outer solver's
+    unrecorded true-residual refreshes).
+    """
+
+    __slots__ = ("operator", "vec_prec", "backend", "kind", "key",
+                 "_csr", "_ell", "_stencil", "_tls")
+
+    def __init__(self, operator, vec_prec: Precision | str, backend=None) -> None:
+        from ..operators.assembled import AssembledOperator
+        from ..operators.stencil import StencilOperator
+        from ..sparse.csr import CSRMatrix
+        from ..sparse.ell import SlicedEllMatrix
+
+        self.operator = operator
+        self.vec_prec = as_precision(vec_prec)
+        self.backend = backend if backend is not None else get_backend()
+        self._csr = self._ell = self._stencil = None
+        self._tls = ThreadLocalWorkspace()
+
+        storage = operator
+        if isinstance(operator, AssembledOperator):
+            # resolves the format under *this* backend: measured verdict
+            # first (repro.plans.autotune), analytic cost model otherwise
+            storage = operator.storage_for(self.backend)
+        if isinstance(storage, CSRMatrix):
+            self.kind = "csr"
+            self._csr = storage
+        elif isinstance(storage, SlicedEllMatrix):
+            self.kind = "ell"
+            self._ell = storage
+        elif isinstance(storage, StencilOperator):
+            self.kind = "stencil"
+            self._stencil = storage
+        else:
+            self.kind = "operator"
+        fingerprint = getattr(operator, "fingerprint", None)
+        self.key = (fingerprint() if fingerprint is not None else None,
+                    _storage_config(operator), self.backend.name,
+                    self.vec_prec.label)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.operator.shape
+
+    def workspace(self):
+        """The calling thread's plan-scoped scratch arena."""
+        return self._tls.workspace
+
+    # ------------------------------------------------------------------ #
+    def apply(self, x: np.ndarray, record: bool = True) -> np.ndarray:
+        """``y = A·x`` rounded to the plan's vector precision."""
+        kind = self.kind
+        if kind == "csr":
+            m = self._csr
+            return self.backend.spmv_csr(m.values, m.indices, m.indptr, x,
+                                         out_precision=self.vec_prec,
+                                         record=record, scratch=m.scratch())
+        if kind == "ell":
+            return self.backend.spmv_ell(self._ell, x,
+                                         out_precision=self.vec_prec,
+                                         record=record)
+        if kind == "stencil":
+            return self.backend.apply_stencil(self._stencil, x,
+                                              out_precision=self.vec_prec,
+                                              record=record)
+        return self.operator.apply(x, out_precision=self.vec_prec,
+                                   record=record)
+
+    def apply_batch(self, x: np.ndarray, record: bool = True) -> np.ndarray:
+        """``Y = A·X`` for one RHS per column."""
+        kind = self.kind
+        if kind == "csr":
+            m = self._csr
+            return self.backend.spmm_csr(m.values, m.indices, m.indptr, x,
+                                         out_precision=self.vec_prec,
+                                         record=record, scratch=m.scratch())
+        if kind == "ell":
+            return self.backend.spmm_ell(self._ell, x,
+                                         out_precision=self.vec_prec,
+                                         record=record)
+        if kind == "stencil":
+            return self.backend.apply_stencil_batch(self._stencil, x,
+                                                    out_precision=self.vec_prec,
+                                                    record=record)
+        return self.operator.apply_batch(x, out_precision=self.vec_prec,
+                                         record=record)
+
+    # ------------------------------------------------------------------ #
+    def residual(self, v: np.ndarray, x: np.ndarray,
+                 record: bool = True) -> np.ndarray:
+        """Fused residual update ``r = v − A·x``.
+
+        CSR storage runs the one-pass ``spmv_axpy`` kernel; other storages
+        compose the bound apply with the backend's ``residual_update`` —
+        either way the rounding chain and counters match the unfused
+        apply-then-axpy sequence.
+        """
+        if self.kind == "csr":
+            m = self._csr
+            return self.backend.spmv_axpy(m.values, m.indices, m.indptr, x, v,
+                                          out_precision=self.vec_prec,
+                                          record=record, scratch=m.scratch())
+        az = self.apply(x, record=record)
+        return self.backend.residual_update(v, az, out_precision=self.vec_prec,
+                                            record=record,
+                                            scratch=self.workspace())
+
+    def residual_batch(self, v: np.ndarray, x: np.ndarray,
+                       record: bool = True) -> np.ndarray:
+        """Batched fused residual ``R = V − A·X``."""
+        if self.kind == "csr":
+            m = self._csr
+            return self.backend.spmm_axpy(m.values, m.indices, m.indptr, x, v,
+                                          out_precision=self.vec_prec,
+                                          record=record, scratch=m.scratch())
+        az = self.apply_batch(x, record=record)
+        return self.backend.residual_update_batch(
+            v, az, out_precision=self.vec_prec, record=record,
+            scratch=self.workspace())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SolvePlan(kind={self.kind!r}, backend={self.backend.name!r}, "
+                f"vec={self.vec_prec.label}, shape={self.shape})")
+
+
+# ---------------------------------------------------------------------- #
+# Module-level plan cache (fingerprint-keyed LRU)
+# ---------------------------------------------------------------------- #
+_CACHE_SIZE = max(1, int(os.environ.get("REPRO_PLAN_CACHE_SIZE", "64") or 64))
+_CACHE_LOCK = threading.Lock()
+_PLAN_CACHE: OrderedDict[tuple, SolvePlan] = OrderedDict()
+_STATS = {"compiled": 0, "hits": 0, "misses": 0}
+
+
+def compile_plan(operator, vec_prec: Precision | str, backend=None) -> SolvePlan:
+    """Compile a fresh (uncached) plan; :func:`plan_for` is the cached entry."""
+    plan = SolvePlan(operator, vec_prec, backend=backend)
+    with _CACHE_LOCK:
+        _STATS["compiled"] += 1
+    return plan
+
+
+def plan_for(operator, vec_prec: Precision | str, backend=None) -> SolvePlan:
+    """The cached plan for ``(operator.fingerprint(), backend, vec_prec)``.
+
+    Content-keyed: equal-valued operators held by different callers — and
+    new solver instances for a previously seen matrix — share one compiled
+    plan, including its autotuned format verdict.
+    """
+    backend = backend if backend is not None else get_backend()
+    fingerprint = getattr(operator, "fingerprint", None)
+    if fingerprint is None:
+        # structural duck types without a content hash still get a plan —
+        # callers (solver levels) cache it per instance instead
+        return compile_plan(operator, vec_prec, backend=backend)
+    key = (fingerprint(), _storage_config(operator), backend.name,
+           as_precision(vec_prec).label)
+    with _CACHE_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_CACHE.move_to_end(key)
+            _STATS["hits"] += 1
+            return plan
+        _STATS["misses"] += 1
+    plan = compile_plan(operator, vec_prec, backend=backend)
+    with _CACHE_LOCK:
+        _PLAN_CACHE[key] = plan
+        _PLAN_CACHE.move_to_end(key)
+        while len(_PLAN_CACHE) > _CACHE_SIZE:
+            _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def plan_cache_stats() -> dict:
+    """Hit/miss/compile counters plus the current cache size."""
+    with _CACHE_LOCK:
+        return dict(_STATS, cached=len(_PLAN_CACHE))
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the counters (tests)."""
+    with _CACHE_LOCK:
+        _PLAN_CACHE.clear()
+        for k in _STATS:
+            _STATS[k] = 0

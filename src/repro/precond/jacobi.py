@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import halfvec
+from ..backends.workspace import ScratchOwner
 from ..perf.counters import record_bytes, record_flops, record_kernel
 from ..precision import Precision, as_precision, precision_of_dtype, promote
 from ..sparse import extract_diagonal
@@ -18,7 +20,7 @@ from .base import Preconditioner
 __all__ = ["JacobiPreconditioner"]
 
 
-class JacobiPreconditioner(Preconditioner):
+class JacobiPreconditioner(Preconditioner, ScratchOwner):
     """``M = diag(A)``; application is an element-wise multiply by 1/diag.
 
     ``matrix`` may be an assembled :class:`CSRMatrix` or any operator with a
@@ -35,6 +37,8 @@ class JacobiPreconditioner(Preconditioner):
             raise ValueError("Jacobi preconditioner requires a zero-free diagonal")
         self._n = matrix.nrows
         self.inv_diag = (1.0 / diag).astype(self.precision.dtype)
+        self._inv_casts: dict = {}
+        self._scratch = None
 
     @classmethod
     def _from_inv_diag(cls, inv_diag: np.ndarray, precision: Precision) -> "JacobiPreconditioner":
@@ -42,12 +46,41 @@ class JacobiPreconditioner(Preconditioner):
         Preconditioner.__init__(obj, precision)
         obj._n = inv_diag.size
         obj.inv_diag = inv_diag.astype(precision.dtype)
+        obj._inv_casts = {}
+        obj._scratch = None
         return obj
+
+    def _cast_inv(self, dtype) -> np.ndarray:
+        """``inv_diag`` in the compute dtype (cached — it never mutates)."""
+        cached = self._inv_casts.get(dtype)
+        if cached is None:
+            cached = self._inv_casts[dtype] = self.inv_diag.astype(dtype, copy=False)
+        return cached
+
+    def _scaled(self, r: np.ndarray, compute) -> np.ndarray:
+        """``r ∘ inv_diag`` in the compute dtype (vector or ``(n, k)`` block).
+
+        The fp16 product is staged through fp32 — one SIMD multiply rounded
+        by the same conversion the fp16 ufunc applies per element, so the
+        result is bit-identical to the direct fp16 multiply.
+        """
+        cdtype = compute.dtype
+        if np.dtype(cdtype) == halfvec.HALF and halfvec.staged_half_enabled():
+            ws = self.scratch()
+            inv32 = self._cast_inv(halfvec.STAGE)
+            r32 = halfvec.upcast(r, ws.get("jacobi_r32", r.shape, halfvec.STAGE),
+                                 scratch=ws)
+            scale = inv32 if r.ndim == 1 else inv32[:, None]
+            return halfvec.binop_round(np.multiply, r32, scale, scratch=ws)
+        inv = self._cast_inv(cdtype)
+        if r.ndim == 2:
+            inv = inv[:, None]
+        return r.astype(cdtype, copy=False) * inv
 
     def _apply(self, r: np.ndarray) -> np.ndarray:
         vec_prec = precision_of_dtype(r.dtype)
         compute = promote(self.precision, vec_prec)
-        z = (r.astype(compute.dtype) * self.inv_diag.astype(compute.dtype))
+        z = self._scaled(r, compute)
         record_kernel("precond_jacobi")
         record_bytes(self.precision, self._n * self.precision.bytes)
         record_bytes(vec_prec, 2 * self._n * vec_prec.bytes)
@@ -58,7 +91,7 @@ class JacobiPreconditioner(Preconditioner):
         vec_prec = precision_of_dtype(r.dtype)
         compute = promote(self.precision, vec_prec)
         k = r.shape[1]
-        z = (r.astype(compute.dtype) * self.inv_diag.astype(compute.dtype)[:, None])
+        z = self._scaled(r, compute)
         record_kernel("precond_jacobi", k)
         record_bytes(self.precision, k * self._n * self.precision.bytes)
         record_bytes(vec_prec, 2 * k * self._n * vec_prec.bytes)

@@ -16,7 +16,11 @@ step) hit with ever-changing right-hand sides.  The
 * **Setup caching** — the expensive per-matrix setup (precision casts, ILU(0)
   factorization, triangular-solve plans) is built once per
   ``(fingerprint, config)`` and kept in a bounded LRU; subsequent batches
-  reuse it.
+  reuse it.  Compiled :class:`~repro.plans.SolvePlan` objects sit in their
+  own fingerprint-keyed cache *alongside* this LRU — a solver evicted from
+  the setup cache and rebuilt for returning traffic re-binds its plans (and
+  the measured autotune verdicts) instantly instead of re-deriving them;
+  :attr:`DispatchStats.summary` surfaces both caches.
 * **Batched execution** — each group is solved with
   :meth:`~repro.core.F3RSolver.solve_batch`, so the hot kernels run as
   SpMM / batched triangular solves instead of per-request vector kernels.
@@ -62,6 +66,8 @@ class DispatchStats:
     largest_batch: int = 0
 
     def summary(self) -> dict:
+        from ..plans import autotune_stats, plan_cache_stats
+
         return {
             "requests": self.requests,
             "batches": self.batches,
@@ -69,6 +75,8 @@ class DispatchStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "largest_batch": self.largest_batch,
+            "plan_cache": plan_cache_stats(),
+            "autotune": autotune_stats(),
         }
 
 

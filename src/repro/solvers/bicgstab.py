@@ -14,6 +14,7 @@ import time
 import numpy as np
 
 from ..operators import as_operator
+from ..plans import plan_for, plans_enabled
 from ..precision import Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
@@ -54,7 +55,11 @@ class BiCGStab:
         start_apps = count_primary_applications(primary) if primary is not None else 0
 
         a64 = self.matrix
-        r = b64 - a64.apply(x, out_precision=Precision.FP64) if x.any() else b64.copy()
+        # pre-bound fp64 apply kernel (identical semantics, no dispatch)
+        plan = plan_for(a64, Precision.FP64) if plans_enabled() else None
+        apply64 = (plan.apply if plan is not None
+                   else lambda w: a64.apply(w, out_precision=Precision.FP64))
+        r = b64 - apply64(x) if x.any() else b64.copy()
         r_hat = r.copy()
         rho_prev = alpha = omega = 1.0
         v = np.zeros(n)
@@ -75,7 +80,7 @@ class BiCGStab:
                 beta = (rho / rho_prev) * (alpha / omega) if rho_prev != 0.0 and omega != 0.0 else 0.0
                 p = vo.xpby(r, beta, vo.axpy(-omega, v, p))
             phat = self._precondition(p)
-            v = a64.apply(phat, out_precision=Precision.FP64)
+            v = apply64(phat)
             rhat_v = vo.dot(r_hat, v)
             if rhat_v == 0.0 or not np.isfinite(rhat_v):
                 break
@@ -91,7 +96,7 @@ class BiCGStab:
                 break
 
             shat = self._precondition(s)
-            t = a64.apply(shat, out_precision=Precision.FP64)
+            t = apply64(shat)
             tt = vo.dot(t, t)
             omega = vo.dot(t, s) / tt if tt != 0.0 else 0.0
             x = vo.axpy(alpha, phat, vo.axpy(omega, shat, x))

@@ -14,6 +14,7 @@ import time
 import numpy as np
 
 from ..operators import as_operator
+from ..plans import plan_for, plans_enabled
 from ..precision import Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
@@ -49,7 +50,12 @@ class ConjugateGradient:
         start_apps = count_primary_applications(primary) if primary is not None else 0
 
         a64 = self.matrix
-        r = b64 - a64.apply(x, out_precision=Precision.FP64) if x.any() else b64.copy()
+        # the compiled plan pre-binds the fp64 apply kernel; the unplanned
+        # operator path is identical minus the per-call dispatch
+        plan = plan_for(a64, Precision.FP64) if plans_enabled() else None
+        apply64 = (plan.apply if plan is not None
+                   else lambda v: a64.apply(v, out_precision=Precision.FP64))
+        r = b64 - apply64(x) if x.any() else b64.copy()
         z = (self.preconditioner.apply(r).astype(np.float64)
              if self.preconditioner is not None else r.copy())
         p = z.copy()
@@ -61,7 +67,7 @@ class ConjugateGradient:
         history.append(relres)
 
         for k in range(self.max_iterations):
-            ap = a64.apply(p, out_precision=Precision.FP64)
+            ap = apply64(p)
             pap = vo.dot(p, ap)
             if pap <= 0.0 or not np.isfinite(pap):
                 break  # loss of positive definiteness (or breakdown)

@@ -27,6 +27,7 @@ from ..backends import Workspace, get_backend
 from ..backends.workspace import ThreadLocalWorkspace
 from ..operators import as_operator
 from ..perf.counters import counters_enabled, record_bytes, record_flops, record_kernel
+from ..plans import plan_for, plans_enabled
 from ..precision import LevelPrecision, Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
@@ -77,7 +78,7 @@ def _back_substitute(hessenberg: np.ndarray, g: np.ndarray, k: int) -> np.ndarra
 
 def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
                  rel_tol: float | None = None, collect_residuals: list | None = None,
-                 workspace: Workspace | None = None):
+                 workspace: Workspace | None = None, plan=None):
     """One FGMRES(m) cycle with zero initial guess.
 
     Parameters
@@ -106,6 +107,10 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
         Optional :class:`~repro.backends.Workspace` owning the Krylov-basis and
         correction-vector storage; solver levels pass their per-level arena so
         repeated cycles reuse the same buffers instead of reallocating.
+    plan:
+        Optional compiled :class:`~repro.plans.SolvePlan` for ``matrix`` at
+        ``vec_prec``; when given, operator products run through the plan's
+        pre-bound kernel instead of the per-call operator dispatch.
 
     Returns
     -------
@@ -130,11 +135,17 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
     basis[0] = vo.scal(1.0 / beta, rhs)
     # Hessenberg in the level's scalar precision; Givens rotations and the
     # reduced RHS g likewise (the paper keeps these in fp32 for inner levels).
-    hessenberg = np.zeros((m + 1, m), dtype=dtype)
-    cs = np.zeros(m, dtype=dtype)
-    sn = np.zeros(m, dtype=dtype)
-    g = np.zeros(m + 1, dtype=dtype)
+    # All four live in the level's arena — a warm cycle allocates nothing.
+    hessenberg = ws.get("fgmres_hessenberg", (m + 1, m), dtype, zero=True)
+    cs = ws.get("fgmres_cs", m, dtype, zero=True)
+    sn = ws.get("fgmres_sn", m, dtype, zero=True)
+    g = ws.get("fgmres_g", m + 1, dtype, zero=True)
     g[0] = dtype.type(beta)
+
+    # Inner levels run the full m iterations with no early stop, so the
+    # normalization of the next basis vector is unconditional (short of
+    # breakdown) and fuses into the orthogonalize kernel.
+    fused_normalize = rel_tol is None
 
     iterations = 0
     estimated = beta
@@ -142,11 +153,19 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
         zj = _apply_child(child, basis[j])
         zj = vo.cast_vector(zj, vec_prec)
         z_vectors[j] = zj
-        w = matrix.apply(zj, out_precision=vec_prec)
+        w = (plan.apply(zj) if plan is not None
+             else matrix.apply(zj, out_precision=vec_prec))
 
         # classical Gram-Schmidt against basis[:j+1] (backend kernel; the fast
-        # engine runs it as BLAS-2, the reference as per-column BLAS-1 loops)
-        h_col, w, h_norm = backend.orthogonalize(basis, j, w, vec_prec, scratch=ws)
+        # engine runs it as BLAS-2, the reference as per-column BLAS-1 loops),
+        # fused with the normalization of basis[j+1] on always-continue steps
+        normalized = False
+        if fused_normalize and j + 1 < m:
+            h_col, h_norm, normalized = backend.orthonormalize(
+                basis, j, w, vec_prec, scratch=ws)
+        else:
+            h_col, w, h_norm = backend.orthogonalize(basis, j, w, vec_prec,
+                                                     scratch=ws)
 
         # apply the previous Givens rotations to the new column
         for i in range(j):
@@ -179,7 +198,7 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
             break
         if rel_tol is not None and estimated < rel_tol * beta:
             break
-        if j + 1 < m:
+        if j + 1 < m and not normalized:
             basis[j + 1] = vo.scal(1.0 / h_norm, w)
 
     # back substitution R y = g (in fp64 for robustness; y is tiny)
@@ -209,7 +228,7 @@ def _record_batched_gram_schmidt(p: Precision, n: int, k: int, ncols: int) -> No
 
 def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
                        rel_tol: np.ndarray | None = None,
-                       workspace: Workspace | None = None):
+                       workspace: Workspace | None = None, plan=None):
     """One lockstep FGMRES(m) cycle over ``k`` right-hand sides (columns of ``rhs``).
 
     Every column carries its own Krylov recurrence — basis, Hessenberg
@@ -271,10 +290,17 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
     # contiguous prefixes (views, no per-iteration gathers).
     basis = ws.get_rows("krylov_basis_batch", k, (m + 1, n), dtype)
     z_vectors = ws.get_rows("krylov_corrections_batch", k, (m, n), dtype)
-    hessenberg = np.zeros((k, m + 1, m), dtype=dtype)
-    cs = np.zeros((k, m), dtype=dtype)
-    sn = np.zeros((k, m), dtype=dtype)
-    g = np.zeros((k, m + 1), dtype=dtype)
+    # Per-cycle recurrence state lives in the arena too (zero-filled to the
+    # semantics of the old fresh np.zeros allocations), as does the Hessenberg
+    # column assembled inside the Arnoldi loop — a warm cycle allocates no
+    # per-iteration arrays.
+    hessenberg = ws.get_rows("fgmres_hessenberg_batch", k, (m + 1, m), dtype)
+    cs = ws.get_rows("fgmres_cs_batch", k, (m,), dtype)
+    sn = ws.get_rows("fgmres_sn_batch", k, (m,), dtype)
+    g = ws.get_rows("fgmres_g_batch", k, (m + 1,), dtype)
+    h_col_arena = ws.get_rows("fgmres_hcol_batch", k, (m + 2,), dtype)
+    for state in (hessenberg, cs, sn, g):
+        state.fill(0)
 
     inv_beta = (1.0 / beta[col_at]).astype(dtype)
     basis[:ka, 0, :] = rhs[:, col_at].T * inv_beta[:, None]
@@ -298,7 +324,8 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
         zj = _apply_child_batch(child, np.ascontiguousarray(basis[:ka, j, :].T))
         zj = vo.cast_block(zj, vec_prec)
         z_vectors[:ka, j, :] = zj.T
-        w = matrix.apply_batch(zj, out_precision=vec_prec)
+        w = (plan.apply_batch(zj) if plan is not None
+             else matrix.apply_batch(zj, out_precision=vec_prec))
         w = np.ascontiguousarray(w.T)                      # (ka, n)
 
         # classical Gram-Schmidt for all columns in one stacked matmul
@@ -309,7 +336,7 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
         h_norm = np.sqrt(w_dots.astype(np.float64))
         _record_batched_gram_schmidt(vec_prec, n, ka, j + 1)
 
-        h_col = np.empty((ka, j + 2), dtype=dtype)
+        h_col = h_col_arena[:ka, :j + 2]
         h_col[:, :j + 1] = h.astype(dtype, copy=False)
         h_col[:, j + 1] = h_norm.astype(dtype)
 
@@ -392,6 +419,7 @@ class FGMRESLevel(InnerSolver):
         # per-thread so concurrent apply()/solve() on a shared solver stays
         # reentrant (as the pre-workspace code was)
         self._workspace = ThreadLocalWorkspace()
+        self._plans: dict[str, object] = {}
 
     @property
     def primary_preconditioner(self):
@@ -404,11 +432,23 @@ class FGMRESLevel(InnerSolver):
     def depth_label(self) -> str:
         return f"F{self.m}"
 
+    def _plan(self):
+        """The compiled plan for this level on the active backend (or None)."""
+        if not plans_enabled():
+            return None
+        backend = get_backend()
+        plan = self._plans.get(backend.name)
+        if plan is None:
+            plan = self._plans[backend.name] = plan_for(
+                self.matrix, self.precisions.vector, backend)
+        return plan
+
     def apply(self, v: np.ndarray) -> np.ndarray:
         vec_prec = self.precisions.vector
         v_level = vo.cast_vector(np.asarray(v), vec_prec)
         z, _, _ = fgmres_cycle(self.matrix, v_level, self.child, self.m, vec_prec,
-                               workspace=self._workspace.workspace)
+                               workspace=self._workspace.workspace,
+                               plan=self._plan())
         return z
 
     def apply_batch(self, v: np.ndarray) -> np.ndarray:
@@ -418,7 +458,8 @@ class FGMRESLevel(InnerSolver):
         vec_prec = self.precisions.vector
         v_level = vo.cast_block(np.asarray(v), vec_prec)
         z, _, _ = fgmres_cycle_batch(self.matrix, v_level, self.child, self.m,
-                                     vec_prec, workspace=self._workspace.workspace)
+                                     vec_prec, workspace=self._workspace.workspace,
+                                     plan=self._plan())
         return z
 
 
@@ -445,6 +486,7 @@ class OuterFGMRES:
         )
         self.name = name or f"(F{m}, ...)"
         self._workspace = ThreadLocalWorkspace()
+        self._plans: dict[str, tuple] = {}
 
     @property
     def primary_preconditioner(self):
@@ -456,6 +498,21 @@ class OuterFGMRES:
     @property
     def depth_label(self) -> str:
         return f"F{self.m}"
+
+    def _plan_pair(self, mat64):
+        """``(cycle plan, fp64 residual plan)`` on the active backend, or
+        ``(None, None)`` when the plan layer is disabled."""
+        if not plans_enabled():
+            return None, None
+        backend = get_backend()
+        pair = self._plans.get(backend.name)
+        if pair is None:
+            plan = plan_for(self.matrix, self.precisions.vector, backend)
+            plan64 = (plan if mat64 is self.matrix
+                      and self.precisions.vector == Precision.FP64
+                      else plan_for(mat64, Precision.FP64, backend))
+            pair = self._plans[backend.name] = (plan, plan64)
+        return pair
 
     # ------------------------------------------------------------------ #
     def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
@@ -477,13 +534,19 @@ class OuterFGMRES:
         converged = False
         mat64 = (self.matrix if self.matrix.precision == Precision.FP64
                  else self.matrix.astype(Precision.FP64))
+        plan, plan64 = self._plan_pair(mat64)
         relres = residual_norm(self.matrix, x, b64) / norm_b
         history.append(relres)
         if relres < self.tol:
             converged = True
 
         while not converged and restarts <= self.max_restarts:
-            r = b64 - mat64.apply(x, record=False) if x.any() else b64.copy()
+            if not x.any():
+                r = b64.copy()
+            elif plan64 is not None:
+                r = plan64.residual(b64, x, record=False)
+            else:
+                r = b64 - mat64.apply(x, record=False)
             r_level = vo.cast_vector(r, vec_prec)
             cycle_residuals: list[float] = []
             z, iters, _ = fgmres_cycle(
@@ -491,6 +554,7 @@ class OuterFGMRES:
                 rel_tol=self.tol * norm_b / max(float(np.linalg.norm(r)), 1e-300),
                 collect_residuals=cycle_residuals,
                 workspace=self._workspace.workspace,
+                plan=plan,
             )
             x = x + z.astype(np.float64)
             total_iterations += iters
@@ -565,9 +629,14 @@ class OuterFGMRES:
                               if primary is not None else 0)
         mat64 = (self.matrix if self.matrix.precision == Precision.FP64
                  else self.matrix.astype(Precision.FP64))
+        plan, plan64 = self._plan_pair(mat64)
 
         def true_relres(cols: np.ndarray) -> np.ndarray:
-            r = b_block[:, cols] - mat64.apply_batch(x[:, cols], record=False)
+            if plan64 is not None:
+                r = plan64.residual_batch(b_block[:, cols], x[:, cols],
+                                          record=False)
+            else:
+                r = b_block[:, cols] - mat64.apply_batch(x[:, cols], record=False)
             return np.linalg.norm(r, axis=0) / norm_b[cols]
 
         histories = [ConvergenceHistory() for _ in range(k)]
@@ -582,10 +651,13 @@ class OuterFGMRES:
 
         while active:
             act = np.array(active, dtype=np.int64)
-            if x[:, act].any():
-                r = b_block[:, act] - mat64.apply_batch(x[:, act], record=False)
-            else:
+            if not x[:, act].any():
                 r = b_block[:, act].copy()
+            elif plan64 is not None:
+                r = plan64.residual_batch(b_block[:, act], x[:, act],
+                                          record=False)
+            else:
+                r = b_block[:, act] - mat64.apply_batch(x[:, act], record=False)
             r_norm = np.linalg.norm(r, axis=0)
             r_level = vo.cast_block(r, vec_prec)
             rel_tol = self.tol * norm_b[act] / np.maximum(r_norm, 1e-300)
@@ -593,6 +665,7 @@ class OuterFGMRES:
             z, iters, _ = fgmres_cycle_batch(
                 self.matrix, r_level, self.child, self.m, vec_prec,
                 rel_tol=rel_tol, workspace=self._workspace.workspace,
+                plan=plan,
             )
             x[:, act] += z.astype(np.float64)
             total_iterations[act] += iters

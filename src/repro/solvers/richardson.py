@@ -24,8 +24,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import get_backend
+from ..backends.workspace import ThreadLocalWorkspace
 from ..operators import as_operator
 from ..perf.counters import counters_enabled, record_bytes, record_flops, record_kernel
+from ..plans import plan_for, plans_enabled
 from ..precision import (
     LevelPrecision,
     Precision,
@@ -90,6 +93,9 @@ class RichardsonLevel(InnerSolver):
         self.call_count = 0          # cntr in Algorithm 1 (number of completed calls)
         self.update_count = 0        # l in Eq. (5)
         self.weight_history: list[np.ndarray] = []
+        # compiled plans (per backend) and fused-sweep scratch (per thread)
+        self._plans: dict[str, tuple] = {}
+        self._workspace = ThreadLocalWorkspace()
 
     # ------------------------------------------------------------------ #
     @property
@@ -107,12 +113,28 @@ class RichardsonLevel(InnerSolver):
         self.update_count = 0
         self.weight_history.clear()
 
+    def _level_plans(self):
+        """``(level plan, weight-precision plan)`` on the active backend,
+        or ``(None, None)`` when the plan layer is disabled."""
+        if not plans_enabled():
+            return None, None
+        backend = get_backend()
+        pair = self._plans.get(backend.name)
+        if pair is None:
+            plan = plan_for(self.matrix, self.precisions.vector, backend)
+            plan_wp = plan_for(self.matrix, self.weight_precision, backend)
+            pair = self._plans[backend.name] = (plan, plan_wp)
+        return pair
+
     # ------------------------------------------------------------------ #
     def apply(self, v: np.ndarray) -> np.ndarray:
         vec_prec = self.precisions.vector
         wp = self.weight_precision
         cntr = self.call_count + 1          # 1-based call index, as in Algorithm 1
         refresh = self.adaptive and (cntr % self.cycle == 0)
+        plan, plan_wp = self._level_plans()
+        backend = get_backend() if plan is not None else None
+        ws = self._workspace.workspace if plan is not None else None
 
         v_level = vo.cast_vector(np.asarray(v), vec_prec)
         z = vo.vzeros(v_level.size, vec_prec)
@@ -120,8 +142,13 @@ class RichardsonLevel(InnerSolver):
 
         for k in range(self.m):
             if k > 0:
-                az = self.matrix.apply(z, out_precision=vec_prec)
-                r = vo.axpy(-1.0, az, v_level, out_precision=vec_prec)
+                # fused sweep: the next residual runs as one plan kernel
+                # (one-pass spmv_axpy on CSR, staged combine elsewhere)
+                if plan is not None:
+                    r = plan.residual(v_level, z)
+                else:
+                    az = self.matrix.apply(z, out_precision=vec_prec)
+                    r = vo.axpy(-1.0, az, v_level, out_precision=vec_prec)
 
             mr = self.preconditioner.apply(r)
             mr = vo.cast_vector(mr, vec_prec)
@@ -129,16 +156,22 @@ class RichardsonLevel(InnerSolver):
             if refresh:
                 # ω'_k computed in fp32: one extra SpMV and two reductions.
                 mr32 = vo.cast_vector(mr, wp)
-                amr = self.matrix.apply(mr32, out_precision=wp)
+                amr = (plan_wp.apply(mr32) if plan_wp is not None
+                       else self.matrix.apply(mr32, out_precision=wp))
                 r32 = vo.cast_vector(r, wp)
                 denom = vo.dot(amr, amr)
                 numer = vo.dot(r32, amr)
-                omega_prime = numer / denom if denom > 0.0 else self.weights[k]
-                z = vo.axpy(omega_prime, mr, z, out_precision=vec_prec)
+                omega = numer / denom if denom > 0.0 else self.weights[k]
                 l = cntr // self.cycle
-                self.weights[k] = (l * self.weights[k] + omega_prime) / (l + 1)
+                self.weights[k] = (l * self.weights[k] + omega) / (l + 1)
             else:
-                z = vo.axpy(float(self.weights[k]), mr, z, out_precision=vec_prec)
+                omega = float(self.weights[k])
+            # the weighted half of the sweep: x += ω·M⁻¹r (staged fp16 on
+            # the fast engine; bit-identical to the unfused axpy)
+            if plan is not None:
+                z = backend.weighted_update(z, mr, omega, vec_prec, scratch=ws)
+            else:
+                z = vo.axpy(omega, mr, z, out_precision=vec_prec)
 
         if refresh:
             self.update_count += 1
@@ -167,6 +200,7 @@ class RichardsonLevel(InnerSolver):
         wp = self.weight_precision
         cntr_end = self.call_count + k
         refresh = self.adaptive and (self.call_count // self.cycle) != (cntr_end // self.cycle)
+        plan, plan_wp = self._level_plans()
 
         v_level = vo.cast_block(v, vec_prec)
         z = np.zeros(v_level.shape, dtype=vec_prec.dtype)
@@ -174,15 +208,19 @@ class RichardsonLevel(InnerSolver):
 
         for step in range(self.m):
             if step > 0:
-                az = self.matrix.apply_batch(z, out_precision=vec_prec)
-                r = self._batched_axpy(-1.0, az, v_level, vec_prec)
+                if plan is not None:
+                    r = plan.residual_batch(v_level, z)
+                else:
+                    az = self.matrix.apply_batch(z, out_precision=vec_prec)
+                    r = self._batched_axpy(-1.0, az, v_level, vec_prec)
 
             mr = self.preconditioner.apply_batch(r)
             mr = vo.cast_block(mr, vec_prec)
 
             if refresh:
                 mr32 = vo.cast_block(mr, wp)
-                amr = self.matrix.apply_batch(mr32, out_precision=wp)
+                amr = (plan_wp.apply_batch(mr32) if plan_wp is not None
+                       else self.matrix.apply_batch(mr32, out_precision=wp))
                 r32 = vo.cast_block(r, wp)
                 denom = np.einsum("nk,nk->k", amr, amr).astype(np.float64)
                 numer = np.einsum("nk,nk->k", r32, amr).astype(np.float64)

@@ -126,7 +126,16 @@ class TestSolveBatch:
             rhs = rng.uniform(-1, 1, (poisson.nrows, k))
             fgmres_cycle_batch(poisson, rhs, None, 5, Precision.FP64,
                                workspace=ws)
-        assert len(ws._rows) == 2        # one basis + one corrections buffer
+        # one capacity-keyed buffer per arena-resident array (basis,
+        # corrections, Hessenberg, cs, sn, g, h_col) — and no growth across
+        # shrinking column counts
+        count_after_first = len(ws._rows)
+        assert count_after_first == 7
+        allocs = ws.alloc_count
+        rhs = rng.uniform(-1, 1, (poisson.nrows, 6))
+        fgmres_cycle_batch(poisson, rhs, None, 5, Precision.FP64, workspace=ws)
+        assert len(ws._rows) == count_after_first
+        assert ws.alloc_count == allocs  # warm cycle: zero arena allocations
 
     def test_restarts_only_reenter_unconverged_columns(self, poisson):
         # a tiny cycle forces restarts; per-column restart counts must track

@@ -35,6 +35,8 @@ REQUIRED_MODULES = (
     "test_backends_equivalence*.py",   # kernel-engine contract (PR 1)
     "test_batched_solves*.py",         # batched multi-RHS engine (PR 2)
     "test_operators*.py",              # operator layer: equivalence + e2e (PR 3)
+    "test_plans*.py",                  # solve plans: fused parity, staged fp16,
+                                       # autotune, allocation regression (PR 4)
 )
 
 
