@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline
+.PHONY: test test-all lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline
 
 ## Tier-1 test suite (the CI gate): fast deterministic tests only
 ## (pytest.ini's addopts deselect the tier2 marker by default)
@@ -41,3 +41,13 @@ bench-solves-smoke:
 ## Refresh the committed solve baseline (run on a quiet machine)
 bench-solves-baseline:
 	$(PYTHON) benchmarks/bench_solves.py --scale smoke --write-baseline
+
+## Thread-sweep solve benchmark at smoke scale: REPRO_THREADS {1,2,4,cores},
+## bit-identity enforced, fails on >2x best-speedup regression vs the
+## committed (machine-dependent) baseline JSON
+bench-parallel-smoke:
+	$(PYTHON) benchmarks/bench_solves.py --scale smoke --threads-sweep --check-threads
+
+## Refresh the committed thread-sweep baseline (run on the target machine)
+bench-parallel-baseline:
+	$(PYTHON) benchmarks/bench_solves.py --scale smoke --threads-sweep --write-baseline

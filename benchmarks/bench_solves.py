@@ -24,22 +24,36 @@ Not collected by pytest; run directly or via make:
 (``BENCH_solves_baseline.json``) and fails on a >2x regression;
 ``--require-speedup X`` enforces an absolute floor on every problem's
 planned-over-legacy speedup (the solve-plan issue's acceptance criterion).
+
+``--threads-sweep`` instead times warm solves across ``REPRO_THREADS`` in
+{1, 2, 4} (and the core count when larger), verifies every thread count's
+result is **bit-identical** to the serial solve, and writes
+``BENCH_solves_threads.json``; ``--check-threads`` compares against the
+committed ``BENCH_solves_threads_baseline.json`` (baselines are
+machine-dependent — regenerate with ``--write-baseline`` on the target
+host; on a single-core host the sweep still gates bit-identity while the
+speedups sit at ~1x), and ``--require-parallel-speedup X`` enforces the
+multicore issue's acceptance floor (≥1.5x warm-solve throughput at ≥4
+threads) where the hardware can express it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro import par
 from repro.backends import halfvec
 from repro.core import F3RConfig, F3RSolver
 from repro.matgen import hpcg_operator, poisson2d
-from repro.plans import use_plans
+from repro.plans import clear_plan_cache, use_plans
+from repro.plans.autotune import clear_autotune_cache
 
 #: per-scale problem sizes: (stencil grid side, poisson grid side, repeats)
 SCALES = {
@@ -52,6 +66,8 @@ NBLOCKS = 16
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_solves_baseline.json"
 OUTPUT_PATH = Path(__file__).parent / "BENCH_solves.json"
+THREADS_BASELINE_PATH = Path(__file__).parent / "BENCH_solves_threads_baseline.json"
+THREADS_OUTPUT_PATH = Path(__file__).parent / "BENCH_solves_threads.json"
 
 
 def _steady_state_solve(solver, b, repeats: int):
@@ -122,6 +138,90 @@ def run(scale: str) -> dict:
     return {"scale": scale, "nblocks": NBLOCKS, "problems": problems}
 
 
+def _sweep_thread_counts() -> list[int]:
+    counts = [1, 2, 4]
+    cores = os.cpu_count() or 1
+    if cores > 4:
+        counts.append(cores)
+    return counts
+
+
+def bench_problem_threads(name: str, matrix, b, repeats: int,
+                          **solver_kwargs) -> dict:
+    """Warm fp16-F3R solve throughput across thread counts, bit-identity gated.
+
+    Each thread count gets a fresh solver (the adaptive Richardson weights
+    carry state across invocations) and a fresh plan/autotune cache so the
+    per-budget thread verdicts are re-measured; results must be
+    bit-identical to the 1-thread run — the determinism half of the
+    multicore acceptance criterion.
+    """
+    rows = {}
+    reference = None
+    for threads in _sweep_thread_counts():
+        clear_plan_cache()
+        clear_autotune_cache()
+        with par.use_threads(threads):
+            config = F3RConfig(variant="fp16", backend="fast")
+            solver = F3RSolver(matrix, preconditioner="auto", config=config,
+                               **solver_kwargs)
+            seconds, result = _steady_state_solve(solver, b, repeats)
+        if reference is None:
+            reference = result
+        assert np.array_equal(result.x, reference.x), \
+            f"{name}: REPRO_THREADS={threads} diverged from the serial solve"
+        rows[str(threads)] = {
+            "solve_s": seconds,
+            "speedup_vs_1": round(rows["1"]["solve_s"] / seconds, 3)
+            if rows else 1.0,
+        }
+    clear_plan_cache()
+    clear_autotune_cache()
+    return {"n": matrix.nrows, "threads": rows,
+            "identical_results": True,
+            "best_speedup": max(r["speedup_vs_1"] for r in rows.values())}
+
+
+def run_threads_sweep(scale: str) -> dict:
+    params = SCALES[scale]
+    rng = np.random.default_rng(42)
+    stencil = hpcg_operator(params["stencil_grid"])
+    b1 = rng.uniform(-1.0, 1.0, stencil.nrows)
+    assembled = poisson2d(params["poisson_side"])
+    b2 = rng.uniform(-1.0, 1.0, assembled.nrows)
+    problems = {
+        f"f3r_stencil_{params['stencil_grid']}^3":
+            bench_problem_threads("stencil", stencil, b1, params["repeats"]),
+        f"f3r_assembled_poisson_{params['poisson_side']}^2":
+            bench_problem_threads("assembled", assembled, b2,
+                                  params["repeats"], nblocks=NBLOCKS),
+    }
+    return {"scale": scale, "nblocks": NBLOCKS, "cores": os.cpu_count(),
+            "thread_counts": _sweep_thread_counts(), "problems": problems}
+
+
+def check_thread_regressions(report: dict, baseline: dict,
+                             factor: float = 2.0) -> list[str]:
+    failures = []
+    if baseline.get("scale") != report.get("scale"):
+        return [f"threads baseline mismatch: scale={baseline.get('scale')!r} "
+                f"vs current {report.get('scale')!r}; regenerate with "
+                f"--write-baseline"]
+    for name, base in baseline.get("problems", {}).items():
+        current = report.get("problems", {}).get(name)
+        if current is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if not current.get("identical_results"):
+            failures.append(f"{name}: thread sweep results not bit-identical")
+        floor = base["best_speedup"] / factor
+        if current["best_speedup"] < floor:
+            failures.append(f"{name}: best thread speedup "
+                            f"{current['best_speedup']:.2f}x < {floor:.2f}x "
+                            f"(baseline {base['best_speedup']:.2f}x / {factor:g})")
+    return failures
+
+
 def check_regressions(report: dict, baseline: dict, factor: float = 2.0) -> list[str]:
     failures = []
     if baseline.get("scale") != report.get("scale"):
@@ -153,7 +253,59 @@ def main(argv=None) -> int:
                         help="fail unless every problem's planned-over-legacy "
                              "speedup is >= X")
     parser.add_argument("--write-baseline", action="store_true")
+    parser.add_argument("--threads-sweep", action="store_true",
+                        help="benchmark warm solves across REPRO_THREADS "
+                             "{1, 2, 4, cores} instead of planned-vs-legacy "
+                             "(bit-identity enforced)")
+    parser.add_argument("--check-threads", action="store_true",
+                        help="fail on >2x best-thread-speedup regression vs "
+                             "the committed threads baseline")
+    parser.add_argument("--threads-baseline", type=Path,
+                        default=THREADS_BASELINE_PATH)
+    parser.add_argument("--require-parallel-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless every problem reaches >= X best "
+                             "thread speedup (multicore hardware only)")
     args = parser.parse_args(argv)
+
+    if args.threads_sweep:
+        report = run_threads_sweep(args.scale)
+        print(f"thread-sweep solve benchmarks — scale={args.scale} "
+              f"(fp16-F3R, fast backend, {report['cores']} cores, "
+              f"warm plan cache; all results bit-identical)")
+        for name, row in report["problems"].items():
+            timings = "   ".join(
+                f"T={t} {r['solve_s']:7.3f}s ({r['speedup_vs_1']:.2f}x)"
+                for t, r in row["threads"].items())
+            print(f"  {name:<32} {timings}")
+        out = (THREADS_OUTPUT_PATH if args.json == OUTPUT_PATH else args.json)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+        if args.write_baseline:
+            args.threads_baseline.write_text(json.dumps(report, indent=2) + "\n")
+            print(f"wrote baseline {args.threads_baseline}")
+        status = 0
+        if args.check_threads:
+            if not args.threads_baseline.exists():
+                print(f"no baseline at {args.threads_baseline}; run with "
+                      "--write-baseline first", file=sys.stderr)
+                return 2
+            failures = check_thread_regressions(
+                report, json.loads(args.threads_baseline.read_text()))
+            if failures:
+                print("REGRESSIONS:\n  " + "\n  ".join(failures),
+                      file=sys.stderr)
+                status = 1
+            else:
+                print("no thread-speedup regressions vs baseline")
+        if args.require_parallel_speedup is not None:
+            for name, row in report["problems"].items():
+                if row["best_speedup"] < args.require_parallel_speedup:
+                    print(f"REQUIREMENT FAILED: {name} best thread speedup "
+                          f"{row['best_speedup']:.2f}x < "
+                          f"{args.require_parallel_speedup:g}x", file=sys.stderr)
+                    status = 1
+        return status
 
     report = run(args.scale)
 

@@ -43,6 +43,12 @@ from .operators import (
     StencilOperator,
     as_operator,
 )
+from .par import (
+    configured_threads,
+    pool_stats,
+    set_threads,
+    use_threads,
+)
 from .plans import (
     SolvePlan,
     plan_cache_stats,
@@ -68,6 +74,10 @@ from .sparse import CSRMatrix
 __version__ = "1.0.0"
 
 __all__ = [
+    "configured_threads",
+    "pool_stats",
+    "set_threads",
+    "use_threads",
     "F3RConfig",
     "F3RSolver",
     "build_f3r",

@@ -142,8 +142,14 @@ class KernelBackend(abc.ABC):
     @abc.abstractmethod
     def spmv_csr(self, values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
                  x: np.ndarray, out_precision=None, record: bool = True,
-                 scratch=None) -> np.ndarray:
-        """``y = A @ x`` for CSR arrays; ``scratch`` is the matrix's workspace."""
+                 scratch=None, par=None) -> np.ndarray:
+        """``y = A @ x`` for CSR arrays; ``scratch`` is the matrix's workspace.
+
+        ``par`` is the matrix's :class:`repro.par.ParState` (cached
+        partitions + autotuned thread verdicts); backends that execute
+        thread-parallel slabs use it, others ignore it.  A parallel
+        execution must be bit-identical to the backend's serial one.
+        """
 
     @abc.abstractmethod
     def spmv_ell(self, ell, x: np.ndarray, out_precision=None,
@@ -160,12 +166,12 @@ class KernelBackend(abc.ABC):
     # ------------------------------------------------------------------ #
     def spmm_csr(self, values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
                  x: np.ndarray, out_precision=None, record: bool = True,
-                 scratch=None) -> np.ndarray:
+                 scratch=None, par=None) -> np.ndarray:
         """``Y = A @ X`` for CSR arrays and ``X`` of shape ``(n, k)``."""
         cols = [self.spmv_csr(values, indices, indptr,
                               np.ascontiguousarray(x[:, j]),
                               out_precision=out_precision, record=record,
-                              scratch=scratch)
+                              scratch=scratch, par=par)
                 for j in range(x.shape[1])]
         return np.stack(cols, axis=1)
 
@@ -258,7 +264,7 @@ class KernelBackend(abc.ABC):
     # ------------------------------------------------------------------ #
     def spmv_axpy(self, values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
                   x: np.ndarray, y: np.ndarray, out_precision=None,
-                  record: bool = True, scratch=None) -> np.ndarray:
+                  record: bool = True, scratch=None, par=None) -> np.ndarray:
         """Fused residual update ``r = y − A·x`` for CSR arrays.
 
         Semantics of the unfused pair: the product is rounded to
@@ -266,19 +272,19 @@ class KernelBackend(abc.ABC):
         promotion rules (``vo.axpy(-1.0, A@x, y)``).
         """
         ax = self.spmv_csr(values, indices, indptr, x, out_precision=out_precision,
-                           record=record, scratch=scratch)
+                           record=record, scratch=scratch, par=par)
         return self.residual_update(y, ax, out_precision=out_precision,
                                     record=record, scratch=scratch)
 
     def spmm_axpy(self, values: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
                   x: np.ndarray, y: np.ndarray, out_precision=None,
-                  record: bool = True, scratch=None) -> np.ndarray:
+                  record: bool = True, scratch=None, par=None) -> np.ndarray:
         """Batched fused residual ``R = Y − A·X`` (column-loop oracle)."""
         cols = [self.spmv_axpy(values, indices, indptr,
                                np.ascontiguousarray(x[:, j]),
                                np.ascontiguousarray(y[:, j]),
                                out_precision=out_precision, record=record,
-                               scratch=scratch)
+                               scratch=scratch, par=par)
                 for j in range(x.shape[1])]
         return np.stack(cols, axis=1)
 

@@ -31,12 +31,48 @@ passes:
 Counter totals (bytes, flops, kernel calls) are identical to the reference;
 they are recorded in one batched call per logical group, and skipped entirely
 when :func:`repro.perf.counters.counters_enabled` is off.
+
+**Thread-parallel execution** (:mod:`repro.par`): the CSR/ELL products, the
+fused residuals, the stencil sweeps and the within-level triangular solves
+each carry a partitioned variant that fans nnz-balanced row slabs across
+the worker pool — same sub-path family (scipy compiled / staged fp16 /
+generic gather) and exactly the serial per-row arithmetic, so results are
+bit-identical for every thread count.  Workspace discipline under
+partitioning (the PR-5 thread-safety audit):
+
+* a partition worker never touches the caller's arena — its temporaries
+  come from a dedicated per-worker slab arena
+  (:func:`repro.par.kernels.slab_workspace`);
+* caller-arena buffers cross into workers only as *read-only* inputs
+  (value casts, staged ``x32`` expansions) or as *disjoint output spans*
+  (the separable sweep's ping-pong buffers), and the caller is blocked in
+  ``run_tasks`` for the duration, so no concurrent mutation exists;
+* per-object caches that workers read (``ell._rm_vals``, ``_fast_vals``,
+  gather plans) are immutable-once-built derived data — a benign
+  cross-thread build race at worst derives them twice;
+* counters are recorded once, in the calling thread (they are
+  thread-local), with the exact serial totals — counter parity under
+  partitioning is structural.
+
+``tests/test_parallel_threadsafety.py`` hammers one plan/solver/factor from
+four threads (each fanning across the pool) and requires every concurrent
+result to be bit-identical to serial.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..par import kernels as par_kernels
+from ..par.partition import (
+    MIN_LEVEL_ROWS,
+    csr_partition,
+    kernel_threads,
+    level_partition,
+    par_state,
+    span_partition,
+)
+from ..par.pool import forced_threads
 from ..perf.counters import counters_enabled
 from ..precision import BYTES_PER_INDEX, Precision, as_precision, precision_of_dtype, promote
 from . import halfvec
@@ -131,14 +167,54 @@ class FastBackend(KernelBackend):
     name = "fast"
 
     # ------------------------------------------------------------------ #
+    def _csr_slabs(self, par, indptr, nt):
+        """The matrix's nnz-balanced row slabs for ``nt`` threads (cached)."""
+        return par.partition(("csr", nt), lambda: csr_partition(indptr, nt))
+
+    def _spmv_csr_slabbed(self, values, indices, indptr, x_c, cdtype, n,
+                          scratch, par, nt):
+        """Thread-parallel CSR SpMV: same sub-path family as the serial
+        kernel (scipy compiled / staged fp16 / generic gather), restricted
+        per slab, so every output row is computed exactly as serially."""
+        slabs = self._csr_slabs(par, indptr, nt)
+        y = np.zeros(n, dtype=cdtype)
+        if _scipy_sparse is not None and np.dtype(cdtype) in _SCIPY_DTYPES:
+            vals_c = scratch.cast("csr_values", values, cdtype)
+            par_kernels.csr_matvec_slabs(x_c.size, vals_c, indices, y, x_c, slabs)
+        elif np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled():
+            vals32 = scratch.cast("csr_values_stage", values, _STAGE)
+            x32 = halfvec.upcast(x_c, scratch.get("spmv_x32", x_c.size, _STAGE),
+                                 scratch=scratch)
+            par_kernels.spmv_csr_slabs(vals32, indices, x32, y, slabs,
+                                       staged=True,
+                                       round_into=halfvec.round_into)
+        else:
+            vals_c = scratch.cast("csr_values", values, cdtype)
+            par_kernels.spmv_csr_slabs(vals_c, indices, x_c, y, slabs)
+        return y
+
     def spmv_csr(self, values, indices, indptr, x, out_precision=None,
-                 record=True, scratch=None):
+                 record=True, scratch=None, par=None):
         mat_prec, vec_prec, compute, out_prec = spmv_setup(values.dtype, x.dtype,
                                                            out_precision)
         cdtype = compute.dtype
         n = indptr.size - 1
         nnz = values.size
         x_c = x if x.dtype == cdtype else x.astype(cdtype)
+
+        nt = (kernel_threads("spmv", nnz, par, rows=n)
+              if par is not None and scratch is not None else 1)
+        if (nt > 1 and np.dtype(cdtype) in _SCIPY_DTYPES
+                and _scipy_sparsetools is None):
+            nt = 1          # can't partition the compiled path; stay serial
+        if nt > 1:
+            y = self._spmv_csr_slabbed(values, indices, indptr, x_c, cdtype, n,
+                                       scratch, par, nt)
+            y = y.astype(out_prec.dtype, copy=False)
+            if record and counters_enabled():
+                self._record_spmv(mat_prec, vec_prec, out_prec, compute, n, nnz,
+                                  nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX)
+            return y
 
         if (scratch is not None and _scipy_sparse is not None
                 and np.dtype(cdtype) in _SCIPY_DTYPES):
@@ -186,8 +262,28 @@ class FastBackend(KernelBackend):
         return y
 
     # ------------------------------------------------------------------ #
+    def _spmm_csr_slabbed(self, values, indices, indptr, x_c, cdtype, n, k,
+                          scratch, par, nt):
+        """Thread-parallel CSR SpMM (slab analogue of the serial paths)."""
+        slabs = self._csr_slabs(par, indptr, nt)
+        y = np.zeros((n, k), dtype=cdtype)
+        if _scipy_sparse is not None and np.dtype(cdtype) in _SCIPY_DTYPES:
+            vals_c = scratch.cast("csr_values", values, cdtype)
+            par_kernels.csr_matvecs_slabs(x_c.shape[0], k, vals_c, indices, y,
+                                          np.ascontiguousarray(x_c), slabs)
+        elif np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled():
+            vals32 = scratch.cast("csr_values_stage", values, _STAGE)
+            x32 = halfvec.upcast(x_c, scratch.get("spmm_x32", x_c.shape, _STAGE))
+            par_kernels.spmm_csr_slabs(vals32, indices, x32, y, slabs,
+                                       staged=True,
+                                       round_into=halfvec.round_into)
+        else:
+            vals_c = scratch.cast("csr_values", values, cdtype)
+            par_kernels.spmm_csr_slabs(vals_c, indices, x_c, y, slabs)
+        return y
+
     def spmm_csr(self, values, indices, indptr, x, out_precision=None,
-                 record=True, scratch=None):
+                 record=True, scratch=None, par=None):
         mat_prec, vec_prec, compute, out_prec = spmv_setup(values.dtype, x.dtype,
                                                            out_precision)
         cdtype = compute.dtype
@@ -195,6 +291,20 @@ class FastBackend(KernelBackend):
         nnz = values.size
         k = x.shape[1]
         x_c = x if x.dtype == cdtype else x.astype(cdtype)
+
+        nt = (kernel_threads("spmm", nnz, par, rows=n)
+              if par is not None and scratch is not None else 1)
+        if (nt > 1 and np.dtype(cdtype) in _SCIPY_DTYPES
+                and _scipy_sparsetools is None):
+            nt = 1
+        if nt > 1:
+            y = self._spmm_csr_slabbed(values, indices, indptr, x_c, cdtype, n,
+                                       k, scratch, par, nt)
+            y = y.astype(out_prec.dtype, copy=False)
+            if record and counters_enabled():
+                self._record_spmm(mat_prec, vec_prec, out_prec, compute, n, nnz,
+                                  nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX, k)
+            return y
 
         if (scratch is not None and _scipy_sparse is not None
                 and np.dtype(cdtype) in _SCIPY_DTYPES):
@@ -260,27 +370,49 @@ class FastBackend(KernelBackend):
             ell._rm_vals[cdtype] = vals_rm
 
         x_c = x if x.dtype == cdtype else x.astype(cdtype)
-        if np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled():
-            # staged fp16 products (see spmv_csr): fp32 gather-multiply with a
-            # bit-identical fp16 rounding, fp16 row reduction
+        staged = np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled()
+        if staged:
             vals32 = ell._rm_vals.get(_STAGE)
             if vals32 is None:
                 vals32 = vals_rm.astype(_STAGE)
                 ell._rm_vals[_STAGE] = vals32
-            x32 = halfvec.upcast(x_c, scratch.get("spmv_x32", x_c.size, _STAGE),
-                                  scratch=scratch)
-            prods32 = scratch.get("spmv_prod32", order.size, _STAGE)
-            np.take(x32, cols_rm, out=prods32)
-            np.multiply(prods32, vals32, out=prods32)
-            prods = halfvec.round_into(prods32,
-                                       scratch.get("spmv_prod", order.size, cdtype),
-                                       scratch=scratch)
+
+        st = par_state(ell)
+        nt = kernel_threads("spmv", order.size, st, rows=ell.nrows)
+        if nt > 1:
+            # slabbed over the row-major entry stream: same gather-multiply
+            # (-round)-reduceat recipe per output row as the serial pass
+            slabs = st.partition(("ell", nt),
+                                 lambda: csr_partition(rm_indptr, nt))
+            y = np.zeros(ell.nrows, dtype=cdtype)
+            if staged:
+                x32 = halfvec.upcast(x_c,
+                                     scratch.get("spmv_x32", x_c.size, _STAGE),
+                                     scratch=scratch)
+                par_kernels.spmv_ell_slabs(vals32, cols_rm, x32, y, slabs,
+                                           staged=True,
+                                           round_into=halfvec.round_into)
+            else:
+                par_kernels.spmv_ell_slabs(vals_rm, cols_rm, x_c, y, slabs)
         else:
-            prods = scratch.get("spmv_prod", order.size, cdtype)
-            np.take(x_c, cols_rm, out=prods)
-            np.multiply(prods, vals_rm, out=prods)
-        y = np.zeros(ell.nrows, dtype=cdtype)
-        row_segment_sums(prods, rm_indptr, y)
+            if staged:
+                # staged fp16 products (see spmv_csr): fp32 gather-multiply
+                # with a bit-identical fp16 rounding, fp16 row reduction
+                x32 = halfvec.upcast(x_c,
+                                     scratch.get("spmv_x32", x_c.size, _STAGE),
+                                     scratch=scratch)
+                prods32 = scratch.get("spmv_prod32", order.size, _STAGE)
+                np.take(x32, cols_rm, out=prods32)
+                np.multiply(prods32, vals32, out=prods32)
+                prods = halfvec.round_into(
+                    prods32, scratch.get("spmv_prod", order.size, cdtype),
+                    scratch=scratch)
+            else:
+                prods = scratch.get("spmv_prod", order.size, cdtype)
+                np.take(x_c, cols_rm, out=prods)
+                np.multiply(prods, vals_rm, out=prods)
+            y = np.zeros(ell.nrows, dtype=cdtype)
+            row_segment_sums(prods, rm_indptr, y)
         y = y.astype(out_prec.dtype, copy=False)
 
         if record and counters_enabled():
@@ -305,9 +437,17 @@ class FastBackend(KernelBackend):
             ell._rm_vals[cdtype] = vals_rm
 
         x_c = x if x.dtype == cdtype else x.astype(cdtype)
-        prods = x_c[plan["cols_rm"], :] * vals_rm[:, None]
-        y = np.zeros((ell.nrows, k), dtype=cdtype)
-        row_segment_sums(prods, plan["rm_indptr"], y)
+        st = par_state(ell)
+        nt = kernel_threads("spmm", ell.values.size, st, rows=ell.nrows)
+        if nt > 1:
+            slabs = st.partition(("ell", nt),
+                                 lambda: csr_partition(plan["rm_indptr"], nt))
+            y = np.zeros((ell.nrows, k), dtype=cdtype)
+            par_kernels.spmm_ell_slabs(vals_rm, plan["cols_rm"], x_c, y, slabs)
+        else:
+            prods = x_c[plan["cols_rm"], :] * vals_rm[:, None]
+            y = np.zeros((ell.nrows, k), dtype=cdtype)
+            row_segment_sums(prods, plan["rm_indptr"], y)
         y = y.astype(out_prec.dtype, copy=False)
 
         if record and counters_enabled():
@@ -335,30 +475,38 @@ class FastBackend(KernelBackend):
     #   27-point stencil into ~11 contiguous streams — this is the path
     #   that beats the assembled CSR SpMM at ≥ 64³ grid points.
     # ------------------------------------------------------------------ #
-    def _stencil_conv_axis(self, op, cur, nxt, axis, taps, kk, cdtype):
-        """``nxt = conv1d(cur)`` along ``axis`` with zero boundary (flat arrays).
+    def _conv_axis_taps(self, op, cur, nxt, axis, taps, kk, cdtype,
+                        lo=0, hi=None):
+        """The shifted-add tap passes of ``nxt = conv1d(cur)`` along ``axis``,
+        restricted to the flat output range ``[lo, hi)``.
 
-        Interior entries come from full flat shifted adds (contiguous,
-        bandwidth-bound); the ``|offset|`` edge planes each tap wraps across
-        are then *rewritten* with exactly computed strided window sums, so
-        no wrap garbage survives.
+        Interior entries come from flat shifted adds (contiguous,
+        bandwidth-bound).  Each output element receives its full tap
+        sequence inside its owning range — in serial tap order — so any
+        span decomposition of ``[0, n)`` produces bit-identical interiors;
+        :meth:`_conv_axis_edges` then rewrites the wrap-contaminated edge
+        planes exactly (serially, they are ``O(reach)`` planes).
         """
         n_flat = cur.size
+        if hi is None:
+            hi = n_flat
         stride = int(op.strides[axis]) * kk
         first = True
         for j, w in taps:
             off = j * stride
-            lo_e = max(0, -off)
-            hi_e = n_flat - max(0, off)
-            dst = nxt[lo_e:hi_e]
-            src = cur[lo_e + off:hi_e + off]
+            glo = max(0, -off)
+            ghi = n_flat - max(0, off)
+            dlo = min(max(glo, lo), hi)
+            dhi = max(min(ghi, hi), dlo)
+            dst = nxt[dlo:dhi]
+            src = cur[dlo + off:dhi + off]
             wc = cdtype.type(w)
             if first:
                 np.multiply(src, wc, out=dst)
-                if lo_e:
-                    nxt[:lo_e] = 0
-                if hi_e < n_flat:
-                    nxt[hi_e:] = 0
+                if lo < dlo:
+                    nxt[lo:dlo] = 0
+                if dhi < hi:
+                    nxt[dhi:hi] = 0
                 first = False
             elif w == -1.0:
                 np.subtract(dst, src, out=dst)
@@ -366,7 +514,9 @@ class FastBackend(KernelBackend):
                 np.add(dst, src, out=dst)
             else:
                 dst += wc * src
-        # rewrite the contaminated edge planes exactly
+
+    def _conv_axis_edges(self, op, cur, nxt, axis, taps, kk, cdtype):
+        """Rewrite the contaminated edge planes of the flat conv exactly."""
         dim = op.dims[axis]
         shape = op.dims + ((kk,) if kk > 1 else ())
         curg = cur.reshape(shape)
@@ -392,8 +542,9 @@ class FastBackend(KernelBackend):
             didx[axis] = c
             nxtg[tuple(didx)] = 0 if acc is None else acc
 
-    def _stencil_conv_axis_staged(self, op, cur32, nxt32, axis, taps, kk, ws):
-        """Staged-fp16 variant of :meth:`_stencil_conv_axis`.
+    def _conv_axis_taps_staged(self, op, cur32, nxt32, axis, taps, kk, ws,
+                               lo=0, hi=None):
+        """Staged-fp16 variant of :meth:`_conv_axis_taps`.
 
         ``cur32``/``nxt32`` are fp32 arrays holding exactly
         fp16-representable values; every elementary operation runs as one
@@ -401,18 +552,24 @@ class FastBackend(KernelBackend):
         with :func:`~repro.backends.halfvec.quantize32` — reproducing the
         direct ``np.float16`` ufunc chain bit for bit without ever touching
         the scalar half-conversion routines.  Sign flips and ``±1`` copies
-        are exact and skip the redundant rounding.
+        are exact and skip the redundant rounding.  The rounding chain is
+        per-element, so the ``[lo, hi)`` restriction preserves bit-identity
+        exactly as in the direct variant; ``ws`` is the executing thread's
+        scratch arena (a partition worker passes its own).
         """
         n_flat = cur32.size
+        if hi is None:
+            hi = n_flat
         stride = int(op.strides[axis]) * kk
-        tmp32 = None
         first = True
         for j, w in taps:
             off = j * stride
-            lo_e = max(0, -off)
-            hi_e = n_flat - max(0, off)
-            dst = nxt32[lo_e:hi_e]
-            src = cur32[lo_e + off:hi_e + off]
+            glo = max(0, -off)
+            ghi = n_flat - max(0, off)
+            dlo = min(max(glo, lo), hi)
+            dhi = max(min(ghi, hi), dlo)
+            dst = nxt32[dlo:dhi]
+            src = cur32[dlo + off:dhi + off]
             w16 = np.float16(w)
             w32 = np.float32(w16)
             rounded = True
@@ -424,10 +581,10 @@ class FastBackend(KernelBackend):
                 else:
                     np.multiply(src, w32, out=dst)
                     rounded = False
-                if lo_e:
-                    nxt32[:lo_e] = 0
-                if hi_e < n_flat:
-                    nxt32[hi_e:] = 0
+                if lo < dlo:
+                    nxt32[lo:dlo] = 0
+                if dhi < hi:
+                    nxt32[dhi:hi] = 0
                 first = False
             elif w16 == -1.0:
                 np.subtract(dst, src, out=dst)
@@ -436,17 +593,17 @@ class FastBackend(KernelBackend):
                 np.add(dst, src, out=dst)
                 rounded = False
             else:
-                if tmp32 is None:
-                    tmp32 = ws.get("stencil_tap32", n_flat, _STAGE)
-                t = tmp32[:dst.size]
+                t = ws.get_rows("stencil_tap32_seg", dst.size, (), _STAGE)
                 np.multiply(src, w32, out=t)
                 halfvec.quantize32(t, scratch=ws)         # round the product
                 np.add(dst, t, out=dst)
                 rounded = False
             if not rounded:
                 halfvec.quantize32(dst, scratch=ws)       # round to fp16 grid
-        # rewrite the contaminated edge planes exactly (same structure as the
-        # direct path, with the per-operation fp16 roundings made explicit)
+
+    def _conv_axis_edges_staged(self, op, cur32, nxt32, axis, taps, kk, ws):
+        """Exact edge-plane rewrite of the staged conv (same structure as the
+        direct path, with the per-operation fp16 roundings made explicit)."""
         dim = op.dims[axis]
         shape = op.dims + ((kk,) if kk > 1 else ())
         curg = cur32.reshape(shape)
@@ -475,12 +632,23 @@ class FastBackend(KernelBackend):
             didx[axis] = c
             nxtg[tuple(didx)] = 0 if acc is None else acc
 
+    def _stencil_spans(self, op, kk, nt):
+        """Flat-range spans for the separable sweep (grid-point aligned),
+        cached on the operator's partition state."""
+        st = par_state(op)
+        spans = st.partition(("sep", kk, nt),
+                             lambda: span_partition(op.nrows * kk, nt, align=kk))
+        return spans if len(spans) > 1 else None
+
     def _apply_stencil_separable_staged(self, op, x_c, kk):
         """fp16 separable sweep on fp32-staged buffers (bit-identical)."""
         ws = op.scratch()
         sep = op.box_separable()
         alpha, taps = sep
         n_flat = op.nrows * kk
+        nt = kernel_threads("stencil" if kk == 1 else "stencil_batch", n_flat,
+                            par_state(op), rows=op.dims[0])
+        spans = self._stencil_spans(op, kk, nt) if nt > 1 else None
         x32 = halfvec.upcast(x_c.reshape(-1),
                              ws.get("stencil_x32", n_flat, _STAGE), scratch=ws)
         buffers = (ws.get("stencil_sep_a32", n_flat, _STAGE),
@@ -488,7 +656,18 @@ class FastBackend(KernelBackend):
         cur = x32
         for axis, axis_taps in enumerate(taps):
             nxt = buffers[axis % 2]
-            self._stencil_conv_axis_staged(op, cur, nxt, axis, axis_taps, kk, ws)
+            if spans is not None:
+                # workers sweep disjoint flat ranges of nxt with their own
+                # arenas; the per-element rounding chain is unchanged
+                par_kernels.run_spans(
+                    spans,
+                    lambda lo, hi, c=cur, nx=nxt, a=axis, t=axis_taps:
+                        self._conv_axis_taps_staged(
+                            op, c, nx, a, t, kk, par_kernels.slab_workspace(),
+                            lo=lo, hi=hi))
+            else:
+                self._conv_axis_taps_staged(op, cur, nxt, axis, axis_taps, kk, ws)
+            self._conv_axis_edges_staged(op, cur, nxt, axis, axis_taps, kk, ws)
             cur = nxt
         # fresh fp16 output: y = alpha * x + chain, each op rounded; the
         # operands are already on the fp16 grid so the final store is exact
@@ -514,12 +693,23 @@ class FastBackend(KernelBackend):
         alpha, taps = sep
         ws = op.scratch()
         n_flat = op.nrows * kk
+        nt = kernel_threads("stencil" if kk == 1 else "stencil_batch", n_flat,
+                            par_state(op), rows=op.dims[0])
+        spans = self._stencil_spans(op, kk, nt) if nt > 1 else None
         buffers = (ws.get("stencil_sep_a", n_flat, cdtype),
                    ws.get("stencil_sep_b", n_flat, cdtype))
         cur = x_c.reshape(-1)
         for axis, axis_taps in enumerate(taps):
             nxt = buffers[axis % 2]
-            self._stencil_conv_axis(op, cur, nxt, axis, axis_taps, kk, cdtype)
+            if spans is not None:
+                par_kernels.run_spans(
+                    spans,
+                    lambda lo, hi, c=cur, nx=nxt, a=axis, t=axis_taps:
+                        self._conv_axis_taps(op, c, nx, a, t, kk, cdtype,
+                                             lo=lo, hi=hi))
+            else:
+                self._conv_axis_taps(op, cur, nxt, axis, axis_taps, kk, cdtype)
+            self._conv_axis_edges(op, cur, nxt, axis, axis_taps, kk, cdtype)
             cur = nxt
         # fresh output (never an arena buffer): y = alpha * x + chain
         y = np.empty(n_flat, dtype=cdtype)
@@ -530,6 +720,33 @@ class FastBackend(KernelBackend):
             np.copyto(y, cur)
         return y
 
+    def _stencil_slab_span(self, op, xg, yg, vals_c, cdtype, kk, tail, a0, b0):
+        """One worker's outermost-axis plane range ``[a0, b0)`` of the
+        per-offset slab accumulation: the serial offset loop with every
+        destination slab clipped to the owned planes (and its source slab
+        shifted identically), so each grid point accumulates its offsets in
+        exactly the serial order."""
+        ws = par_kernels.slab_workspace()
+        for pos, dst, src in op.slice_plan():
+            d0 = dst[0]
+            lo0 = max(d0.start, a0)
+            hi0 = min(d0.stop, b0)
+            if lo0 >= hi0:
+                continue
+            shift = src[0].start - d0.start
+            v = vals_c[pos]
+            acc = yg[(slice(lo0, hi0),) + dst[1:] + tail]
+            term = xg[(slice(lo0 + shift, hi0 + shift),) + src[1:] + tail]
+            if v == -1.0:
+                np.subtract(acc, term, out=acc)
+            elif v == 1.0:
+                np.add(acc, term, out=acc)
+            else:
+                tmp = ws.get_rows("par_stencil_prod", term.size, (),
+                                  cdtype).reshape(term.shape)
+                np.multiply(term, v, out=tmp)
+                np.add(acc, tmp, out=acc)
+
     def _apply_stencil_slabs(self, op, x_c, cdtype, kk):
         """Per-offset slab accumulation (the general fused path)."""
         vals_c = op.values.astype(cdtype, copy=False)
@@ -539,6 +756,18 @@ class FastBackend(KernelBackend):
         shape = op.dims + ((kk,) if kk > 1 else ())
         xg = x_c.reshape(shape)
         yg = y.reshape(shape)
+        st = par_state(op)
+        nt = kernel_threads("stencil" if kk == 1 else "stencil_batch",
+                            op.nrows * kk, st, rows=op.dims[0])
+        if nt > 1:
+            spans = st.partition(("slab0", nt),
+                                 lambda: span_partition(op.dims[0], nt))
+            if len(spans) > 1:
+                par_kernels.run_spans(
+                    spans,
+                    lambda a0, b0: self._stencil_slab_span(
+                        op, xg, yg, vals_c, cdtype, kk, tail, a0, b0))
+                return y
         for pos, dst, src in op.slice_plan():
             v = vals_c[pos]
             acc = yg[dst + tail]
@@ -616,6 +845,32 @@ class FastBackend(KernelBackend):
             factor._fast_vals[cdtype] = cached
         return plan, cached[0], cached[1]
 
+    def _trsv_par_levels(self, factor, plan, kernel):
+        """Per-level chunk decompositions for a within-level parallel solve.
+
+        ``None`` disables parallelism for this call; otherwise a list
+        aligned with ``plan`` whose entries are either ``None`` (level runs
+        the serial code — too narrow for a barrier) or the level's chunk
+        list.  Wide levels are exactly the fused block-diagonal factors'
+        regime: level ``i`` of every block merges into one schedule row,
+        the thread-per-block analogue the paper executes.
+        """
+        st = par_state(factor)
+        nt = kernel_threads(kernel, factor.off_vals.size, st,
+                            rows=factor.nrows)
+        if nt <= 1:
+            return None
+        min_rows = 1 if forced_threads() is not None else MIN_LEVEL_ROWS
+        levels = st.partition(
+            ("trsv", nt, min_rows),
+            lambda: [None if entry[1] is None
+                     else level_partition(factor.off_rowptr, entry[0], nt,
+                                          min_rows)
+                     for entry in plan])
+        if all(chunks is None for chunks in levels):
+            return None
+        return levels
+
     def trsv(self, factor, b, out_precision=None, record=True):
         vec_prec = precision_of_dtype(b.dtype)
         compute = promote(factor.precision, vec_prec)
@@ -623,12 +878,17 @@ class FastBackend(KernelBackend):
         cdtype = compute.dtype
 
         plan, level_vals, level_inv = self._trsv_plan_and_vals(factor, cdtype)
+        par_levels = self._trsv_par_levels(factor, plan, "trsv")
 
         x = np.zeros(factor.nrows, dtype=cdtype)
         b_c = b if b.dtype == cdtype else b.astype(cdtype)
 
-        for (rows, gather_idx, gather_cols, red_offsets, nonempty), lv, inv in zip(
-                plan, level_vals, level_inv):
+        for i, ((rows, gather_idx, gather_cols, red_offsets, nonempty), lv,
+                inv) in enumerate(zip(plan, level_vals, level_inv)):
+            if par_levels is not None and par_levels[i] is not None:
+                par_kernels.trsv_level_chunks(x, b_c, rows, gather_cols, lv,
+                                              inv, par_levels[i])
+                continue
             if gather_idx is None:
                 x[rows] = b_c[rows] * inv
                 continue
@@ -654,6 +914,7 @@ class FastBackend(KernelBackend):
         k = b.shape[1]
 
         plan, level_vals, level_inv = self._trsv_plan_and_vals(factor, cdtype)
+        par_levels = self._trsv_par_levels(factor, plan, "trsm")
 
         # One level sweep serves all k columns: the per-level index arithmetic
         # and Python overhead are amortized k-fold, and the gather/multiply/
@@ -661,8 +922,12 @@ class FastBackend(KernelBackend):
         x = np.zeros((factor.nrows, k), dtype=cdtype)
         b_c = b if b.dtype == cdtype else b.astype(cdtype)
 
-        for (rows, gather_idx, gather_cols, red_offsets, nonempty), lv, inv in zip(
-                plan, level_vals, level_inv):
+        for i, ((rows, gather_idx, gather_cols, red_offsets, nonempty), lv,
+                inv) in enumerate(zip(plan, level_vals, level_inv)):
+            if par_levels is not None and par_levels[i] is not None:
+                par_kernels.trsm_level_chunks(x, b_c, rows, gather_cols, lv,
+                                              inv, par_levels[i])
+                continue
             if gather_idx is None:
                 x[rows] = b_c[rows] * inv[:, None]
                 continue
@@ -730,6 +995,34 @@ class FastBackend(KernelBackend):
                 self._record_scal(vec_prec, w.size)
         return h_col, h_norm, normalized
 
+    def _residual_update_spans(self, v, az, cdtype, out_prec, staged, nt):
+        """Thread-parallel elementwise residual: disjoint row spans, each
+        computed with the serial recipe (direct subtract or the staged-fp16
+        upcast-subtract-round chain on the worker's own arena)."""
+        spans = span_partition(v.shape[0], nt)
+        tail = v.shape[1:]
+        if staged:
+            r = np.empty(v.shape, dtype=_HALF)
+
+            def task(lo, hi):
+                ws = par_kernels.slab_workspace()
+                v32 = halfvec.upcast(
+                    v[lo:hi], ws.get_rows("par_resid_v32", hi - lo, tail, _STAGE))
+                az32 = halfvec.upcast(
+                    az[lo:hi], ws.get_rows("par_resid_az32", hi - lo, tail, _STAGE))
+                halfvec.binop_round(np.subtract, v32, az32, out16=r[lo:hi],
+                                    scratch=ws)
+        else:
+            v_c = v if v.dtype == cdtype else v.astype(cdtype)
+            az_c = az if az.dtype == cdtype else az.astype(cdtype)
+            r = np.empty(v.shape, dtype=cdtype)
+
+            def task(lo, hi):
+                np.subtract(v_c[lo:hi], az_c[lo:hi], out=r[lo:hi])
+
+        par_kernels.run_spans(spans, task)
+        return r.astype(out_prec.dtype, copy=False)
+
     def residual_update(self, v, az, out_precision=None, record=True,
                         scratch=None):
         pv = precision_of_dtype(v.dtype)
@@ -737,8 +1030,12 @@ class FastBackend(KernelBackend):
         compute = promote(pv, paz)
         out_prec = as_precision(out_precision) if out_precision is not None else pv
         cdtype = compute.dtype
-        if (np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled()
-                and out_prec.dtype == _HALF):
+        staged = (np.dtype(cdtype) == _HALF and halfvec.staged_half_enabled()
+                  and out_prec.dtype == _HALF)
+        nt = kernel_threads("axpy", v.size, None, rows=v.shape[0])
+        if nt > 1:
+            r = self._residual_update_spans(v, az, cdtype, out_prec, staged, nt)
+        elif staged:
             # v − az == (−1)·az + v bitwise (negation is exact, addition is
             # commutative), staged through fp32
             if scratch is not None:
@@ -794,7 +1091,7 @@ class FastBackend(KernelBackend):
         return result
 
     def spmv_axpy(self, values, indices, indptr, x, y, out_precision=None,
-                  record=True, scratch=None):
+                  record=True, scratch=None, par=None):
         mat_prec, vec_prec, compute, out_prec = spmv_setup(values.dtype, x.dtype,
                                                            out_precision)
         cdtype = compute.dtype
@@ -807,10 +1104,11 @@ class FastBackend(KernelBackend):
                    and y.dtype == np.dtype(cdtype)
                    and indptr.dtype == indices.dtype)
         if not fusable:
-            # compose (the oracle order); both halves use their own fast paths
+            # compose (the oracle order); both halves use their own fast
+            # paths — including their partitioned variants
             ax = self.spmv_csr(values, indices, indptr, x,
                                out_precision=out_precision, record=record,
-                               scratch=scratch)
+                               scratch=scratch, par=par)
             return self.residual_update(y, ax, out_precision=out_precision,
                                         record=record, scratch=scratch)
         # one pass: r starts as a copy of y and scipy's compiled matvec
@@ -822,7 +1120,14 @@ class FastBackend(KernelBackend):
                                 lambda: -vals_c)
         x_c = x if x.dtype == cdtype else x.astype(cdtype)
         r = y.astype(cdtype, order="C", copy=True)
-        _scipy_sparsetools.csr_matvec(n, x.size, indptr, indices, neg_vals, x_c, r)
+        nt = kernel_threads("spmv", nnz, par, rows=n) if par is not None else 1
+        if nt > 1:
+            # same compiled accumulation per row slab (r rows are disjoint)
+            par_kernels.csr_matvec_slabs(x.size, neg_vals, indices, r, x_c,
+                                         self._csr_slabs(par, indptr, nt))
+        else:
+            _scipy_sparsetools.csr_matvec(n, x.size, indptr, indices, neg_vals,
+                                          x_c, r)
         if record and counters_enabled():
             self._record_spmv(mat_prec, vec_prec, out_prec, compute, n, nnz,
                               nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX)
@@ -831,7 +1136,7 @@ class FastBackend(KernelBackend):
         return r
 
     def spmm_axpy(self, values, indices, indptr, x, y, out_precision=None,
-                  record=True, scratch=None):
+                  record=True, scratch=None, par=None):
         mat_prec, vec_prec, compute, out_prec = spmv_setup(values.dtype, x.dtype,
                                                            out_precision)
         cdtype = compute.dtype
@@ -847,7 +1152,7 @@ class FastBackend(KernelBackend):
         if not fusable:
             az = self.spmm_csr(values, indices, indptr, x,
                                out_precision=out_precision, record=record,
-                               scratch=scratch)
+                               scratch=scratch, par=par)
             return self.residual_update_batch(y, az, out_precision=out_precision,
                                               record=record, scratch=scratch)
         vals_c = scratch.cast("csr_values", values, cdtype)
@@ -855,8 +1160,13 @@ class FastBackend(KernelBackend):
                                 lambda: -vals_c)
         x_c = np.ascontiguousarray(x, dtype=cdtype)
         r = y.astype(cdtype, order="C", copy=True)
-        _scipy_sparsetools.csr_matvecs(n, x.shape[0], k, indptr, indices,
-                                       neg_vals, x_c.ravel(), r.ravel())
+        nt = kernel_threads("spmm", nnz, par, rows=n) if par is not None else 1
+        if nt > 1:
+            par_kernels.csr_matvecs_slabs(x.shape[0], k, neg_vals, indices, r,
+                                          x_c, self._csr_slabs(par, indptr, nt))
+        else:
+            _scipy_sparsetools.csr_matvecs(n, x.shape[0], k, indptr, indices,
+                                           neg_vals, x_c.ravel(), r.ravel())
         if record and counters_enabled():
             self._record_spmm(mat_prec, vec_prec, out_prec, compute, n, nnz,
                               nnz * BYTES_PER_INDEX + (n + 1) * BYTES_PER_INDEX, k)

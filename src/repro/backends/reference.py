@@ -65,7 +65,9 @@ class ReferenceBackend(KernelBackend):
 
     # ------------------------------------------------------------------ #
     def spmv_csr(self, values, indices, indptr, x, out_precision=None,
-                 record=True, scratch=None):
+                 record=True, scratch=None, par=None):
+        # ``par`` (partition state) is part of the contract surface but the
+        # reference oracle always runs serially
         mat_prec, vec_prec, compute, out_prec = spmv_setup(values.dtype, x.dtype,
                                                            out_precision)
         vals_c = values if values.dtype == compute.dtype else values.astype(compute.dtype)

@@ -1,0 +1,240 @@
+"""Work partitioning for the thread-parallel kernels.
+
+Every parallel kernel splits its *output rows* into contiguous slabs and
+hands each slab to one thread.  Because each output row is then computed by
+exactly the arithmetic the serial kernel would use — the same gathered
+products, reduced in the same order, written to a disjoint output slice —
+the partitioned result is **bit-identical** to the serial one for any slab
+count, which is the layer's determinism guarantee.
+
+Balance comes from splitting on cumulative *work*, not row count: CSR/ELL
+slabs take equal shares of stored entries (``nnz``-balanced via a
+``searchsorted`` on the row pointer), triangular levels take equal shares of
+their gathered dependencies, grids split on whole outermost-axis planes.
+
+Partitions are pure layout, computed once and cached on a :class:`ParState`
+attached to the storage object (matrix / factor / stencil operator), keyed
+by slab count — the :class:`~repro.plans.SolvePlan` compile step prebuilds
+them so the solve hot loop never partitions.  ``ParState`` also carries the
+autotuned per-kernel thread verdicts (:mod:`repro.plans.autotune`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .pool import effective_threads, forced_threads
+
+__all__ = [
+    "MIN_LEVEL_ROWS",
+    "MIN_WORK_PER_THREAD",
+    "ParState",
+    "par_state",
+    "balanced_boundaries",
+    "csr_partition",
+    "span_partition",
+    "level_partition",
+    "kernel_threads",
+]
+
+#: minimum work items (stored entries / vector elements / level gathers) one
+#: extra thread must bring before the heuristic widens a kernel — small
+#: operators stay serial unless an autotuned verdict or force says otherwise
+MIN_WORK_PER_THREAD = {
+    "spmv": 16_384,          # CSR/ELL stored entries
+    "spmm": 8_192,           # stored entries (k columns amortize the split)
+    "stencil": 16_384,       # grid points
+    "stencil_batch": 8_192,
+    "trsv": 4_096,           # per-level gathered dependencies
+    "trsm": 2_048,
+    "axpy": 65_536,          # vector elements (bandwidth-bound elementwise)
+}
+
+#: a triangular-solve dependency level narrower than twice this many rows is
+#: not worth a barrier — it runs the serial per-level code (the forced
+#: override drops the floor to 1 so tests can exercise tiny levels)
+MIN_LEVEL_ROWS = 1_024
+
+
+class ParState:
+    """Per-storage parallel state: cached partitions + thread verdicts.
+
+    One instance hangs off each storage object (``_par`` attribute).  The
+    partition cache is layout-only; ``threads`` maps kernel names to
+    autotuned thread counts (absent = use the size heuristic).
+    """
+
+    __slots__ = ("threads", "_parts", "_lock")
+
+    def __init__(self) -> None:
+        self.threads: dict[str, int] = {}
+        self._parts: dict = {}
+        self._lock = threading.Lock()
+
+    def __reduce__(self):
+        # partitions and verdicts are re-derivable caches (and the lock is
+        # not picklable): a pickled/deepcopied owner restarts empty, like
+        # its scratch arenas
+        return (ParState, ())
+
+    def partition(self, key, factory):
+        """Build-once cache for a partition keyed by ``(kind, nparts, ...)``."""
+        part = self._parts.get(key)
+        if part is None:
+            with self._lock:
+                part = self._parts.get(key)
+                if part is None:
+                    part = factory()
+                    self._parts[key] = part
+        return part
+
+
+_STATE_LOCK = threading.Lock()
+
+
+def par_state(owner) -> ParState:
+    """The owner's :class:`ParState`, attached on first use.
+
+    Storage classes declare a ``_par`` slot/attribute initialized to
+    ``None``; attachment is locked so concurrent first calls agree on one
+    instance (the state carries autotune verdicts, which must not be lost
+    to a benign race).
+    """
+    state = owner._par
+    if state is None:
+        with _STATE_LOCK:
+            state = owner._par
+            if state is None:
+                state = owner._par = ParState()
+    return state
+
+
+# ---------------------------------------------------------------------- #
+# Thread-count resolution
+# ---------------------------------------------------------------------- #
+def kernel_threads(kernel: str, work: int, state: ParState | None = None,
+                   rows: int | None = None) -> int:
+    """Threads this kernel invocation should fan across (1 = serial path).
+
+    Resolution order: the thread-local force override (tests/autotuner);
+    then the storage's autotuned verdict clamped to the current budget
+    share; then the size heuristic — one thread per
+    ``MIN_WORK_PER_THREAD[kernel]`` work items, clamped to the budget share.
+    ``rows`` (when given) additionally caps the fan-out at one row per
+    thread.
+    """
+    limit = effective_threads()
+    if forced_threads() is None:
+        if limit <= 1:
+            return 1
+        verdict = None if state is None else state.threads.get(kernel)
+        if verdict is not None:
+            limit = min(limit, verdict)
+        else:
+            limit = min(limit, max(1, work // MIN_WORK_PER_THREAD.get(kernel, 16_384)))
+    if rows is not None:
+        limit = min(limit, max(1, rows))
+    return max(1, limit)
+
+
+# ---------------------------------------------------------------------- #
+# Partition builders
+# ---------------------------------------------------------------------- #
+def balanced_boundaries(cumulative: np.ndarray, nparts: int) -> np.ndarray:
+    """Split ``n`` rows into ``<= nparts`` contiguous slabs of ~equal work.
+
+    ``cumulative`` is a length ``n + 1`` nondecreasing work prefix (a CSR
+    ``indptr`` is exactly this).  Returns strictly increasing boundaries
+    ``[0, ..., n]``; degenerate targets (empty slabs) are merged away, so
+    the result may have fewer parts than requested.
+    """
+    n = cumulative.shape[0] - 1
+    nparts = max(1, min(int(nparts), n))
+    if nparts == 1:
+        return np.array([0, n], dtype=np.int64)
+    total = int(cumulative[-1])
+    targets = (np.arange(1, nparts, dtype=np.int64) * total) // nparts
+    cuts = np.searchsorted(cumulative, targets, side="left")
+    boundaries = np.unique(np.concatenate(([0], cuts, [n])))
+    return boundaries.astype(np.int64)
+
+
+def csr_partition(indptr: np.ndarray, nparts: int) -> list[tuple]:
+    """nnz-balanced row slabs for CSR-shaped storage.
+
+    Returns ``[(r0, r1, s0, s1, local_indptr), ...]`` where ``[r0, r1)`` is
+    the slab's row range, ``[s0, s1)`` its stored-entry range and
+    ``local_indptr`` the slab's row pointer rebased to its first entry (same
+    dtype as ``indptr``, so the scipy compiled kernels accept it directly).
+    """
+    boundaries = balanced_boundaries(np.asarray(indptr, dtype=np.int64), nparts)
+    slabs = []
+    for r0, r1 in zip(boundaries[:-1], boundaries[1:]):
+        r0 = int(r0)
+        r1 = int(r1)
+        local = (indptr[r0:r1 + 1] - indptr[r0]).astype(indptr.dtype)
+        slabs.append((r0, r1, int(indptr[r0]), int(indptr[r1]), local))
+    return slabs
+
+
+def span_partition(n: int, nparts: int, align: int = 1) -> list[tuple[int, int]]:
+    """``<= nparts`` contiguous ``[lo, hi)`` spans covering ``[0, n)``.
+
+    ``align`` forces boundaries onto multiples of it (grid-plane strides for
+    the stencil sweeps); spans are as equal as alignment allows.
+    """
+    if n <= 0:
+        return []
+    units = (n + align - 1) // align
+    nparts = max(1, min(int(nparts), units))
+    edges = (np.arange(nparts + 1, dtype=np.int64) * units) // nparts
+    spans = []
+    for u0, u1 in zip(edges[:-1], edges[1:]):
+        lo = int(u0) * align
+        hi = min(int(u1) * align, n)
+        if hi > lo:
+            spans.append((lo, hi))
+    return spans
+
+
+def level_partition(rowptr: np.ndarray, rows: np.ndarray, nparts: int,
+                    min_rows: int) -> list[tuple] | None:
+    """Chunk one triangular-solve level into ``<= nparts`` row ranges.
+
+    Returns ``None`` when the level is too small to split (the solve then
+    runs the serial per-level code), else a list of
+    ``(c0, c1, g0, g1, local_offsets, local_nonempty)`` chunks where
+    ``[c0, c1)`` indexes the level's ``rows`` array, ``[g0, g1)`` its
+    gathered-dependency span, ``local_offsets`` the chunk-rebased reduceat
+    starts of its non-empty segments (``None`` for an all-diagonal chunk)
+    and ``local_nonempty`` the per-row mask slice (``None`` when every row
+    in the chunk has dependencies).
+    """
+    nrows = rows.shape[0]
+    if nrows < 2 * min_rows or nparts <= 1:
+        return None
+    counts = (rowptr[rows + 1] - rowptr[rows]).astype(np.int64)
+    cum = np.zeros(nrows + 1, dtype=np.int64)
+    np.cumsum(counts, out=cum[1:])
+    boundaries = balanced_boundaries(cum, min(nparts, max(1, nrows // min_rows)))
+    if boundaries.shape[0] <= 2:
+        return None
+    chunks = []
+    for c0, c1 in zip(boundaries[:-1], boundaries[1:]):
+        c0 = int(c0)
+        c1 = int(c1)
+        g0 = int(cum[c0])
+        g1 = int(cum[c1])
+        if g1 == g0:
+            chunks.append((c0, c1, g0, g1, None, None))
+            continue
+        chunk_counts = counts[c0:c1]
+        mask = chunk_counts > 0
+        local = np.cumsum(chunk_counts) - chunk_counts
+        if mask.all():
+            chunks.append((c0, c1, g0, g1, local, None))
+        else:
+            chunks.append((c0, c1, g0, g1, local[mask], mask))
+    return chunks

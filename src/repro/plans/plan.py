@@ -100,8 +100,8 @@ class SolvePlan:
     unrecorded true-residual refreshes).
     """
 
-    __slots__ = ("operator", "vec_prec", "backend", "kind", "key",
-                 "_csr", "_ell", "_stencil", "_tls")
+    __slots__ = ("operator", "vec_prec", "backend", "kind", "key", "par",
+                 "threads", "_csr", "_ell", "_stencil", "_tls")
 
     def __init__(self, operator, vec_prec: Precision | str, backend=None) -> None:
         from ..operators.assembled import AssembledOperator
@@ -136,6 +136,31 @@ class SolvePlan:
                     _storage_config(operator), self.backend.name,
                     self.vec_prec.label)
 
+        # Parallel execution state: the resolved storage's partition cache +
+        # autotuned per-kernel thread verdicts.  When a thread budget is
+        # configured (REPRO_THREADS > 1), plan compile measures the apply at
+        # 1, 2, 4, … threads and pins the fastest count — so small operators
+        # stay serial and the solve hot loop never partitions or re-decides.
+        self.par = None
+        self.threads = None
+        storage_obj = self._csr or self._ell or self._stencil
+        if storage_obj is not None:
+            from ..par import configured_threads, par_state
+            from .autotune import measured_plan_threads
+
+            self.par = par_state(storage_obj)
+            if configured_threads() > 1:
+                self.threads = measured_plan_threads(self)
+                if (self.threads is not None and self.threads > 1
+                        and self._csr is not None):
+                    # prebuild the slab partition a cache-hit verdict skips
+                    from ..par import csr_partition
+
+                    m = self._csr
+                    self.par.partition(
+                        ("csr", self.threads),
+                        lambda: csr_partition(m.indptr, self.threads))
+
     # ------------------------------------------------------------------ #
     @property
     def shape(self) -> tuple[int, int]:
@@ -153,7 +178,8 @@ class SolvePlan:
             m = self._csr
             return self.backend.spmv_csr(m.values, m.indices, m.indptr, x,
                                          out_precision=self.vec_prec,
-                                         record=record, scratch=m.scratch())
+                                         record=record, scratch=m.scratch(),
+                                         par=self.par)
         if kind == "ell":
             return self.backend.spmv_ell(self._ell, x,
                                          out_precision=self.vec_prec,
@@ -172,7 +198,8 @@ class SolvePlan:
             m = self._csr
             return self.backend.spmm_csr(m.values, m.indices, m.indptr, x,
                                          out_precision=self.vec_prec,
-                                         record=record, scratch=m.scratch())
+                                         record=record, scratch=m.scratch(),
+                                         par=self.par)
         if kind == "ell":
             return self.backend.spmm_ell(self._ell, x,
                                          out_precision=self.vec_prec,
@@ -198,7 +225,8 @@ class SolvePlan:
             m = self._csr
             return self.backend.spmv_axpy(m.values, m.indices, m.indptr, x, v,
                                           out_precision=self.vec_prec,
-                                          record=record, scratch=m.scratch())
+                                          record=record, scratch=m.scratch(),
+                                          par=self.par)
         az = self.apply(x, record=record)
         return self.backend.residual_update(v, az, out_precision=self.vec_prec,
                                             record=record,
@@ -211,7 +239,8 @@ class SolvePlan:
             m = self._csr
             return self.backend.spmm_axpy(m.values, m.indices, m.indptr, x, v,
                                           out_precision=self.vec_prec,
-                                          record=record, scratch=m.scratch())
+                                          record=record, scratch=m.scratch(),
+                                          par=self.par)
         az = self.apply_batch(x, record=record)
         return self.backend.residual_update_batch(
             v, az, out_precision=self.vec_prec, record=record,

@@ -30,6 +30,13 @@ step) hit with ever-changing right-hand sides.  The
   one cached solver may execute batches on several workers concurrently.
   The adaptive Richardson weights remain algorithmically shared state, as in
   any concurrent use of a shared solver.
+* **Pool awareness** — when intra-kernel threading is on
+  (``REPRO_THREADS`` > 1, :mod:`repro.par`), each executing batch registers
+  as one budget consumer, so its kernels fan across
+  ``budget // active-batches`` threads: the two parallelism layers share
+  one budget instead of multiplying.  :attr:`DispatchStats.summary`
+  surfaces the pool occupancy (``pool``) and the autotuned thread verdicts
+  (``autotune.thread_verdicts``).
 """
 
 from __future__ import annotations
@@ -66,6 +73,12 @@ class DispatchStats:
     largest_batch: int = 0
 
     def summary(self) -> dict:
+        """Dispatcher counters plus the plan-layer state a production
+        deployment watches: the plan/autotune caches, the autotuned
+        thread-count verdicts (``autotune.thread_verdicts``), and the
+        worker-pool budget/occupancy (``pool`` — how many batch executions
+        currently share the intra-kernel thread budget)."""
+        from ..par import pool_stats
         from ..plans import autotune_stats, plan_cache_stats
 
         return {
@@ -77,6 +90,7 @@ class DispatchStats:
             "largest_batch": self.largest_batch,
             "plan_cache": plan_cache_stats(),
             "autotune": autotune_stats(),
+            "pool": pool_stats(),
         }
 
 
@@ -250,14 +264,21 @@ class BatchDispatcher:
             self.stats.largest_batch = max(self.stats.largest_batch, len(requests))
 
     def _execute(self, matrix, requests: list[_Request]) -> None:
+        from ..par import pool_consumer
+
         try:
-            solver = self._solver_for(matrix)
-            rhs_block = np.stack([req.rhs for req in requests], axis=1)
-            if self.backend is not None:
-                with use_backend(self.backend):
+            # one budget across both parallelism layers: each concurrently
+            # executing batch registers as a consumer, so its intra-kernel
+            # threads get budget // active-batches — the oversubscription
+            # guard between inter-request workers and partitioned kernels
+            with pool_consumer():
+                solver = self._solver_for(matrix)
+                rhs_block = np.stack([req.rhs for req in requests], axis=1)
+                if self.backend is not None:
+                    with use_backend(self.backend):
+                        batch = solver.solve_batch(rhs_block)
+                else:
                     batch = solver.solve_batch(rhs_block)
-            else:
-                batch = solver.solve_batch(rhs_block)
         except BaseException as exc:   # noqa: BLE001 - propagated via futures
             for req in requests:
                 if not req.future.done():

@@ -38,26 +38,54 @@ def compute_levels(indices: np.ndarray, indptr: np.ndarray, lower: bool) -> list
     Row ``i`` of a lower-triangular matrix depends on every column ``j < i``
     present in the row; its level is ``1 + max(level of its dependencies)``.
     Rows in the same level are mutually independent and can be solved together.
+
+    Computed by vectorized frontier peeling (Kahn rounds): round ``r``
+    removes exactly the rows whose dependencies were all removed in earlier
+    rounds, which is the longest-dependency-chain level by induction — the
+    same partition the row-by-row recurrence produces, with each level
+    ascending by row index (``flatnonzero`` order matches the stable argsort
+    of the level array).  One ``O(frontier edges)`` numpy pass per level
+    replaces the former Python loop over all ``n`` rows, which dominated
+    block-Jacobi factorization cold-start.
     """
     n = indptr.size - 1
-    level = np.zeros(n, dtype=np.int64)
-    if lower:
-        row_iter = range(n)
-    else:
-        row_iter = range(n - 1, -1, -1)
-    for i in row_iter:
-        lo, hi = indptr[i], indptr[i + 1]
-        cols = indices[lo:hi]
-        if lower:
-            deps = cols[cols < i]
-        else:
-            deps = cols[cols > i]
-        level[i] = (level[deps].max() + 1) if deps.size else 0
-    nlevels = int(level.max()) + 1 if n else 0
-    order = np.argsort(level, kind="stable")
-    sorted_levels = level[order]
-    boundaries = np.searchsorted(sorted_levels, np.arange(nlevels + 1))
-    return [order[boundaries[k]:boundaries[k + 1]].astype(np.int32) for k in range(nlevels)]
+    if n == 0:
+        return []
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    cols = indices.astype(np.int64, copy=False)
+    mask = cols < rows if lower else cols > rows
+    dep_src = cols[mask]                 # j: the dependency
+    dep_dst = rows[mask]                 # i: the dependent row
+    indegree = np.bincount(dep_dst, minlength=n)
+
+    # adjacency j -> dependents i, CSR-shaped over sources (edges arrive
+    # row-major, i.e. sorted by i; a stable sort by j keeps per-source
+    # dependents ascending)
+    order = np.argsort(dep_src, kind="stable")
+    adj_dst = dep_dst[order]
+    adj_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(dep_src, minlength=n), out=adj_ptr[1:])
+
+    levels: list[np.ndarray] = []
+    frontier = np.flatnonzero(indegree == 0)
+    from ..backends.base import segment_ramp
+
+    while frontier.size:
+        levels.append(frontier.astype(np.int32))
+        starts = adj_ptr[frontier]
+        counts = adj_ptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break                        # no dependents left anywhere
+        idx = np.repeat(starts, counts) + segment_ramp(counts)
+        # decrement only the rows actually reached this round (each edge is
+        # visited exactly once over the whole peel, so total work stays
+        # O(nnz log nnz) even for chain-structured factors with n levels);
+        # np.unique sorts, keeping each frontier ascending by row index
+        cand, dec = np.unique(adj_dst[idx], return_counts=True)
+        indegree[cand] -= dec
+        frontier = cand[indegree[cand] == 0]
+    return levels
 
 
 class TriangularFactor(ScratchOwner):
@@ -116,6 +144,7 @@ class TriangularFactor(ScratchOwner):
         self._fast_plan: list | None = None
         self._fast_vals: dict = {}
         self._scratch = None
+        self._par = None          # repro.par.ParState (partitions + verdicts)
 
     # ------------------------------------------------------------------ #
     @property
@@ -143,6 +172,7 @@ class TriangularFactor(ScratchOwner):
         out._fast_plan = self._fast_plan   # gather plan is layout-only: share it
         out._fast_vals = {}                # value-dependent: per instance
         out._scratch = None
+        out._par = None
         return out
 
     # ------------------------------------------------------------------ #
@@ -228,6 +258,7 @@ def fuse_block_diagonal(factors: list[TriangularFactor]) -> TriangularFactor:
     out._fast_plan = None
     out._fast_vals = {}
     out._scratch = None
+    out._par = None
     return out
 
 

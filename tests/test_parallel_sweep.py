@@ -1,0 +1,118 @@
+"""Hypothesis sweep: partitioned kernels are bit-identical for any shape.
+
+Tier-2 companion to ``tests/test_parallel.py``: random shapes, dtypes,
+sparsity patterns and thread counts, always asserting exact equality
+against the serial execution of the same backend path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import par
+from repro.backends import get_backend
+from repro.matgen import random_diagonally_dominant
+from repro.sparse import CSRMatrix, SlicedEllMatrix
+from repro.sparse.triangular import TriangularFactor
+
+pytestmark = pytest.mark.tier2
+
+DTYPES = [np.float64, np.float32, np.float16]
+
+
+def _random_csr(n, nnz_per_row, dtype, seed):
+    matrix = random_diagonally_dominant(n, nnz_per_row=nnz_per_row, seed=seed)
+    return CSRMatrix(matrix.values.astype(dtype), matrix.indices,
+                     matrix.indptr, matrix.shape)
+
+
+@given(n=st.integers(8, 300), nnz_per_row=st.integers(1, 7),
+       dtype=st.sampled_from(DTYPES), threads=st.integers(2, 8),
+       seed=st.integers(0, 2**16), k=st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_csr_products_bit_identical(n, nnz_per_row, dtype, threads, seed, k):
+    matrix = _random_csr(n, nnz_per_row, dtype, seed)
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, n).astype(dtype)
+    xb = rng.uniform(-1, 1, (n, k)).astype(dtype)
+    y1, yb1 = matrix.matvec(x), matrix.matmat(xb)
+    with par.force_threads(threads):
+        y, yb = matrix.matvec(x), matrix.matmat(xb)
+    assert np.array_equal(y1, y, equal_nan=True)
+    assert np.array_equal(yb1, yb, equal_nan=True)
+
+
+@given(n=st.integers(8, 200), nnz_per_row=st.integers(1, 6),
+       chunk=st.sampled_from([4, 32]), dtype=st.sampled_from(DTYPES),
+       threads=st.integers(2, 6), seed=st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_ell_products_bit_identical(n, nnz_per_row, chunk, dtype, threads, seed):
+    ell = SlicedEllMatrix(_random_csr(n, nnz_per_row, np.float64, seed),
+                          chunk_size=chunk).astype(
+                              {np.float64: "fp64", np.float32: "fp32",
+                               np.float16: "fp16"}[dtype])
+    rng = np.random.default_rng(seed + 1)
+    x = rng.uniform(-1, 1, n).astype(dtype)
+    y1 = ell.matvec(x)
+    with par.force_threads(threads):
+        y = ell.matvec(x)
+    assert np.array_equal(y1, y, equal_nan=True)
+
+
+@given(n=st.integers(16, 250), nnz_per_row=st.integers(2, 6),
+       threads=st.integers(2, 6), seed=st.integers(0, 2**16),
+       k=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_triangular_solves_bit_identical(n, nnz_per_row, threads, seed, k):
+    matrix = random_diagonally_dominant(n, nnz_per_row=nnz_per_row, seed=seed)
+    lower, upper = get_backend().ilu0_factor(matrix)
+    rng = np.random.default_rng(seed + 2)
+    b = rng.uniform(-1, 1, n)
+    bb = rng.uniform(-1, 1, (n, k))
+    for factor in (TriangularFactor(lower, lower=True, unit_diagonal=True),
+                   TriangularFactor(upper, lower=False)):
+        x1, xb1 = factor.solve(b), factor.solve_batch(bb)
+        with par.force_threads(threads):
+            x, xb = factor.solve(b), factor.solve_batch(bb)
+        assert np.array_equal(x1, x, equal_nan=True)
+        assert np.array_equal(xb1, xb, equal_nan=True)
+
+
+@given(n=st.integers(1, 5000), dtype=st.sampled_from(DTYPES),
+       threads=st.integers(2, 8), seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_residual_update_bit_identical(n, dtype, threads, seed):
+    backend = get_backend()
+    rng = np.random.default_rng(seed)
+    v = rng.uniform(-1, 1, n).astype(dtype)
+    az = rng.uniform(-1, 1, n).astype(dtype)
+    r1 = backend.residual_update(v, az)
+    with par.force_threads(threads):
+        r = backend.residual_update(v, az)
+    assert np.array_equal(r1, r, equal_nan=True)
+
+
+@given(grid=st.integers(3, 14), dtype=st.sampled_from([np.float64, np.float16]),
+       threads=st.integers(2, 6), batch=st.booleans(), seed=st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_stencil_applies_bit_identical(grid, dtype, threads, batch, seed):
+    from repro.matgen import hpcg_operator
+
+    op = hpcg_operator(grid)
+    if dtype is np.float16:
+        op = op.astype("fp16")
+    rng = np.random.default_rng(seed)
+    if batch:
+        x = rng.uniform(-1, 1, (op.nrows, 3)).astype(dtype)
+        y1 = op.apply_batch(x)
+        with par.force_threads(threads):
+            y = op.apply_batch(x)
+    else:
+        x = rng.uniform(-1, 1, op.nrows).astype(dtype)
+        y1 = op.apply(x)
+        with par.force_threads(threads):
+            y = op.apply(x)
+    assert np.array_equal(y1, y, equal_nan=True)

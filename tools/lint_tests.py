@@ -37,6 +37,9 @@ REQUIRED_MODULES = (
     "test_operators*.py",              # operator layer: equivalence + e2e (PR 3)
     "test_plans*.py",                  # solve plans: fused parity, staged fp16,
                                        # autotune, allocation regression (PR 4)
+    "test_parallel*.py",               # multicore engine: REPRO_THREADS
+                                       # bit-identity sweep, counter parity,
+                                       # pool budget, concurrency audit (PR 5)
 )
 
 
