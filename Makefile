@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline
+.PHONY: test test-all test-faults lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline
 
 ## Tier-1 test suite (the CI gate): fast deterministic tests only
 ## (pytest.ini's addopts deselect the tier2 marker by default)
@@ -12,6 +12,11 @@ test:
 ## tests (the trailing -m overrides the addopts default)
 test-all:
 	$(PYTHON) -m pytest -q -m "tier1 or tier2"
+
+## Robustness machinery under deterministic fault injection: the guards /
+## recovery / dispatcher suites plus the seeded tier-2 hammer runs
+test-faults:
+	$(PYTHON) -m pytest -q -m "tier1 or tier2" tests/test_robustness.py tests/test_faults.py
 
 ## Fail if any test file lacks a tier1/tier2 marker
 lint-tests:

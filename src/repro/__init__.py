@@ -30,10 +30,15 @@ from .backends import (
 from .core import (
     F3RConfig,
     F3RSolver,
+    RecoveryPolicy,
+    SolveReport,
     build_f3r,
     build_variant,
+    recovery_enabled,
+    set_recovery_enabled,
     solve_f3r,
     tune_f3r,
+    use_recovery,
 )
 from .operators import (
     AssembledOperator,
@@ -59,19 +64,37 @@ from .plans import (
 )
 from .precision import Precision
 from .precond import make_primary_preconditioner
-from .serve import BatchDispatcher
+from .serve import (
+    AdmissionRefused,
+    BatchDispatcher,
+    CircuitOpen,
+    DeadlineExceeded,
+    DispatcherClosed,
+)
 from .solvers import (
     BatchSolveResult,
     BiCGStab,
     ConjugateGradient,
+    InvalidInput,
     LevelSpec,
     RestartedFGMRES,
+    SolveBreakdown,
+    SolveEvent,
     SolveResult,
+    SolveStagnation,
     build_nested_solver,
+    guards_enabled,
+    set_guards_enabled,
+    use_guards,
 )
 from .sparse import CSRMatrix
 
 __version__ = "1.0.0"
+
+# Opt-in fault injection: importing repro.faults installs the env-configured
+# plan; without REPRO_FAULTS the subsystem is never imported from here.
+if __import__("os").environ.get("REPRO_FAULTS", "").strip():
+    from . import faults  # noqa: F401
 
 __all__ = [
     "configured_threads",
@@ -94,6 +117,22 @@ __all__ = [
     "SolveResult",
     "BatchSolveResult",
     "BatchDispatcher",
+    "DispatcherClosed",
+    "DeadlineExceeded",
+    "AdmissionRefused",
+    "CircuitOpen",
+    "SolveEvent",
+    "SolveBreakdown",
+    "SolveStagnation",
+    "InvalidInput",
+    "guards_enabled",
+    "set_guards_enabled",
+    "use_guards",
+    "RecoveryPolicy",
+    "SolveReport",
+    "recovery_enabled",
+    "set_recovery_enabled",
+    "use_recovery",
     "CSRMatrix",
     "LinearOperator",
     "AssembledOperator",

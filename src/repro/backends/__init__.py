@@ -74,6 +74,22 @@ class _ActiveState(threading.local):
 
 _ACTIVE = _ActiveState()
 
+#: when set (by :mod:`repro.faults`), every ``get_backend`` result passes
+#: through this callable — the only hot-path cost when no fault session is
+#: active is the ``is None`` check below.
+_WRAPPER = None
+
+
+def _set_backend_wrapper(wrapper) -> None:
+    """Install/remove the backend proxy hook (``None`` removes it).
+
+    Internal: used by :mod:`repro.faults` to interpose deterministic fault
+    injection between the solvers and the kernel engines without the kernels
+    knowing about it.
+    """
+    global _WRAPPER
+    _WRAPPER = wrapper
+
 
 def register_backend(name: str, factory) -> None:
     """Register a backend under ``name``.
@@ -99,17 +115,18 @@ def get_backend(name: str | None = None) -> KernelBackend:
         name = _ACTIVE.name or DEFAULT_BACKEND
     key = name.strip().lower()
     instance = _INSTANCES.get(key)
-    if instance is not None:
-        return instance
-    factory = _FACTORIES.get(key)
-    if factory is None:
-        raise ValueError(
-            f"unknown kernel backend {name!r}; available: {', '.join(available_backends())}")
-    if isinstance(factory, str):
-        module_name, _, class_name = factory.partition(":")
-        factory = getattr(importlib.import_module(module_name), class_name)
-    instance = factory()
-    _INSTANCES[key] = instance
+    if instance is None:
+        factory = _FACTORIES.get(key)
+        if factory is None:
+            raise ValueError(
+                f"unknown kernel backend {name!r}; available: {', '.join(available_backends())}")
+        if isinstance(factory, str):
+            module_name, _, class_name = factory.partition(":")
+            factory = getattr(importlib.import_module(module_name), class_name)
+        instance = factory()
+        _INSTANCES[key] = instance
+    if _WRAPPER is not None:
+        return _WRAPPER(instance)
     return instance
 
 

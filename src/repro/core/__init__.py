@@ -2,6 +2,14 @@
 
 from .config import DEFAULT_FP16, DEFAULT_FP32, DEFAULT_FP64, F3RConfig, precision_schedule
 from .f3r import F3RSolver, build_f3r, solve_f3r
+from .recovery import (
+    AttemptRecord,
+    RecoveryPolicy,
+    SolveReport,
+    recovery_enabled,
+    set_recovery_enabled,
+    use_recovery,
+)
 from .variants import VARIANT_SPECS, build_variant, variant_description, variant_names
 from .cost_model import (
     CostModel,
@@ -26,6 +34,12 @@ __all__ = [
     "F3RSolver",
     "build_f3r",
     "solve_f3r",
+    "AttemptRecord",
+    "RecoveryPolicy",
+    "SolveReport",
+    "recovery_enabled",
+    "set_recovery_enabled",
+    "use_recovery",
     "VARIANT_SPECS",
     "build_variant",
     "variant_description",

@@ -23,7 +23,14 @@ from ..solvers import (
     SolveResult,
     build_nested_solver,
 )
+from ..solvers.guards import validate_rhs
 from .config import F3RConfig
+from .recovery import (
+    RecoveryPolicy,
+    recover_solve,
+    recover_solve_batch,
+    recovery_enabled,
+)
 
 __all__ = ["build_f3r", "solve_f3r", "F3RSolver"]
 
@@ -75,13 +82,25 @@ class F3RSolver:
 
     def __init__(self, matrix, preconditioner="auto",
                  config: F3RConfig | None = None, nblocks: int | None = None,
-                 alpha: float = 1.0) -> None:
+                 alpha: float = 1.0,
+                 recovery: RecoveryPolicy | bool | None = None) -> None:
         # Anything satisfying the LinearOperator contract works: assembled
         # CSR (wrapped for format auto-selection), matrix-free stencils,
         # composites.  Preconditioner "auto" falls back to Jacobi built from
         # operator.diagonal() when entries aren't assembled.
         self.matrix = as_operator(matrix)
         self.config = config or F3RConfig()
+        # Recovery ladder (repro.core.recovery): None = the process default
+        # (on unless REPRO_RECOVERY/REPRO_GUARDS disable it), False = off,
+        # True/policy = explicitly on (still requires REPRO_GUARDS, which
+        # also gates the events the ladder reacts to).
+        self.recovery_policy = (None if recovery is False
+                                else recovery if isinstance(recovery, RecoveryPolicy)
+                                else RecoveryPolicy())
+        self._recovery_default = recovery is None
+        self._precond_spec = (preconditioner if isinstance(preconditioner, str)
+                              else None, nblocks, alpha)
+        self._escalated_cache: dict[str, "F3RSolver"] = {}
         # The backend knob scopes construction too: preconditioner setup
         # (ILU(0) factorization, triangular plans) must run on the same
         # engine the solve will use.
@@ -107,9 +126,65 @@ class F3RSolver:
     def primary_preconditioner(self):
         return self._outer.primary_preconditioner
 
+    def _recovery_active(self) -> bool:
+        if self.recovery_policy is None:
+            return False
+        if self._recovery_default:
+            return recovery_enabled()
+        from ..solvers.guards import guards_enabled
+        return guards_enabled()
+
+    def _escalated(self, variant: str) -> "F3RSolver":
+        """A sibling solver at an escalated precision variant (cached).
+
+        Shares this solver's matrix and preconditioner objects — matrix and
+        factor casts share structure, and the fingerprint-keyed plan cache
+        makes the escalated plans warm after the first escalation.
+        """
+        solver = self._escalated_cache.get(variant)
+        if solver is None:
+            solver = F3RSolver(self.matrix, self.preconditioner,
+                               config=self.config.with_params(variant=variant),
+                               recovery=False)
+            self._escalated_cache[variant] = solver
+        return solver
+
+    def _rebuilt_stronger(self, alpha_boost: float) -> "F3RSolver | None":
+        """An fp64-variant solver over a stronger-αILU preconditioner rebuild.
+
+        Returns ``None`` when no stronger preconditioner can be built (the
+        original had no αILU notion and no known factory kind).
+        """
+        key = f"rebuild:{alpha_boost}"
+        solver = self._escalated_cache.get(key)
+        if solver is not None:
+            return solver
+        kind, nblocks, alpha = self._precond_spec
+        base_alpha = getattr(self.preconditioner, "alpha", None)
+        if kind is None and base_alpha is None:
+            return None
+        boosted = max(float(base_alpha if base_alpha is not None else alpha), 1.0)
+        boosted *= float(alpha_boost)
+        try:
+            with self._backend_scope():
+                precond = make_primary_preconditioner(
+                    self.matrix, kind=kind or "auto", nblocks=nblocks,
+                    alpha=boosted)
+        except (ValueError, TypeError):
+            return None
+        solver = F3RSolver(self.matrix, precond,
+                           config=self.config.with_params(variant="fp64"),
+                           recovery=False)
+        self._escalated_cache[key] = solver
+        return solver
+
     def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
+        b = np.asarray(b)
+        validate_rhs(b, "f3r.solve", expected_rows=self.matrix.nrows)
         with self._backend_scope():
-            return self._outer.solve(b, x0=x0)
+            if not self._recovery_active():
+                return self._outer.solve(b, x0=x0)
+            return recover_solve(self, b, x0, self.recovery_policy)
 
     def solve_batch(self, b: np.ndarray,
                     x0: np.ndarray | None = None) -> BatchSolveResult:
@@ -118,10 +193,35 @@ class F3RSolver:
         All right-hand sides share this solver's matrix casts, preconditioner
         factorization and level workspaces; the nested levels advance the
         columns in lockstep so the hot kernels run batched (SpMM, trsm).  See
-        :meth:`repro.solvers.OuterFGMRES.solve_batch`.
+        :meth:`repro.solvers.OuterFGMRES.solve_batch`.  When recovery is
+        active, poisoned or unconverged columns climb the escalation ladder
+        individually (:func:`repro.core.recovery.recover_solve_batch`).
         """
+        b_arr = np.asarray(b)
+        if b_arr.ndim == 2:
+            # non-finite entries are rejected here, before setup/cycle work;
+            # shape diagnostics stay with OuterFGMRES.solve_batch (it knows
+            # the (n, k)-vs-(k, n) hint)
+            if not np.all(np.isfinite(b_arr)):
+                validate_rhs(b_arr, "f3r.solve_batch")
         with self._backend_scope():
-            return self._outer.solve_batch(b, x0=x0)
+            if not self._recovery_active():
+                return self._outer.solve_batch(b, x0=x0)
+            b_block = np.asarray(b, dtype=np.float64)
+            if b_block.ndim == 1:
+                b_block = b_block[:, None]
+            if (b_block.ndim != 2 or b_block.shape[0] != self.matrix.ncols):
+                # delegate for the detailed shape error message
+                return self._outer.solve_batch(b, x0=x0)
+            x0_block = None
+            if x0 is not None:
+                x0_block = np.array(x0, dtype=np.float64)
+                if x0_block.ndim == 1 and b_block.shape[1] == 1:
+                    x0_block = x0_block[:, None]
+                if x0_block.shape != b_block.shape:
+                    return self._outer.solve_batch(b, x0=x0)
+            return recover_solve_batch(self, b_block, x0_block,
+                                       self.recovery_policy)
 
     def rebuild(self, config: F3RConfig) -> "F3RSolver":
         """Return a new solver sharing matrix and preconditioner with a new config."""

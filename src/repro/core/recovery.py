@@ -1,0 +1,400 @@
+"""Recovery policy: turn solver guard events into completed solves.
+
+Mixed-precision iterative refinement (the GMRES-IR line of work) converges
+reliably only when breakdown and stagnation are *detected and recovered*,
+not assumed away.  The guards (:mod:`repro.solvers.guards`) provide the
+detection; this module provides the recovery — an escalation ladder executed
+by :class:`~repro.core.F3RSolver` when a solve raises a structured event or
+ends unconverged:
+
+1. **Restart** from the last finite iterate the event carried (the cheap
+   fix: an isolated fp16 overflow often disappears once the Krylov space is
+   rebuilt from the current approximation).
+2. **Escalate vector precision** fp16 → fp32 → fp64.  Escalated solvers
+   reuse the original preconditioner object (casts share structure — no
+   refactorization) and hit the fingerprint-keyed plan cache, so an
+   escalated attempt starts on warm plans.
+3. **Rebuild the preconditioner** with stronger settings (boosted αILU
+   diagonal scaling) under the fp64 variant — the last resort for solves
+   whose factorization itself is the problem.
+4. **Fail with a structured report**: the returned
+   :class:`~repro.solvers.SolveResult` carries a :class:`SolveReport`
+   recording every attempt, so serving layers can distinguish "converged
+   after recovery" from "exhausted the ladder".
+
+Batched solves recover **per column**: a breakdown attributed to specific
+columns re-solves only those columns through the ladder while the healthy
+columns of the deflation group finish from their last finite iterates.
+
+Recovery is inert unless guards are enabled (``REPRO_GUARDS``) — with the
+kill switch thrown, :class:`~repro.core.F3RSolver` behaves exactly as it
+did before this layer existed.  ``REPRO_RECOVERY=0`` disables only the
+ladder while keeping the guard events raising.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..solvers import SolveResult
+from ..solvers.guards import SolveEvent, StagnationWindow, guards_enabled
+
+__all__ = [
+    "RecoveryPolicy",
+    "AttemptRecord",
+    "SolveReport",
+    "recovery_enabled",
+    "set_recovery_enabled",
+    "use_recovery",
+    "recover_solve",
+    "recover_solve_batch",
+]
+
+_ENABLED = os.environ.get("REPRO_RECOVERY", "1").strip().lower() not in (
+    "0", "off", "false", "no")
+
+#: precision-escalation order; a solve enters the ladder at its own variant
+_VARIANT_ORDER = ("fp16", "fp32", "fp64")
+
+
+def recovery_enabled() -> bool:
+    """Whether :class:`~repro.core.F3RSolver` runs the recovery ladder."""
+    return _ENABLED and guards_enabled()
+
+
+def set_recovery_enabled(enabled: bool) -> bool:
+    """Enable/disable the recovery ladder (process-wide); returns old state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_recovery(enabled: bool = True):
+    """Scoped recovery toggle (parity tests compare both paths)."""
+    previous = set_recovery_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_recovery_enabled(previous)
+
+
+# ---------------------------------------------------------------------- #
+# Policy and report types
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Tunables of the escalation ladder.
+
+    Attributes
+    ----------
+    restart_first:
+        Try one plain restart from the event's last finite iterate before
+        escalating precision.
+    escalate_on_unconverged:
+        Treat a clean-but-unconverged solve (restart budget exhausted) like
+        a stagnation event and climb the ladder.
+    rebuild_preconditioner:
+        Enable the final rebuild-with-stronger-settings rung.
+    alpha_boost:
+        Multiplier applied to the αILU diagonal scaling on the rebuild rung.
+    stagnation_window, stagnation_min_drop:
+        Parameters of the :class:`~repro.solvers.guards.StagnationWindow`
+        armed on every attempt: stalled when relative-residual progress over
+        the last ``window`` outer cycles is below ``min_drop``.
+    """
+
+    restart_first: bool = True
+    escalate_on_unconverged: bool = True
+    rebuild_preconditioner: bool = True
+    alpha_boost: float = 2.0
+    stagnation_window: int = 3
+    stagnation_min_drop: float = 0.10
+
+
+@dataclass
+class AttemptRecord:
+    """One rung of the ladder, as executed."""
+
+    stage: str                      # "initial" | "restart" | "escalate:fp32" | ...
+    variant: str                    # precision variant the attempt ran at
+    converged: bool = False
+    relative_residual: float = float("nan")
+    iterations: int = 0
+    wall_time: float = 0.0
+    event: dict | None = None       # the guard event that ended the attempt
+
+    def summary(self) -> dict:
+        return {
+            "stage": self.stage,
+            "variant": self.variant,
+            "converged": self.converged,
+            "relative_residual": self.relative_residual,
+            "iterations": self.iterations,
+            "wall_time": self.wall_time,
+            "event": self.event,
+        }
+
+
+@dataclass
+class SolveReport:
+    """Every attempt the recovery ladder made for one right-hand side."""
+
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    def record(self, attempt: AttemptRecord) -> AttemptRecord:
+        self.attempts.append(attempt)
+        return attempt
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.attempts) and self.attempts[-1].converged
+
+    @property
+    def final_stage(self) -> str:
+        return self.attempts[-1].stage if self.attempts else "none"
+
+    @property
+    def escalations(self) -> int:
+        return sum(1 for a in self.attempts if a.stage.startswith("escalate:"))
+
+    @property
+    def restarts(self) -> int:
+        return sum(1 for a in self.attempts if a.stage == "restart")
+
+    @property
+    def rebuilds(self) -> int:
+        return sum(1 for a in self.attempts if a.stage == "rebuild")
+
+    @property
+    def events(self) -> list[dict]:
+        return [a.event for a in self.attempts if a.event is not None]
+
+    def summary(self) -> dict:
+        return {
+            "succeeded": self.succeeded,
+            "final_stage": self.final_stage,
+            "escalations": self.escalations,
+            "restarts": self.restarts,
+            "rebuilds": self.rebuilds,
+            "attempts": [a.summary() for a in self.attempts],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Ladder execution
+# ---------------------------------------------------------------------- #
+def _finite_or_none(iterate: np.ndarray | None) -> np.ndarray | None:
+    """The iterate if it is usable as a restart guess, else ``None``."""
+    if iterate is None or not np.all(np.isfinite(iterate)):
+        return None
+    if not iterate.any():
+        return None
+    return iterate
+
+
+def _escalation_variants(current: str) -> list[str]:
+    """Variants strictly above ``current`` in the fp16→fp32→fp64 order."""
+    try:
+        idx = _VARIANT_ORDER.index(current)
+    except ValueError:
+        return ["fp64"]
+    return list(_VARIANT_ORDER[idx + 1:])
+
+
+def _run_attempt(solver_obj, b: np.ndarray, x0: np.ndarray | None,
+                 stage: str, variant: str, policy: RecoveryPolicy,
+                 report: SolveReport):
+    """Execute one rung; returns ``(result_or_None, record)``.
+
+    A rung ends in one of three ways: converged result (ladder done),
+    unconverged result (climb), or a guard event (climb, reusing the
+    event's last finite iterate).
+    """
+    window = StagnationWindow(window=policy.stagnation_window,
+                              min_drop=policy.stagnation_min_drop)
+    start = time.perf_counter()
+    try:
+        result = solver_obj.solve(b, x0=x0, stagnation=window)
+    except SolveEvent as event:
+        record = report.record(AttemptRecord(
+            stage=stage, variant=variant, converged=False,
+            wall_time=time.perf_counter() - start, event=event.describe()))
+        record.iterate = _finite_or_none(event.iterate)   # transient, not serialized
+        return None, record
+    record = report.record(AttemptRecord(
+        stage=stage, variant=variant, converged=bool(result.converged),
+        relative_residual=float(result.relative_residual),
+        iterations=int(result.iterations),
+        wall_time=time.perf_counter() - start))
+    record.iterate = _finite_or_none(result.x)
+    return result, record
+
+
+def recover_solve(f3r, b: np.ndarray, x0: np.ndarray | None,
+                  policy: RecoveryPolicy,
+                  prior: list[AttemptRecord] | None = None) -> SolveResult:
+    """Run ``f3r``'s single-RHS solve through the escalation ladder.
+
+    ``f3r`` is the owning :class:`~repro.core.F3RSolver`; attempts run on
+    its compiled outer solver and on lazily built escalated siblings
+    (:meth:`F3RSolver._escalated`).  The returned result always carries the
+    :class:`SolveReport` when more than the initial attempt ran.
+
+    ``prior`` seeds the report with attempts that already happened elsewhere
+    (the lockstep batch attempt in :func:`recover_solve_batch`); when set,
+    the "initial" rung is considered spent and the ladder starts at restart,
+    and the report is attached to the result even if that restart converges.
+    """
+    report = SolveReport()
+    best: SolveResult | None = None
+    x0_next = x0
+
+    if prior:
+        for rec in prior:
+            report.record(rec)
+        result = None
+    else:
+        result, record = _run_attempt(f3r._outer, b, x0_next, "initial",
+                                      f3r.config.variant, policy, report)
+        if result is not None and result.converged:
+            return result
+        if result is not None:
+            best = result
+        x0_next = record.iterate if record.iterate is not None else x0
+
+    # rung 1: plain restart from the last finite iterate (same precision)
+    if policy.restart_first and (result is None or policy.escalate_on_unconverged):
+        result, record = _run_attempt(f3r._outer, b, x0_next, "restart",
+                                      f3r.config.variant, policy, report)
+        if result is not None and result.converged:
+            result.recovery = report
+            return result
+        if result is not None and best is None:
+            best = result
+        if record.iterate is not None:
+            x0_next = record.iterate
+
+    # rung 2: precision escalation on warm plans
+    for variant in _escalation_variants(f3r.config.variant):
+        escalated = f3r._escalated(variant)
+        result, record = _run_attempt(escalated._outer, b, x0_next,
+                                      f"escalate:{variant}", variant,
+                                      policy, report)
+        if result is not None and result.converged:
+            result.recovery = report
+            return result
+        if result is not None:
+            best = result
+        if record.iterate is not None:
+            x0_next = record.iterate
+
+    # rung 3: stronger preconditioner under the fp64 variant
+    if policy.rebuild_preconditioner:
+        rebuilt = f3r._rebuilt_stronger(policy.alpha_boost)
+        if rebuilt is not None:
+            result, record = _run_attempt(rebuilt._outer, b, x0_next,
+                                          "rebuild", "fp64", policy, report)
+            if result is not None and result.converged:
+                result.recovery = report
+                return result
+            if result is not None:
+                best = result
+
+    # ladder exhausted: return the best unconverged result, report attached
+    if best is None:
+        n = b.shape[0]
+        best = SolveResult(
+            x=np.zeros(n, dtype=np.float64), converged=False, iterations=0,
+            preconditioner_applications=0, relative_residual=float("inf"),
+            solver_name=f3r.config.name)
+    best.recovery = report
+    return best
+
+
+def recover_solve_batch(f3r, b_block: np.ndarray, x0: np.ndarray | None,
+                        policy: RecoveryPolicy):
+    """Batched solve with per-column recovery.
+
+    The lockstep batch runs once; if a guard event fires, the event's column
+    attribution splits the batch — healthy columns resume as one batch from
+    their last finite iterates, poisoned columns climb the ladder
+    individually — so one bad right-hand side does not poison its deflation
+    group.  Columns that end unconverged without an event are escalated
+    individually as well.
+    """
+    from ..solvers.base import BatchSolveResult
+
+    start = time.perf_counter()
+    n, k = b_block.shape
+    all_cols = list(range(k))
+
+    try:
+        batch = f3r._outer.solve_batch(b_block, x0=x0)
+    except SolveEvent as event:
+        bad = sorted(set(event.columns)) if event.columns else all_cols
+        good = [i for i in all_cols if i not in bad]
+        iterate = event.iterate
+        results: list[SolveResult | None] = [None] * k
+
+        if good:
+            x0_good = None
+            if iterate is not None:
+                block = iterate[:, good]
+                if np.all(np.isfinite(block)) and block.any():
+                    x0_good = block
+            try:
+                good_batch = f3r._outer.solve_batch(b_block[:, good], x0=x0_good)
+                for pos, col in enumerate(good):
+                    results[col] = good_batch.results[pos]
+            except SolveEvent:
+                # the event was not attributable after all: every surviving
+                # column goes through its own ladder below
+                bad = all_cols
+                good = []
+
+        for col in (c for c in all_cols if results[c] is None):
+            x0_col = None
+            if iterate is not None:
+                x0_col = _finite_or_none(np.ascontiguousarray(iterate[:, col]))
+            if x0_col is None and x0 is not None:
+                x0_col = np.ascontiguousarray(x0[:, col])
+            batch_attempt = AttemptRecord(
+                stage="initial", variant=f3r.config.variant, converged=False,
+                event=event.describe())
+            results[col] = recover_solve(f3r, np.ascontiguousarray(b_block[:, col]),
+                                         x0_col, policy, prior=[batch_attempt])
+
+        x = np.stack([r.x for r in results], axis=1)
+        return BatchSolveResult(x=x, results=results,
+                                wall_time=time.perf_counter() - start)
+
+    if not policy.escalate_on_unconverged:
+        return batch
+    bad = [i for i, r in enumerate(batch.results)
+           if not r.converged or not np.isfinite(r.relative_residual)]
+    if not bad:
+        return batch
+
+    # per-column escalation for the stragglers, splicing into the batch
+    results = list(batch.results)
+    x = batch.x.copy()
+    for col in bad:
+        stale = results[col]
+        seed = stale.x
+        x0_col = seed if np.all(np.isfinite(seed)) and seed.any() else None
+        batch_attempt = AttemptRecord(
+            stage="initial", variant=f3r.config.variant, converged=False,
+            relative_residual=float(stale.relative_residual),
+            iterations=int(stale.iterations))
+        results[col] = recover_solve(f3r, np.ascontiguousarray(b_block[:, col]),
+                                     x0_col, policy, prior=[batch_attempt])
+        x[:, col] = results[col].x
+    return BatchSolveResult(x=x, results=results,
+                            wall_time=time.perf_counter() - start)

@@ -7,6 +7,20 @@ batched multi-RHS solve on a thread pool.  See the README section "Batched
 solves & the dispatcher".
 """
 
-from .dispatcher import BatchDispatcher, DispatchStats
+from .dispatcher import (
+    AdmissionRefused,
+    BatchDispatcher,
+    CircuitOpen,
+    DeadlineExceeded,
+    DispatchStats,
+    DispatcherClosed,
+)
 
-__all__ = ["BatchDispatcher", "DispatchStats"]
+__all__ = [
+    "AdmissionRefused",
+    "BatchDispatcher",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "DispatchStats",
+    "DispatcherClosed",
+]

@@ -37,11 +37,38 @@ step) hit with ever-changing right-hand sides.  The
   one budget instead of multiplying.  :attr:`DispatchStats.summary`
   surfaces the pool occupancy (``pool``) and the autotuned thread verdicts
   (``autotune.thread_verdicts``).
+
+Hardening (the serving failure model):
+
+* **Boundary validation** — a mis-shaped or non-finite right-hand side is
+  rejected at :meth:`~BatchDispatcher.submit` with a structured
+  :class:`~repro.solvers.InvalidInput` before any setup work is spent.
+* **Admission** — ``max_queue`` bounds the outstanding (accepted, not yet
+  completed) requests; beyond it :meth:`~BatchDispatcher.submit` raises
+  :class:`AdmissionRefused` instead of queueing unboundedly.
+* **Deadlines** — ``submit(..., deadline=seconds)`` attaches a per-request
+  deadline; a request still undispatched past it fails with
+  :class:`DeadlineExceeded` instead of occupying a batch slot.
+* **Retry** — a batch that dies (worker exception) is re-queued with
+  backoff instead of failing its requests, up to ``max_retries`` per
+  request; only exhausted requests see the error.
+* **Circuit breaker** — repeated *setup* failures for one operator
+  fingerprint open a per-fingerprint breaker: further batches fail fast
+  with :class:`CircuitOpen` (no futile refactorizations) until
+  ``breaker_cooldown`` elapses and a probe attempt is allowed through.
+* **Graceful drain** — ``close(wait=True)`` completes in-flight batches;
+  ``close(wait=False)`` cancels batches not yet running and fails their
+  futures with :class:`DispatcherClosed` so no caller blocks forever.
+
+The recovery-related counters (``escalations`` harvested from
+:class:`~repro.core.SolveReport` results, ``retries``, ``breaker_trips``,
+``deadline_misses``) appear under ``stats.summary()["recovery"]``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -50,11 +77,36 @@ import numpy as np
 
 from ..backends import use_backend
 from ..core import F3RConfig, F3RSolver
+from ..faults import maybe_delay, maybe_fail_worker
 from ..operators import LinearOperator
 from ..solvers import SolveResult
+from ..solvers.guards import InvalidInput
 from ..sparse import CSRMatrix
 
-__all__ = ["BatchDispatcher", "DispatchStats"]
+__all__ = [
+    "AdmissionRefused",
+    "BatchDispatcher",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "DispatchStats",
+    "DispatcherClosed",
+]
+
+
+class DispatcherClosed(RuntimeError):
+    """The dispatcher no longer accepts or will never run this work."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before its batch was executed."""
+
+
+class AdmissionRefused(RuntimeError):
+    """The dispatcher's outstanding-request bound (``max_queue``) is full."""
+
+
+class CircuitOpen(RuntimeError):
+    """Setup for this operator fingerprint keeps failing; failing fast."""
 
 
 @dataclass
@@ -71,13 +123,18 @@ class DispatchStats:
     cache_hits: int = 0
     cache_misses: int = 0
     largest_batch: int = 0
+    escalations: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    deadline_misses: int = 0
+    rejected: int = 0
 
     def summary(self) -> dict:
         """Dispatcher counters plus the plan-layer state a production
         deployment watches: the plan/autotune caches, the autotuned
-        thread-count verdicts (``autotune.thread_verdicts``), and the
-        worker-pool budget/occupancy (``pool`` — how many batch executions
-        currently share the intra-kernel thread budget)."""
+        thread-count verdicts (``autotune.thread_verdicts``), the
+        worker-pool budget/occupancy (``pool``), and the robustness
+        counters (``recovery``)."""
         from ..par import pool_stats
         from ..plans import autotune_stats, plan_cache_stats
 
@@ -88,18 +145,35 @@ class DispatchStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "largest_batch": self.largest_batch,
+            "recovery": {
+                "escalations": self.escalations,
+                "retries": self.retries,
+                "breaker_trips": self.breaker_trips,
+                "deadline_misses": self.deadline_misses,
+                "rejected": self.rejected,
+            },
             "plan_cache": plan_cache_stats(),
             "autotune": autotune_stats(),
             "pool": pool_stats(),
         }
 
 
-class _Request:
-    __slots__ = ("rhs", "future")
+@dataclass
+class _Breaker:
+    """Per-fingerprint setup-failure state."""
 
-    def __init__(self, rhs: np.ndarray) -> None:
+    failures: int = 0
+    opened_at: float | None = None
+
+
+class _Request:
+    __slots__ = ("rhs", "future", "deadline", "attempts")
+
+    def __init__(self, rhs: np.ndarray, deadline: float | None = None) -> None:
         self.rhs = rhs
         self.future: Future = Future()
+        self.deadline = deadline          # absolute time.monotonic(), or None
+        self.attempts = 0
 
 
 class BatchDispatcher:
@@ -122,6 +196,19 @@ class BatchDispatcher:
         Worker threads executing batches.
     backend:
         Kernel backend the workers solve on (default: the process default).
+    max_queue:
+        Admission bound: maximum outstanding (accepted, not yet completed)
+        requests; ``None`` (default) means unbounded.
+    max_retries:
+        How many times a request is re-queued after its batch dies before
+        the error reaches its future.
+    retry_backoff:
+        Base delay (seconds) before a died batch is re-executed; grows
+        linearly with the attempt count.
+    breaker_threshold, breaker_cooldown:
+        Consecutive setup failures for one operator fingerprint that open
+        its circuit breaker, and the seconds before a probe attempt is
+        allowed through again.
 
     Usage::
 
@@ -134,15 +221,25 @@ class BatchDispatcher:
     def __init__(self, config: F3RConfig | None = None, preconditioner="auto",
                  nblocks: int | None = None, alpha: float = 1.0,
                  max_batch: int = 8, cache_size: int = 8, max_workers: int = 2,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None, max_queue: int | None = None,
+                 max_retries: int = 1, retry_backoff: float = 0.05,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 30.0) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
         self.config = config or F3RConfig()
         self.max_batch = int(max_batch)
         self.cache_size = int(cache_size)
         self.backend = backend
+        self.max_queue = max_queue
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
         self._precond_spec = (preconditioner, nblocks, alpha)
         self._pool = ThreadPoolExecutor(max_workers=max_workers,
                                         thread_name_prefix="repro-serve")
@@ -154,12 +251,15 @@ class BatchDispatcher:
             str, tuple[CSRMatrix | LinearOperator, list[_Request]]] = OrderedDict()
         self._solvers: OrderedDict[tuple, F3RSolver] = OrderedDict()
         self._building: dict[tuple, Future] = {}
-        self._inflight: list[Future] = []
+        self._breakers: dict[tuple, _Breaker] = {}
+        self._inflight: list[tuple[Future, list[_Request]]] = []
+        self._outstanding = 0
         self._closed = False
         self.stats = DispatchStats()
 
     # ------------------------------------------------------------------ #
-    def submit(self, matrix: CSRMatrix | LinearOperator, rhs: np.ndarray) -> Future:
+    def submit(self, matrix: CSRMatrix | LinearOperator, rhs: np.ndarray,
+               deadline: float | None = None) -> Future:
         """Enqueue one solve request; returns a future resolving to its
         :class:`~repro.solvers.SolveResult`.
 
@@ -168,16 +268,38 @@ class BatchDispatcher:
         :class:`~repro.operators.LinearOperator` (matrix-free stencils,
         composites).  The request is dispatched when its operator group
         fills to ``max_batch`` or on the next :meth:`flush`.
+
+        ``deadline`` is seconds from now; a request whose deadline passes
+        before its batch executes fails with :class:`DeadlineExceeded`.
+        Raises :class:`~repro.solvers.InvalidInput` for a mis-shaped or
+        non-finite right-hand side, :class:`AdmissionRefused` when the
+        ``max_queue`` bound is full, and :class:`DispatcherClosed` after
+        :meth:`close`.
         """
         rhs = np.asarray(rhs, dtype=np.float64)
         if rhs.shape != (matrix.nrows,):
-            raise ValueError(f"rhs has shape {rhs.shape}; expected ({matrix.nrows},)")
-        request = _Request(rhs)
+            raise InvalidInput(
+                f"rhs has shape {rhs.shape}; expected ({matrix.nrows},)",
+                site="dispatcher.submit",
+                detail={"shape": tuple(rhs.shape), "expected_rows": matrix.nrows})
+        if not np.all(np.isfinite(rhs)):
+            bad = int(np.flatnonzero(~np.isfinite(rhs))[0])
+            raise InvalidInput(
+                f"rhs contains non-finite entries (first at index {bad})",
+                site="dispatcher.submit", detail={"first_bad_row": bad})
+        request = _Request(
+            rhs, None if deadline is None else time.monotonic() + float(deadline))
         ready = None
         with self._lock:
             if self._closed:
-                raise RuntimeError("dispatcher is closed")
+                raise DispatcherClosed("dispatcher is closed")
+            if (self.max_queue is not None
+                    and self._outstanding >= self.max_queue):
+                self.stats.rejected += 1
+                raise AdmissionRefused(
+                    f"outstanding requests at max_queue={self.max_queue}")
             self.stats.requests += 1
+            self._outstanding += 1
             key = matrix.fingerprint()
             if key not in self._pending:
                 self._pending[key] = (matrix, [])
@@ -197,12 +319,17 @@ class BatchDispatcher:
             self._dispatch(matrix, requests)
 
     def drain(self) -> None:
-        """Flush and block until every dispatched batch has completed."""
+        """Flush and block until every dispatched batch has completed.
+
+        Retried batches re-enter the in-flight list before their failed
+        predecessor resolves, so the loop also waits out retries.
+        """
         self.flush()
         while True:
             with self._lock:
-                inflight = [f for f in self._inflight if not f.done()]
-                self._inflight = inflight
+                self._inflight = [(f, reqs) for f, reqs in self._inflight
+                                  if not f.done()]
+                inflight = [f for f, _ in self._inflight]
             if not inflight:
                 return
             for f in inflight:
@@ -215,8 +342,47 @@ class BatchDispatcher:
         return [f.result() for f in futures]
 
     # ------------------------------------------------------------------ #
+    def _finish(self, request: _Request, result=None, exc=None) -> None:
+        """Resolve a request future exactly once and release its admission slot."""
+        if request.future.done():
+            return
+        with self._lock:
+            self._outstanding -= 1
+        if exc is not None:
+            request.future.set_exception(exc)
+        else:
+            request.future.set_result(result)
+
+    def _breaker_check(self, key: tuple) -> None:
+        """Raise :class:`CircuitOpen` when the fingerprint's breaker is open."""
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None or breaker.opened_at is None:
+                return
+            if time.monotonic() - breaker.opened_at >= self.breaker_cooldown:
+                # half-open: let one probe attempt through; a failure re-opens
+                breaker.opened_at = None
+                breaker.failures = self.breaker_threshold - 1
+                return
+        raise CircuitOpen(
+            f"setup circuit open for operator {key[0]!r} "
+            f"({self.breaker_threshold} consecutive failures)")
+
+    def _breaker_record(self, key: tuple, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self._breakers.pop(key, None)
+                return
+            breaker = self._breakers.setdefault(key, _Breaker())
+            breaker.failures += 1
+            if (breaker.failures >= self.breaker_threshold
+                    and breaker.opened_at is None):
+                breaker.opened_at = time.monotonic()
+                self.stats.breaker_trips += 1
+
     def _solver_for(self, matrix: CSRMatrix | LinearOperator) -> F3RSolver:
         key = (matrix.fingerprint(), self.config)
+        self._breaker_check(key)
         with self._lock:
             solver = self._solvers.get(key)
             if solver is not None:
@@ -244,6 +410,7 @@ class BatchDispatcher:
         except BaseException as exc:   # noqa: BLE001 - relayed to waiters
             with self._lock:
                 self._building.pop(key, None)
+            self._breaker_record(key, ok=False)
             build.set_exception(exc)
             raise
         with self._lock:
@@ -252,21 +419,53 @@ class BatchDispatcher:
             while len(self._solvers) > self.cache_size:
                 self._solvers.popitem(last=False)
             self._building.pop(key, None)
+        self._breaker_record(key, ok=True)
         build.set_result(solver)
         return solver
 
-    def _dispatch(self, matrix, requests: list[_Request]) -> None:
-        future = self._pool.submit(self._execute, matrix, requests)
+    def _dispatch(self, matrix, requests: list[_Request],
+                  retry: bool = False) -> None:
         with self._lock:
-            self._inflight.append(future)
-            self.stats.batches += 1
-            self.stats.batched_requests += len(requests)
-            self.stats.largest_batch = max(self.stats.largest_batch, len(requests))
+            if self._closed and retry:
+                # no new pool work after close(): fail the survivors instead
+                # of leaking them into a shut-down executor
+                pending_fail = list(requests)
+            else:
+                pending_fail = None
+                future = self._pool.submit(self._execute, matrix, requests)
+                self._inflight.append((future, requests))
+                self.stats.batches += 1
+                self.stats.batched_requests += len(requests)
+                self.stats.largest_batch = max(self.stats.largest_batch,
+                                               len(requests))
+        if pending_fail is not None:
+            for req in pending_fail:
+                self._finish(req, exc=DispatcherClosed(
+                    "dispatcher closed before dispatch"))
+
+    def _split_expired(self, requests: list[_Request]) -> list[_Request]:
+        """Fail past-deadline requests; return the still-live ones."""
+        now = time.monotonic()
+        live = []
+        for req in requests:
+            if req.deadline is not None and now > req.deadline:
+                with self._lock:
+                    self.stats.deadline_misses += 1
+                self._finish(req, exc=DeadlineExceeded(
+                    f"deadline passed {now - req.deadline:.3f}s before execution"))
+            else:
+                live.append(req)
+        return live
 
     def _execute(self, matrix, requests: list[_Request]) -> None:
         from ..par import pool_consumer
 
+        requests = self._split_expired(requests)
+        if not requests:
+            return
         try:
+            maybe_delay("dispatcher.latency")
+            maybe_fail_worker("dispatcher.worker")
             # one budget across both parallelism layers: each concurrently
             # executing batch registers as a consumer, so its intra-kernel
             # threads get budget // active-batches — the oversubscription
@@ -279,21 +478,47 @@ class BatchDispatcher:
                         batch = solver.solve_batch(rhs_block)
                 else:
                     batch = solver.solve_batch(rhs_block)
-        except BaseException as exc:   # noqa: BLE001 - propagated via futures
-            for req in requests:
-                if not req.future.done():
-                    req.future.set_exception(exc)
+        except BaseException as exc:   # noqa: BLE001 - retried or propagated
+            self._retry_or_fail(matrix, requests, exc)
             return
         for req, result in zip(requests, batch.results):
-            req.future.set_result(result)
+            if result.recovery is not None:
+                with self._lock:
+                    self.stats.escalations += result.recovery.escalations
+            self._finish(req, result=result)
+
+    def _retry_or_fail(self, matrix, requests: list[_Request],
+                       exc: BaseException) -> None:
+        """Re-queue a died batch's surviving requests; fail the exhausted ones."""
+        retryable, exhausted = [], []
+        for req in requests:
+            if req.attempts < self.max_retries and not isinstance(
+                    exc, (InvalidInput, DispatcherClosed, CircuitOpen)):
+                req.attempts += 1
+                retryable.append(req)
+            else:
+                exhausted.append(req)
+        for req in exhausted:
+            self._finish(req, exc=exc)
+        if not retryable:
+            return
+        with self._lock:
+            self.stats.retries += len(retryable)
+        # linear backoff on the worker that owned the died batch: the retry
+        # dispatch below lands in _inflight before this batch resolves, so
+        # drain() cannot slip through the gap
+        time.sleep(self.retry_backoff * max(r.attempts for r in retryable))
+        self._dispatch(matrix, retryable, retry=True)
 
     # ------------------------------------------------------------------ #
     def close(self, wait: bool = True) -> None:
         """Stop accepting requests; optionally wait for in-flight batches.
 
         Pending (never-dispatched) requests are failed with
-        :class:`RuntimeError` so no caller blocks forever on an abandoned
-        future.
+        :class:`DispatcherClosed` so no caller blocks forever on an
+        abandoned future.  With ``wait=False``, batches queued on the pool
+        but not yet running are cancelled and their requests failed the
+        same way; the running batches finish in the background.
         """
         with self._lock:
             if self._closed:
@@ -302,8 +527,17 @@ class BatchDispatcher:
             abandoned = [req for _, reqs in self._pending.values() for req in reqs]
             self._pending.clear()
         for req in abandoned:
-            req.future.set_exception(RuntimeError("dispatcher closed before dispatch"))
-        self._pool.shutdown(wait=wait)
+            self._finish(req, exc=DispatcherClosed(
+                "dispatcher closed before dispatch"))
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)
+        if not wait:
+            with self._lock:
+                inflight = list(self._inflight)
+            for future, reqs in inflight:
+                if future.cancelled():
+                    for req in reqs:
+                        self._finish(req, exc=DispatcherClosed(
+                            "dispatcher closed before dispatch"))
 
     def __enter__(self) -> "BatchDispatcher":
         return self

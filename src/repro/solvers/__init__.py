@@ -8,6 +8,18 @@ from .base import (
     count_primary_applications,
     reset_primary_counter,
 )
+from .guards import (
+    InvalidInput,
+    SolveBreakdown,
+    SolveEvent,
+    SolveStagnation,
+    StagnationWindow,
+    classify_breakdown,
+    guards_enabled,
+    set_guards_enabled,
+    use_guards,
+    validate_rhs,
+)
 from .richardson import RichardsonLevel, richardson_solve
 from .fgmres import FGMRESLevel, OuterFGMRES, fgmres_cycle, fgmres_cycle_batch
 from .gmres import RestartedFGMRES
@@ -18,6 +30,16 @@ from .nested import LevelSpec, NestedSolverBuilder, build_nested_solver, tuple_n
 __all__ = [
     "BatchSolveResult",
     "ConvergenceHistory",
+    "InvalidInput",
+    "SolveBreakdown",
+    "SolveEvent",
+    "SolveStagnation",
+    "StagnationWindow",
+    "classify_breakdown",
+    "guards_enabled",
+    "set_guards_enabled",
+    "use_guards",
+    "validate_rhs",
     "InnerSolver",
     "SolveResult",
     "count_primary_applications",

@@ -118,6 +118,10 @@ class SolveResult:
     wall_time:
         Wall-clock seconds spent inside ``solve`` (emulation time; see
         :mod:`repro.perf` for modeled hardware time).
+    recovery:
+        :class:`~repro.core.recovery.SolveReport` when the recovery ladder
+        intervened (breakdown restart, precision escalation, preconditioner
+        rebuild); ``None`` for a clean first-attempt solve.
     """
 
     x: np.ndarray
@@ -129,9 +133,10 @@ class SolveResult:
     restarts: int = 0
     solver_name: str = ""
     wall_time: float = 0.0
+    recovery: object | None = None
 
     def summary(self) -> dict:
-        return {
+        out = {
             "solver": self.solver_name,
             "converged": self.converged,
             "iterations": self.iterations,
@@ -140,6 +145,9 @@ class SolveResult:
             "restarts": self.restarts,
             "wall_time": self.wall_time,
         }
+        if self.recovery is not None:
+            out["recovery"] = self.recovery.summary()
+        return out
 
 
 @dataclass

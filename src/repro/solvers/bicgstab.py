@@ -19,6 +19,7 @@ from ..precision import Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
 from .base import ConvergenceHistory, SolveResult, count_primary_applications
+from .guards import check_finite, guards_enabled
 
 __all__ = ["BiCGStab"]
 
@@ -72,6 +73,11 @@ class BiCGStab:
 
         for k in range(self.max_iterations):
             rho = vo.dot(r_hat, r)
+            if guards_enabled() and not np.isfinite(rho):
+                # NaN/Inf rho is corruption; rho == 0 stays the method's own
+                # serious-breakdown exit below
+                check_finite(float(rho), "bicgstab.rho", iteration=k,
+                             iterate=x.copy())
             if rho == 0.0 or not np.isfinite(rho):
                 break  # serious breakdown
             if k == 0:
@@ -82,6 +88,9 @@ class BiCGStab:
             phat = self._precondition(p)
             v = apply64(phat)
             rhat_v = vo.dot(r_hat, v)
+            if guards_enabled() and not np.isfinite(rhat_v):
+                check_finite(float(rhat_v), "bicgstab.rhat_v", iteration=k,
+                             iterate=x.copy())
             if rhat_v == 0.0 or not np.isfinite(rhat_v):
                 break
             alpha = rho / rhat_v
@@ -104,6 +113,9 @@ class BiCGStab:
             rho_prev = rho
 
             relres = vo.nrm2(r) / norm_b
+            if guards_enabled() and not np.isfinite(relres):
+                check_finite(float(relres), "bicgstab.relres", iteration=k,
+                             iterate=x.copy())
             history.append(relres)
             if relres < self.tol:
                 converged = True

@@ -19,6 +19,7 @@ from ..precision import Precision
 from ..sparse import residual_norm
 from ..sparse import vectorops as vo
 from .base import ConvergenceHistory, SolveResult, count_primary_applications
+from .guards import check_finite, guards_enabled
 
 __all__ = ["ConjugateGradient"]
 
@@ -69,14 +70,24 @@ class ConjugateGradient:
         for k in range(self.max_iterations):
             ap = apply64(p)
             pap = vo.dot(p, ap)
+            if guards_enabled() and not np.isfinite(pap):
+                # distinguish corruption (NaN/Inf: hard breakdown) from a
+                # genuine loss of positive definiteness (pap <= 0: the
+                # method's own graceful exit, kept below)
+                check_finite(float(pap), "cg.pap", iteration=k,
+                             iterate=x.copy())
             if pap <= 0.0 or not np.isfinite(pap):
                 break  # loss of positive definiteness (or breakdown)
             alpha = rz / pap
+            x_prev = x
             x = vo.axpy(alpha, p, x)
             r = vo.axpy(-alpha, ap, r)
             iterations = k + 1
 
             relres = vo.nrm2(r) / norm_b
+            if guards_enabled() and not np.isfinite(relres):
+                check_finite(float(relres), "cg.relres", iteration=k,
+                             iterate=x_prev.copy())
             history.append(relres)
             if relres < self.tol:
                 converged = True

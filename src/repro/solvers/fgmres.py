@@ -38,6 +38,7 @@ from .base import (
     SolveResult,
     count_primary_applications,
 )
+from .guards import SolveEvent, check_finite, guards_enabled
 
 __all__ = ["FGMRESLevel", "OuterFGMRES", "fgmres_cycle", "fgmres_cycle_batch"]
 
@@ -120,8 +121,14 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
     backend = get_backend()
     dtype = vec_prec.dtype
     n = rhs.size
+    guarded = guards_enabled()
     beta = vo.nrm2(rhs)
     if beta == 0.0 or not np.isfinite(beta):
+        if guarded and not np.isfinite(beta):
+            # a NaN/Inf residual norm means the incoming residual is already
+            # corrupted — the legacy path returns a zero correction and lets
+            # the outer level loop on garbage
+            check_finite(beta, "fgmres.beta")
         return np.zeros(n, dtype=dtype), 0, 0.0
 
     ws = workspace if workspace is not None else Workspace()
@@ -166,6 +173,11 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
         else:
             h_col, w, h_norm = backend.orthogonalize(basis, j, w, vec_prec,
                                                      scratch=ws)
+        if guarded and not np.isfinite(h_norm):
+            # hard breakdown: the new basis vector's norm is NaN/Inf, so the
+            # operator product or the Gram-Schmidt sweep produced non-finite
+            # values — the whole recurrence from here on is garbage
+            check_finite(float(h_norm), "fgmres.hessenberg", iteration=j)
 
         # apply the previous Givens rotations to the new column
         for i in range(j):
@@ -174,6 +186,12 @@ def fgmres_cycle(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precision,
             h_col[i] = temp
         # new rotation annihilating h_col[j+1]
         denom = np.sqrt(np.float64(h_col[j]) ** 2 + np.float64(h_col[j + 1]) ** 2)
+        if guarded and not np.isfinite(denom):
+            # NaN Hessenberg entries slip past the h_norm check when the
+            # corruption is confined to the projection coefficients; the
+            # legacy path silently zeroes the rotation and reports a bogus
+            # (often exactly-zero) residual estimate
+            check_finite(float(denom), "fgmres.givens", iteration=j)
         if denom == 0.0 or not np.isfinite(denom):
             cs_j, sn_j = 1.0, 0.0
         else:
@@ -260,6 +278,7 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
     backend = get_backend()
     dtype = vec_prec.dtype
     n, k = rhs.shape
+    guarded = guards_enabled()
 
     z_out = np.zeros((n, k), dtype=dtype)
     iterations = np.zeros(k, dtype=np.int64)
@@ -274,6 +293,9 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
         record_bytes(vec_prec, k * n * vec_prec.bytes)
         record_flops(vec_prec, 2 * k * n)
 
+    if guarded and not np.all(np.isfinite(beta)):
+        bad = np.flatnonzero(~np.isfinite(beta))
+        check_finite(float(beta[bad[0]]), "fgmres.beta", columns=bad.tolist())
     alive = np.isfinite(beta) & (beta > 0.0)
     estimates[:] = np.where(alive, beta, 0.0)
     col_at = np.nonzero(alive)[0]        # position -> original column index
@@ -321,7 +343,15 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
 
     for j in range(m):
         # preconditioning step + operator product, batched over active columns
-        zj = _apply_child_batch(child, np.ascontiguousarray(basis[:ka, j, :].T))
+        try:
+            zj = _apply_child_batch(child, np.ascontiguousarray(basis[:ka, j, :].T))
+        except SolveEvent as event:
+            # inner levels see only the compacted active columns — remap
+            # their positions onto this cycle's rhs columns
+            if event.columns is not None:
+                event.columns = [int(col_at[c]) for c in event.columns
+                                 if c < ka]
+            raise
         zj = vo.cast_block(zj, vec_prec)
         z_vectors[:ka, j, :] = zj.T
         w = (plan.apply_batch(zj) if plan is not None
@@ -335,6 +365,10 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
         w_dots = np.einsum("kn,kn->k", w, w)
         h_norm = np.sqrt(w_dots.astype(np.float64))
         _record_batched_gram_schmidt(vec_prec, n, ka, j + 1)
+        if guarded and not np.all(np.isfinite(h_norm)):
+            bad = np.flatnonzero(~np.isfinite(h_norm))
+            check_finite(float(h_norm[bad[0]]), "fgmres.hessenberg",
+                         iteration=j, columns=col_at[bad].tolist())
 
         h_col = h_col_arena[:ka, :j + 2]
         h_col[:, :j + 1] = h.astype(dtype, copy=False)
@@ -351,6 +385,10 @@ def fgmres_cycle_batch(matrix, rhs: np.ndarray, child, m: int, vec_prec: Precisi
         hj = h_col[:, j].astype(np.float64)
         hj1 = h_col[:, j + 1].astype(np.float64)
         denom = np.sqrt(hj ** 2 + hj1 ** 2)
+        if guarded and not np.all(np.isfinite(denom)):
+            bad = np.flatnonzero(~np.isfinite(denom))
+            check_finite(float(denom[bad[0]]), "fgmres.givens",
+                         iteration=j, columns=col_at[bad].tolist())
         ok = (denom != 0.0) & np.isfinite(denom)
         safe = np.where(ok, denom, 1.0)
         cs_j = np.where(ok, hj / safe, 1.0)
@@ -515,7 +553,17 @@ class OuterFGMRES:
         return pair
 
     # ------------------------------------------------------------------ #
-    def solve(self, b: np.ndarray, x0: np.ndarray | None = None) -> SolveResult:
+    def solve(self, b: np.ndarray, x0: np.ndarray | None = None,
+              stagnation=None) -> SolveResult:
+        """Run the outer iteration to convergence (or restart exhaustion).
+
+        ``stagnation`` optionally arms a
+        :class:`~repro.solvers.guards.StagnationWindow`: the true relative
+        residual of every outer cycle is fed to it and a
+        :class:`~repro.solvers.guards.SolveStagnation` is raised once the
+        windowed progress stalls.  Unarmed (the default), the solver keeps
+        its legacy behaviour of exhausting the restart budget.
+        """
         start_time = time.perf_counter()
         vec_prec = self.precisions.vector
         b64 = np.asarray(b, dtype=np.float64)
@@ -536,6 +584,10 @@ class OuterFGMRES:
                  else self.matrix.astype(Precision.FP64))
         plan, plan64 = self._plan_pair(mat64)
         relres = residual_norm(self.matrix, x, b64) / norm_b
+        if guards_enabled() and not np.isfinite(relres):
+            # corrupted initial residual (e.g. a poisoned matvec): raise now
+            # instead of iterating on garbage for the whole restart budget
+            check_finite(float(relres), "outer.relres", iterate=x.copy())
         history.append(relres)
         if relres < self.tol:
             converged = True
@@ -549,13 +601,21 @@ class OuterFGMRES:
                 r = b64 - mat64.apply(x, record=False)
             r_level = vo.cast_vector(r, vec_prec)
             cycle_residuals: list[float] = []
-            z, iters, _ = fgmres_cycle(
-                self.matrix, r_level, self.child, self.m, vec_prec,
-                rel_tol=self.tol * norm_b / max(float(np.linalg.norm(r)), 1e-300),
-                collect_residuals=cycle_residuals,
-                workspace=self._workspace.workspace,
-                plan=plan,
-            )
+            try:
+                z, iters, _ = fgmres_cycle(
+                    self.matrix, r_level, self.child, self.m, vec_prec,
+                    rel_tol=self.tol * norm_b / max(float(np.linalg.norm(r)), 1e-300),
+                    collect_residuals=cycle_residuals,
+                    workspace=self._workspace.workspace,
+                    plan=plan,
+                )
+            except SolveEvent as event:
+                # enrich with the last finite iterate so the recovery ladder
+                # can restart from it instead of discarding the progress
+                if event.iterate is None:
+                    event.iterate = x.copy()
+                raise
+            x_prev = x
             x = x + z.astype(np.float64)
             total_iterations += iters
 
@@ -565,9 +625,16 @@ class OuterFGMRES:
                 history.append(est * r_norm / (float(np.linalg.norm(r_level)) or 1.0) / norm_b)
 
             relres = residual_norm(self.matrix, x, b64) / norm_b
+            if guards_enabled() and not np.isfinite(relres):
+                # the cycle's scalar recurrence stayed finite but the
+                # combined correction didn't (e.g. an fp16 overflow in the
+                # basis combination) — restartable from the previous iterate
+                check_finite(float(relres), "outer.relres", iterate=x_prev.copy())
             if relres < self.tol:
                 converged = True
                 break
+            if stagnation is not None:
+                stagnation.check(relres, "outer.stagnation", iterate=x.copy())
             restarts += 1
 
         history.append(relres)
@@ -644,6 +711,10 @@ class OuterFGMRES:
         restarts = np.zeros(k, dtype=np.int64)
         converged = np.zeros(k, dtype=bool)
         final_relres = true_relres(np.arange(k))
+        if guards_enabled() and not np.all(np.isfinite(final_relres)):
+            bad = np.flatnonzero(~np.isfinite(final_relres))
+            check_finite(float(final_relres[bad[0]]), "outer.relres",
+                         iterate=x.copy(), columns=[int(c) for c in bad])
         for i in range(k):
             histories[i].append(final_relres[i])
         converged[:] = final_relres < self.tol
@@ -662,15 +733,30 @@ class OuterFGMRES:
             r_level = vo.cast_block(r, vec_prec)
             rel_tol = self.tol * norm_b[act] / np.maximum(r_norm, 1e-300)
 
-            z, iters, _ = fgmres_cycle_batch(
-                self.matrix, r_level, self.child, self.m, vec_prec,
-                rel_tol=rel_tol, workspace=self._workspace.workspace,
-                plan=plan,
-            )
+            try:
+                z, iters, _ = fgmres_cycle_batch(
+                    self.matrix, r_level, self.child, self.m, vec_prec,
+                    rel_tol=rel_tol, workspace=self._workspace.workspace,
+                    plan=plan,
+                )
+            except SolveEvent as event:
+                # map cycle-local column positions back to the caller's
+                # columns and attach the pre-cycle iterate block, so the
+                # recovery layer can re-solve only the poisoned columns
+                if event.columns is not None:
+                    event.columns = [int(act[c]) for c in event.columns]
+                if event.iterate is None:
+                    event.iterate = x.copy()
+                raise
             x[:, act] += z.astype(np.float64)
             total_iterations[act] += iters
 
             relres_act = true_relres(act)
+            if guards_enabled() and not np.all(np.isfinite(relres_act)):
+                bad = np.flatnonzero(~np.isfinite(relres_act))
+                check_finite(float(relres_act[bad[0]]), "outer.relres",
+                             iterate=x.copy(),
+                             columns=[int(act[c]) for c in bad])
             final_relres[act] = relres_act
             next_active = []
             for pos, i in enumerate(act):

@@ -38,6 +38,7 @@ from ..precision import (
 )
 from ..sparse import vectorops as vo
 from .base import InnerSolver
+from .guards import check_finite, guards_enabled
 
 __all__ = ["RichardsonLevel", "richardson_solve"]
 
@@ -161,6 +162,12 @@ class RichardsonLevel(InnerSolver):
                 r32 = vo.cast_vector(r, wp)
                 denom = vo.dot(amr, amr)
                 numer = vo.dot(r32, amr)
+                if guards_enabled() and not (np.isfinite(denom) and np.isfinite(numer)):
+                    # a NaN weight numerator/denominator poisons the globally
+                    # shared weights for every later invocation — fail here,
+                    # at the two scalars the refresh computes anyway
+                    check_finite(float(denom if not np.isfinite(denom) else numer),
+                                 "richardson.weight", iteration=k)
                 omega = numer / denom if denom > 0.0 else self.weights[k]
                 l = cntr // self.cycle
                 self.weights[k] = (l * self.weights[k] + omega) / (l + 1)
@@ -224,6 +231,13 @@ class RichardsonLevel(InnerSolver):
                 r32 = vo.cast_block(r, wp)
                 denom = np.einsum("nk,nk->k", amr, amr).astype(np.float64)
                 numer = np.einsum("nk,nk->k", r32, amr).astype(np.float64)
+                if guards_enabled() and not (np.all(np.isfinite(denom))
+                                             and np.all(np.isfinite(numer))):
+                    bad = np.flatnonzero(~(np.isfinite(denom) & np.isfinite(numer)))
+                    check_finite(float(denom[bad[0]] if not np.isfinite(denom[bad[0]])
+                                       else numer[bad[0]]),
+                                 "richardson.weight", iteration=step,
+                                 columns=bad.tolist())
                 if counters_enabled():
                     record_kernel("dot", 2 * k)
                     record_bytes(wp, 4 * k * amr.shape[0] * wp.bytes)

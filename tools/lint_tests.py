@@ -40,6 +40,10 @@ REQUIRED_MODULES = (
     "test_parallel*.py",               # multicore engine: REPRO_THREADS
                                        # bit-identity sweep, counter parity,
                                        # pool budget, concurrency audit (PR 5)
+    "test_robustness*.py",             # guards, recovery ladder, dispatcher
+                                       # hardening, guarded parity (PR 6)
+    "test_faults*.py",                 # fault-injection determinism and the
+                                       # seeded 50-request hammer (PR 6)
 )
 
 
