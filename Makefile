@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all test-faults lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline
+.PHONY: test test-all test-faults lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline bench-cold-smoke bench-cold-baseline
 
 ## Tier-1 test suite (the CI gate): fast deterministic tests only
 ## (pytest.ini's addopts deselect the tier2 marker by default)
@@ -56,3 +56,13 @@ bench-parallel-smoke:
 ## Refresh the committed thread-sweep baseline (run on the target machine)
 bench-parallel-baseline:
 	$(PYTHON) benchmarks/bench_solves.py --scale smoke --threads-sweep --write-baseline
+
+## Cold-start setup benchmark at smoke scale: per-stage cold vs warm-artifact
+## timing, bit-identity gated; enforces the >=2x warm-cache acceptance floor
+## and fails on a >2x regression vs the committed baseline
+bench-cold-smoke:
+	$(PYTHON) benchmarks/bench_cold_start.py --check --require-warm-speedup 2.0
+
+## Regenerate the committed cold-start baseline (machine-dependent)
+bench-cold-baseline:
+	$(PYTHON) benchmarks/bench_cold_start.py --write-baseline

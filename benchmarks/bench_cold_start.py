@@ -1,0 +1,209 @@
+"""Cold-start setup benchmark: vectorized setup + the persistent artifact cache.
+
+Times the *setup* stages a restarted server pays before its first solve on
+the smoke Poisson block-IC(0) case — ILU(0)/IC(0) factorization, the
+block-Jacobi preconditioner build (level schedules included), block-diagonal
+fusion, and the full :class:`~repro.core.F3RSolver` setup — in three modes:
+
+* ``cold``       — no artifact store (today's default path),
+* ``cold_store`` — empty ``REPRO_ARTIFACTS`` store: compute + persist, and
+* ``warm``       — populated store, in-process memo cleared: what a process
+  restart pays when the artifacts are already on disk.
+
+Every mode's factors and level schedules are checked bit-identical to the
+cold path, and the report records the per-stage and total warm-over-cold
+speedup.  Writes ``BENCH_cold_start.json``.
+
+Not collected by pytest; run directly or via make:
+
+    PYTHONPATH=src python benchmarks/bench_cold_start.py --check
+    PYTHONPATH=src python benchmarks/bench_cold_start.py --require-warm-speedup 2.0
+
+``--check`` compares the warm speedup against the committed baseline
+(``BENCH_cold_start_baseline.json``, machine-dependent — regenerate with
+``--write-baseline``) and fails on a >2x regression; ``--require-warm-speedup
+X`` enforces the cold-start issue's absolute acceptance floor on the total
+setup speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro.cache as cache
+from repro.core import F3RConfig, F3RSolver
+from repro.matgen import poisson2d
+from repro.plans import clear_plan_cache
+from repro.precond.block_jacobi import BlockJacobiIC0
+from repro.precond.ilu0 import ilu0_factor
+from repro.sparse.triangular import clear_levels_memo
+
+SCALES = {
+    "smoke": {"poisson_side": 120, "nblocks": 16, "repeats": 2},
+    "full": {"poisson_side": 300, "nblocks": 16, "repeats": 2},
+}
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_cold_start_baseline.json"
+OUTPUT_PATH = Path(__file__).parent / "BENCH_cold_start.json"
+
+
+def _fresh_matrix(side: int):
+    """A new matrix object per measurement so no per-object caches leak in."""
+    return poisson2d(side)
+
+
+def _time_stages(side: int, nblocks: int, repeats: int) -> tuple[dict, dict]:
+    """Best-of-``repeats`` per-stage setup seconds, plus a result digest."""
+    timings = {}
+    digest = {}
+
+    def best_of(stage, fn):
+        best, out = float("inf"), None
+        for _ in range(repeats):
+            clear_plan_cache()
+            clear_levels_memo()
+            matrix = _fresh_matrix(side)
+            start = time.perf_counter()
+            out = fn(matrix)
+            best = min(best, time.perf_counter() - start)
+        timings[stage] = best
+        return out
+
+    lower, upper = best_of("ilu0_factor", lambda m: ilu0_factor(m))
+    digest["ilu0"] = (float(np.abs(lower.values).sum()),
+                      float(np.abs(upper.values).sum()))
+
+    precond = best_of("block_ic0",
+                      lambda m: BlockJacobiIC0(m, nblocks=nblocks))
+    digest["levels"] = sum(int(lvl.sum()) for block in precond._blocks
+                           for lvl in block._lower.levels)
+
+    best_of("fuse", lambda m: precond._fused_parts())
+
+    config = F3RConfig(variant="fp16", backend="fast")
+    best_of("solver_setup",
+            lambda m: F3RSolver(m, preconditioner="auto", config=config,
+                                nblocks=nblocks))
+
+    timings["total"] = sum(v for k, v in timings.items() if k != "total")
+    return timings, digest
+
+
+def run(scale: str) -> dict:
+    params = SCALES[scale]
+    side, nblocks = params["poisson_side"], params["nblocks"]
+    repeats = params["repeats"]
+
+    store_dir = tempfile.mkdtemp(prefix="repro-artifacts-")
+    old = cache.set_artifacts_dir("")
+    try:
+        cold, cold_digest = _time_stages(side, nblocks, repeats)
+
+        cache.set_artifacts_dir(store_dir)
+        cache.reset_cold_start_stats()
+        cold_store, store_digest = _time_stages(side, nblocks, repeats)
+
+        cache.reset_cold_start_stats()
+        warm, warm_digest = _time_stages(side, nblocks, repeats)
+        warm_stats = cache.cold_start_stats()
+    finally:
+        cache.set_artifacts_dir(old)
+        clear_levels_memo()
+        clear_plan_cache()
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    assert warm_digest == cold_digest == store_digest, \
+        "artifact-cached setup is not bit-identical to the cold path"
+    assert warm_stats["hits"] > 0, "warm mode never hit the artifact store"
+
+    def round_all(d):
+        return {k: round(v, 6) for k, v in d.items()}
+
+    return {
+        "scale": scale,
+        "n": side * side,
+        "nblocks": nblocks,
+        "stages": sorted(k for k in cold if k != "total"),
+        "cold_s": round_all(cold),
+        "cold_store_s": round_all(cold_store),
+        "warm_s": round_all(warm),
+        "warm_speedup": {
+            k: round(cold[k] / warm[k] if warm[k] > 0 else float("inf"), 3)
+            for k in cold
+        },
+        "warm_artifact_hits": warm_stats["hits"],
+        "identical_results": True,
+    }
+
+
+def check_regressions(report: dict, baseline: dict, factor: float = 2.0) -> list[str]:
+    failures = []
+    if baseline.get("scale") != report.get("scale"):
+        return [f"baseline mismatch: scale={baseline.get('scale')!r} vs "
+                f"current {report.get('scale')!r}; regenerate with "
+                f"--write-baseline"]
+    if not report.get("identical_results"):
+        failures.append("warm setup results not bit-identical to cold path")
+    base_speedup = baseline["warm_speedup"]["total"]
+    current_speedup = report["warm_speedup"]["total"]
+    floor = base_speedup / factor
+    if current_speedup < floor:
+        failures.append(f"total warm speedup {current_speedup:.2f}x < "
+                        f"{floor:.2f}x (baseline {base_speedup:.2f}x / "
+                        f"{factor:g})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--json", type=Path, default=OUTPUT_PATH)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >2x warm-speedup regression vs baseline")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument("--require-warm-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the total warm-over-cold setup "
+                             "speedup is >= X")
+    parser.add_argument("--write-baseline", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = run(args.scale)
+    print(json.dumps(report, indent=2))
+    args.json.write_text(json.dumps(report, indent=2) + "\n")
+
+    if args.write_baseline:
+        args.baseline.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    status = 0
+    if args.require_warm_speedup is not None:
+        speedup = report["warm_speedup"]["total"]
+        if speedup < args.require_warm_speedup:
+            print(f"FAIL: total warm setup speedup {speedup:.2f}x < "
+                  f"required {args.require_warm_speedup:g}x", file=sys.stderr)
+            status = 1
+    if args.check:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; run --write-baseline",
+                  file=sys.stderr)
+            return 1
+        failures = check_regressions(report,
+                                     json.loads(args.baseline.read_text()))
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        status = status or (1 if failures else 0)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Persistent compiled-artifact cache (cold-start elimination layer).
+
+Generalizes the ``REPRO_TUNE_CACHE`` autotune seed into a versioned,
+fingerprint-keyed on-disk store for every expensive setup product:
+
+========== ==========================================================
+kind       payload
+========== ==========================================================
+``ilu0``   ILU(0)/IC(0) factor CSR arrays, keyed by
+           ``(matrix fingerprint, alpha, breakdown_shift)``
+``levels`` triangular dependency-level schedules, keyed by the
+           structural hash of the dependency edge list
+``partition`` CSR slab boundaries, keyed by
+           ``(fingerprint, kind, nparts)``
+``autotune``  format/thread verdicts (JSON, managed by
+           :mod:`repro.plans.autotune` — falls back to
+           ``<REPRO_ARTIFACTS>/autotune.json`` when
+           ``REPRO_TUNE_CACHE`` is unset)
+========== ==========================================================
+
+Enable by pointing ``REPRO_ARTIFACTS`` at a directory (or calling
+:func:`set_artifacts_dir`).  Unset, every layer behaves exactly as before.
+"""
+
+from .store import (
+    ARTIFACT_VERSION,
+    artifact_key,
+    artifacts_dir,
+    artifacts_enabled,
+    cold_start_stats,
+    load_arrays,
+    reset_cold_start_stats,
+    set_artifacts_dir,
+    store_arrays,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "artifact_key",
+    "artifacts_dir",
+    "artifacts_enabled",
+    "cold_start_stats",
+    "load_arrays",
+    "reset_cold_start_stats",
+    "set_artifacts_dir",
+    "store_arrays",
+]

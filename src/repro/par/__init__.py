@@ -30,6 +30,7 @@ from .partition import (
     ParState,
     balanced_boundaries,
     csr_partition,
+    csr_slabs_from_boundaries,
     kernel_threads,
     level_partition,
     par_state,
@@ -56,6 +57,7 @@ __all__ = [
     "balanced_boundaries",
     "configured_threads",
     "csr_partition",
+    "csr_slabs_from_boundaries",
     "effective_threads",
     "force_threads",
     "forced_threads",

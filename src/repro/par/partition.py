@@ -34,6 +34,7 @@ __all__ = [
     "par_state",
     "balanced_boundaries",
     "csr_partition",
+    "csr_slabs_from_boundaries",
     "span_partition",
     "level_partition",
     "kernel_threads",
@@ -170,6 +171,16 @@ def csr_partition(indptr: np.ndarray, nparts: int) -> list[tuple]:
     dtype as ``indptr``, so the scipy compiled kernels accept it directly).
     """
     boundaries = balanced_boundaries(np.asarray(indptr, dtype=np.int64), nparts)
+    return csr_slabs_from_boundaries(indptr, boundaries)
+
+
+def csr_slabs_from_boundaries(indptr: np.ndarray,
+                              boundaries: np.ndarray) -> list[tuple]:
+    """Materialize :func:`csr_partition` slabs from precomputed boundaries.
+
+    Split out so persisted partition plans (:mod:`repro.cache`) can rebuild
+    the slab tuples from their compact on-disk form (the boundary array).
+    """
     slabs = []
     for r0, r1 in zip(boundaries[:-1], boundaries[1:]):
         r0 = int(r0)

@@ -112,7 +112,25 @@ def clear_autotune_cache() -> None:
 
 def _cache_path() -> str | None:
     path = os.environ.get("REPRO_TUNE_CACHE", "").strip()
-    return path or None
+    if path:
+        return path
+    # generalized artifact store: verdicts ride along with the other
+    # compiled artifacts when REPRO_ARTIFACTS is configured
+    from ..cache import artifacts_dir
+
+    base = artifacts_dir()
+    if base is not None:
+        return os.path.join(base, "autotune.json")
+    return None
+
+
+def _valid_entry(key: tuple, choice) -> bool:
+    """Whether a (key, verdict) pair parsed from disk is structurally sane."""
+    if not isinstance(choice, str):
+        return False
+    if "threads" in key:
+        return choice.isdigit()
+    return choice in ("csr", "ell")
 
 
 def _load_disk_cache_locked() -> None:
@@ -129,23 +147,36 @@ def _load_disk_cache_locked() -> None:
             stored = json.load(fh)
         for key_str, choice in stored.items():
             key = tuple(key_str.split("|"))
-            if "threads" in key:
-                if choice.isdigit():          # thread-count verdict
-                    _CACHE.setdefault(key, choice)
-            elif choice in ("csr", "ell"):
+            if _valid_entry(key, choice):
                 _CACHE.setdefault(key, choice)
-    except (OSError, ValueError):  # pragma: no cover - corrupt/racing cache
+    except (OSError, ValueError, AttributeError):  # pragma: no cover - corrupt cache
         pass
 
 
 def _store_disk_cache(snapshot: dict[tuple, str]) -> None:
-    """Atomically rewrite the disk cache with the current verdicts."""
+    """Atomically merge the current verdicts into the disk cache.
+
+    The on-disk payload is re-read and merged under the same atomic replace
+    so two processes sharing a cache file append to, rather than clobber,
+    each other's verdicts (the in-process snapshot wins per key).  A corrupt
+    or foreign existing file contributes nothing and is overwritten.
+    """
     path = _cache_path()
     if path is None:
         return
-    payload = {"|".join(key): choice for key, choice in snapshot.items()}
+    payload: dict[str, str] = {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            existing = json.load(fh)
+        for key_str, choice in existing.items():
+            if _valid_entry(tuple(key_str.split("|")), choice):
+                payload[key_str] = choice
+    except (OSError, ValueError, AttributeError):
+        pass
+    payload.update(("|".join(key), choice) for key, choice in snapshot.items())
     try:
         directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=0, sort_keys=True)

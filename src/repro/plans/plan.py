@@ -90,6 +90,46 @@ def _storage_config(operator) -> tuple:
     return (fmt, int(chunk) if chunk is not None else None)
 
 
+def _cached_csr_partition(matrix, nparts: int) -> list[tuple]:
+    """``csr_partition`` with persisted boundaries (:mod:`repro.cache`).
+
+    The slab tuples rebuild from the boundary array alone, so only the
+    boundaries hit disk; an unusable payload falls back to recomputing the
+    balance exactly as before.
+    """
+    from ..cache import (artifact_key, artifacts_enabled, load_arrays,
+                         store_arrays)
+    from ..par import balanced_boundaries, csr_slabs_from_boundaries
+
+    if not artifacts_enabled():
+        from ..par import csr_partition
+        return csr_partition(matrix.indptr, nparts)
+
+    key = artifact_key("partition", matrix.fingerprint(), "csr", int(nparts))
+    cached = load_arrays("partition", key)
+    if cached is not None:
+        try:
+            boundaries = np.ascontiguousarray(cached["boundaries"],
+                                              dtype=np.int64)
+            n = matrix.indptr.size - 1
+            if (boundaries.ndim == 1 and boundaries.size >= 2
+                    and boundaries[0] == 0 and boundaries[-1] == n
+                    and np.all(np.diff(boundaries) > 0)):
+                return csr_slabs_from_boundaries(matrix.indptr, boundaries)
+        except Exception:
+            pass
+
+    from time import perf_counter
+    start = perf_counter()
+    boundaries = balanced_boundaries(
+        np.asarray(matrix.indptr, dtype=np.int64), nparts)
+    slabs = csr_slabs_from_boundaries(matrix.indptr, boundaries)
+    cost_ms = (perf_counter() - start) * 1e3
+    store_arrays("partition", key, {"boundaries": boundaries},
+                 cost_ms=cost_ms)
+    return slabs
+
+
 class SolvePlan:
     """Pre-bound apply/residual kernels for one operator on one backend.
 
@@ -153,13 +193,13 @@ class SolvePlan:
                 self.threads = measured_plan_threads(self)
                 if (self.threads is not None and self.threads > 1
                         and self._csr is not None):
-                    # prebuild the slab partition a cache-hit verdict skips
-                    from ..par import csr_partition
-
+                    # prebuild the slab partition a cache-hit verdict skips;
+                    # with REPRO_ARTIFACTS set, persisted boundaries replace
+                    # the balance computation across restarts
                     m = self._csr
                     self.par.partition(
                         ("csr", self.threads),
-                        lambda: csr_partition(m.indptr, self.threads))
+                        lambda: _cached_csr_partition(m, self.threads))
 
     # ------------------------------------------------------------------ #
     @property

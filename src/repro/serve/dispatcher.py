@@ -128,16 +128,23 @@ class DispatchStats:
     breaker_trips: int = 0
     deadline_misses: int = 0
     rejected: int = 0
+    prewarms: int = 0
+    opportunistic_warmups: int = 0
+    prewarm_ms: float = 0.0
 
     def summary(self) -> dict:
         """Dispatcher counters plus the plan-layer state a production
         deployment watches: the plan/autotune caches, the autotuned
         thread-count verdicts (``autotune.thread_verdicts``), the
-        worker-pool budget/occupancy (``pool``), and the robustness
-        counters (``recovery``)."""
+        worker-pool budget/occupancy (``pool``), the robustness
+        counters (``recovery``), and the cold-start picture
+        (``cold_start``: warm-up completions plus the persistent artifact
+        cache's hit/miss/saved-time counters)."""
+        from ..cache import cold_start_stats
         from ..par import pool_stats
         from ..plans import autotune_stats, plan_cache_stats
 
+        artifacts = cold_start_stats()
         return {
             "requests": self.requests,
             "batches": self.batches,
@@ -155,6 +162,13 @@ class DispatchStats:
             "plan_cache": plan_cache_stats(),
             "autotune": autotune_stats(),
             "pool": pool_stats(),
+            "cold_start": {
+                "prewarms": self.prewarms,
+                "opportunistic_warmups": self.opportunistic_warmups,
+                "prewarm_ms": round(self.prewarm_ms, 3),
+                "setup_ms_saved": round(artifacts["saved_ms"], 3),
+                "artifacts": artifacts,
+            },
         }
 
 
@@ -241,6 +255,7 @@ class BatchDispatcher:
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_cooldown = float(breaker_cooldown)
         self._precond_spec = (preconditioner, nblocks, alpha)
+        self._max_workers = int(max_workers)
         self._pool = ThreadPoolExecutor(max_workers=max_workers,
                                         thread_name_prefix="repro-serve")
         self._lock = threading.Lock()
@@ -253,6 +268,11 @@ class BatchDispatcher:
         self._building: dict[tuple, Future] = {}
         self._breakers: dict[tuple, _Breaker] = {}
         self._inflight: list[tuple[Future, list[_Request]]] = []
+        # setup keys evicted from the solver LRU: returning traffic for one
+        # of these triggers an opportunistic warm-up on an idle worker
+        # (bounded insertion-ordered set)
+        self._evicted: OrderedDict[tuple, None] = OrderedDict()
+        self._busy_workers = 0
         self._outstanding = 0
         self._closed = False
         self.stats = DispatchStats()
@@ -306,6 +326,19 @@ class BatchDispatcher:
             self._pending[key][1].append(request)
             if len(self._pending[key][1]) >= self.max_batch:
                 ready = self._pending.pop(key)
+            # opportunistic warm-up: this fingerprint was evicted from the
+            # solver LRU and is back — rebuild its setup on an idle worker
+            # while the group waits to fill, instead of inside the batch
+            rewarm = None
+            setup_key = (key, self.config)
+            if (setup_key in self._evicted
+                    and setup_key not in self._solvers
+                    and setup_key not in self._building
+                    and self._busy_workers < self._max_workers):
+                self._evicted.pop(setup_key, None)
+                rewarm = matrix
+        if rewarm is not None:
+            self._pool.submit(self._warm_one, rewarm, opportunistic=True)
         if ready is not None:
             self._dispatch(*ready)
         return request.future
@@ -340,6 +373,55 @@ class BatchDispatcher:
         futures = [self.submit(matrix, rhs) for matrix, rhs in pairs]
         self.drain()
         return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------ #
+    def prewarm(self, operators, wait: bool = True,
+                timeout: float | None = None) -> list[Future]:
+        """Build the solver setup for each operator before traffic arrives.
+
+        The expensive per-operator work — factorization, level schedules,
+        plan compilation state — runs on the worker pool (populating the
+        setup LRU, the plan cache and, with ``REPRO_ARTIFACTS``, the
+        persistent artifact store), so the first real request finds a warm
+        cache.  With ``wait=True`` (default) the call blocks until every
+        build finishes and re-raises the first failure; with ``wait=False``
+        it returns the build futures immediately.
+
+        Completions are counted in ``stats.summary()["cold_start"]``.
+        """
+        with self._lock:
+            if self._closed:
+                raise DispatcherClosed("dispatcher is closed")
+        futures = [self._pool.submit(self._warm_one, operator)
+                   for operator in operators]
+        if wait:
+            for future in futures:
+                future.result(timeout)
+        return futures
+
+    def _warm_one(self, matrix, opportunistic: bool = False) -> None:
+        """Worker-side warm-up: build (or revalidate) one operator's setup."""
+        from ..par import pool_consumer
+
+        start = time.monotonic()
+        try:
+            with self._lock:
+                self._busy_workers += 1
+            with pool_consumer():
+                self._solver_for(matrix)
+        except BaseException:   # noqa: BLE001 - breaker state already updated
+            if not opportunistic:
+                raise           # explicit prewarm(): surface via the future
+        else:
+            with self._lock:
+                if opportunistic:
+                    self.stats.opportunistic_warmups += 1
+                else:
+                    self.stats.prewarms += 1
+                self.stats.prewarm_ms += (time.monotonic() - start) * 1e3
+        finally:
+            with self._lock:
+                self._busy_workers -= 1
 
     # ------------------------------------------------------------------ #
     def _finish(self, request: _Request, result=None, exc=None) -> None:
@@ -416,8 +498,12 @@ class BatchDispatcher:
         with self._lock:
             self._solvers[key] = solver
             self._solvers.move_to_end(key)
+            self._evicted.pop(key, None)
             while len(self._solvers) > self.cache_size:
-                self._solvers.popitem(last=False)
+                evicted_key, _ = self._solvers.popitem(last=False)
+                self._evicted[evicted_key] = None
+                while len(self._evicted) > 4 * self.cache_size:
+                    self._evicted.popitem(last=False)
             self._building.pop(key, None)
         self._breaker_record(key, ok=True)
         build.set_result(solver)
@@ -464,6 +550,8 @@ class BatchDispatcher:
         if not requests:
             return
         try:
+            with self._lock:
+                self._busy_workers += 1
             maybe_delay("dispatcher.latency")
             maybe_fail_worker("dispatcher.worker")
             # one budget across both parallelism layers: each concurrently
@@ -481,6 +569,9 @@ class BatchDispatcher:
         except BaseException as exc:   # noqa: BLE001 - retried or propagated
             self._retry_or_fail(matrix, requests, exc)
             return
+        finally:
+            with self._lock:
+                self._busy_workers -= 1
         for req, result in zip(requests, batch.results):
             if result.recovery is not None:
                 with self._lock:

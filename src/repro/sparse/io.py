@@ -46,20 +46,42 @@ def read_matrix_market(path: str | Path) -> CSRMatrix:
         if symmetry not in ("general", "symmetric", "skew-symmetric"):
             raise ValueError(f"unsupported symmetry: {symmetry}")
 
-        line = fh.readline()
-        while line.startswith("%"):
+        # size line: the format allows blank and comment lines between the
+        # header and the sizes (and inside the data block below)
+        while True:
             line = fh.readline()
-        nrows, ncols, nnz = (int(tok) for tok in line.split())
+            if not line:
+                raise ValueError(f"truncated MatrixMarket file (no size line): {path}")
+            stripped = line.strip()
+            if stripped and not stripped.startswith("%"):
+                break
+        try:
+            nrows, ncols, nnz = (int(tok) for tok in stripped.split())
+        except ValueError:
+            raise ValueError(f"malformed MatrixMarket size line: {stripped!r}") from None
 
-        rows = np.empty(nnz, dtype=np.int64)
-        cols = np.empty(nnz, dtype=np.int64)
-        vals = np.empty(nnz, dtype=np.float64)
         pattern = field == "pattern"
-        for k in range(nnz):
-            parts = fh.readline().split()
-            rows[k] = int(parts[0]) - 1
-            cols[k] = int(parts[1]) - 1
-            vals[k] = 1.0 if pattern else float(parts[2])
+        width = 2 if pattern else 3
+        if nnz == 0:
+            data = np.empty((0, width), dtype=np.float64)
+        else:
+            # one vectorized pass over the data block; loadtxt skips blank
+            # lines natively and comments="%" covers embedded comment lines
+            try:
+                data = np.loadtxt(fh, dtype=np.float64, comments="%", ndmin=2)
+            except ValueError as exc:
+                raise ValueError(f"malformed MatrixMarket data in {path}: {exc}") from None
+        if data.size and data.shape[1] < width:
+            raise ValueError(
+                f"MatrixMarket data rows have {data.shape[1]} columns; "
+                f"expected {width} for field type {field!r}")
+        if data.shape[0] != nnz:
+            raise ValueError(
+                f"truncated MatrixMarket file {path}: size line promises "
+                f"{nnz} entries, data block has {data.shape[0]}")
+        rows = data[:, 0].astype(np.int64) - 1
+        cols = data[:, 1].astype(np.int64) - 1
+        vals = np.ones(nnz, dtype=np.float64) if pattern else data[:, 2].copy()
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols
@@ -70,6 +92,8 @@ def read_matrix_market(path: str | Path) -> CSRMatrix:
         cols = np.concatenate([cols, extra_cols])
         vals = np.concatenate([vals, extra_vals])
 
+    # duplicate coordinate entries are summed per the MatrixMarket spec
+    # (COOMatrix.to_csr's assembly convention is exactly that)
     coo = COOMatrix(rows.astype(np.int32), cols.astype(np.int32), vals, (nrows, ncols))
     return coo.to_csr()
 
@@ -84,5 +108,8 @@ def write_matrix_market(matrix: CSRMatrix, path: str | Path, comment: str = "") 
             for line in comment.splitlines():
                 fh.write(f"% {line}\n")
         fh.write(f"{matrix.nrows} {matrix.ncols} {coo.nnz}\n")
-        for r, c, v in zip(coo.rows, coo.cols, coo.values):
-            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")
+        if coo.nnz:
+            table = np.column_stack([coo.rows.astype(np.int64) + 1,
+                                     coo.cols.astype(np.int64) + 1,
+                                     coo.values.astype(np.float64)])
+            np.savetxt(fh, table, fmt="%d %d %.17g")

@@ -28,8 +28,55 @@ from ..backends.workspace import ScratchOwner
 from ..precision import Precision, as_precision, precision_of_dtype
 from .csr import CSRMatrix
 
-__all__ = ["TriangularFactor", "compute_levels", "fuse_block_diagonal",
-           "solve_lower", "solve_upper"]
+__all__ = ["TriangularFactor", "compute_levels", "clear_levels_memo",
+           "fuse_block_diagonal", "solve_lower", "solve_upper"]
+
+
+#: structural memo for level schedules, keyed by the dependency edge list.
+#: The ILU(0) elimination order, the resulting ``L`` factor's solve schedule
+#: and every ``astype``/refactorization of the same pattern share one entry,
+#: so block-Jacobi setup derives each block's levels once instead of three
+#: times.  Bounded LRU; entries are treated as immutable by all readers.
+_LEVELS_MEMO: "dict[str, list[np.ndarray]]" = {}
+_LEVELS_MEMO_MAX = 64
+_LEVELS_MEMO_LOCK = None  # created lazily to keep import light
+
+
+def _levels_lock():
+    global _LEVELS_MEMO_LOCK
+    if _LEVELS_MEMO_LOCK is None:
+        import threading
+        _LEVELS_MEMO_LOCK = threading.Lock()
+    return _LEVELS_MEMO_LOCK
+
+
+def clear_levels_memo() -> None:
+    """Forget memoized level schedules (tests/benchmarks)."""
+    with _levels_lock():
+        _LEVELS_MEMO.clear()
+
+
+def _memo_put(key: str, levels: list[np.ndarray]) -> None:
+    with _levels_lock():
+        if key not in _LEVELS_MEMO and len(_LEVELS_MEMO) >= _LEVELS_MEMO_MAX:
+            _LEVELS_MEMO.pop(next(iter(_LEVELS_MEMO)))
+        _LEVELS_MEMO[key] = levels
+
+
+def _levels_from_arrays(arrays: dict | None, n: int) -> list[np.ndarray] | None:
+    """Rebuild a level schedule from a cached payload; ``None`` if unusable."""
+    if arrays is None:
+        return None
+    try:
+        rows = np.ascontiguousarray(arrays["rows"], dtype=np.int32)
+        sizes = np.ascontiguousarray(arrays["sizes"], dtype=np.int64)
+    except Exception:
+        return None
+    if sizes.ndim != 1 or rows.ndim != 1 or int(sizes.sum()) != rows.size:
+        return None
+    if rows.size and (rows.min() < 0 or rows.max() >= n):
+        return None
+    return np.split(rows, np.cumsum(sizes)[:-1])
 
 
 def compute_levels(indices: np.ndarray, indptr: np.ndarray, lower: bool) -> list[np.ndarray]:
@@ -47,6 +94,10 @@ def compute_levels(indices: np.ndarray, indptr: np.ndarray, lower: bool) -> list
     of the level array).  One ``O(frontier edges)`` numpy pass per level
     replaces the former Python loop over all ``n`` rows, which dominated
     block-Jacobi factorization cold-start.
+
+    Schedules are memoized in-process by the structural hash of the
+    dependency edge list and, with ``REPRO_ARTIFACTS`` set, persisted across
+    processes through :mod:`repro.cache`.
     """
     n = indptr.size - 1
     if n == 0:
@@ -56,6 +107,37 @@ def compute_levels(indices: np.ndarray, indptr: np.ndarray, lower: bool) -> list
     mask = cols < rows if lower else cols > rows
     dep_src = cols[mask]                 # j: the dependency
     dep_dst = rows[mask]                 # i: the dependent row
+
+    from ..cache import artifact_key, artifacts_enabled, load_arrays, store_arrays
+
+    key = artifact_key("levels", n, dep_src, dep_dst)
+    with _levels_lock():
+        cached = _LEVELS_MEMO.get(key)
+    if cached is not None:
+        return list(cached)
+    persist = artifacts_enabled()
+    if persist:
+        levels = _levels_from_arrays(load_arrays("levels", key), n)
+        if levels is not None:
+            _memo_put(key, levels)
+            return list(levels)
+
+    from time import perf_counter
+    start = perf_counter()
+    levels = _peel_levels(n, dep_src, dep_dst)
+    cost_ms = (perf_counter() - start) * 1e3
+    _memo_put(key, levels)
+    if persist:
+        sizes = np.array([lvl.size for lvl in levels], dtype=np.int64)
+        rows_flat = (np.concatenate(levels) if levels
+                     else np.empty(0, dtype=np.int32))
+        store_arrays("levels", key, {"rows": rows_flat, "sizes": sizes},
+                     cost_ms=cost_ms)
+    return list(levels)
+
+
+def _peel_levels(n: int, dep_src: np.ndarray, dep_dst: np.ndarray) -> list[np.ndarray]:
+    """Frontier peeling over the dependency edge list (see compute_levels)."""
     indegree = np.bincount(dep_dst, minlength=n)
 
     # adjacency j -> dependents i, CSR-shaped over sources (edges arrive
@@ -248,13 +330,27 @@ def fuse_block_diagonal(factors: list[TriangularFactor]) -> TriangularFactor:
     out.diag = np.concatenate([f.diag for f in factors])
     out.inv_diag = np.concatenate([f.inv_diag for f in factors])
     out.precision = first.precision
+    # Merged level schedule, one pass over all blocks: concatenate every
+    # block's (level id, globalized row) pairs and stable-sort by level id —
+    # block order within a level and row order within a block are preserved,
+    # so the result matches the former per-level concatenation loop exactly.
     nlevels = max(f.nlevels for f in factors)
-    out.levels = [
-        np.concatenate([f.levels[i].astype(np.int64) + off
-                        for f, off in zip(factors, offsets)
-                        if i < f.nlevels]).astype(np.int32)
-        for i in range(nlevels)
-    ]
+    if nlevels == 0:
+        out.levels = []
+    else:
+        leveled = [(f, off) for f, off in zip(factors, offsets) if f.nlevels]
+        level_sizes = np.concatenate(
+            [[lvl.size for lvl in f.levels] for f, _ in leveled]).astype(np.int64)
+        level_ids = np.concatenate(
+            [np.arange(f.nlevels, dtype=np.int64) for f, _ in leveled])
+        rows_all = np.concatenate(
+            [np.concatenate(f.levels).astype(np.int64) + off
+             for f, off in leveled])
+        order = np.argsort(np.repeat(level_ids, level_sizes), kind="stable")
+        rows_sorted = rows_all[order].astype(np.int32)
+        merged_sizes = np.bincount(level_ids, weights=level_sizes,
+                                   minlength=nlevels).astype(np.int64)
+        out.levels = np.split(rows_sorted, np.cumsum(merged_sizes)[:-1])
     out._fast_plan = None
     out._fast_vals = {}
     out._scratch = None

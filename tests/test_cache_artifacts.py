@@ -1,0 +1,334 @@
+"""Artifact-cache tests: hit/miss, corruption tolerance, restart skip (PR 7).
+
+Covers the persistent compiled-artifact store (``repro.cache``): factor /
+level-schedule / partition payload roundtrips, version-mismatch and
+corrupt-file degradation (recompute, never crash), the dispatcher's warm-up
+counters, and — via subprocesses — a restarted process skipping
+factorization-adjacent recomputation plus the autotune disk cache's
+concurrent-writer merge.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.cache as cache
+from repro.matgen.poisson import poisson2d
+from repro.matgen.random_matrices import random_spd
+from repro.precond.ilu0 import ilu0_factor
+from repro.sparse.triangular import TriangularFactor, clear_levels_memo, compute_levels
+
+pytestmark = pytest.mark.tier1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    """Point the artifact store at a temp dir; restore and reset afterwards."""
+    old = cache.set_artifacts_dir(str(tmp_path / "artifacts"))
+    cache.reset_cold_start_stats()
+    clear_levels_memo()
+    try:
+        yield tmp_path / "artifacts"
+    finally:
+        cache.set_artifacts_dir(old)
+        cache.reset_cold_start_stats()
+        clear_levels_memo()
+
+
+def _subprocess_env(**extra) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    env.pop("REPRO_ARTIFACTS", None)
+    env.pop("REPRO_TUNE_CACHE", None)
+    env.update(extra)
+    return env
+
+
+class TestStorePrimitives:
+    def test_disabled_store_is_inert(self):
+        old = cache.set_artifacts_dir("")
+        try:
+            assert not cache.artifacts_enabled()
+            assert cache.load_arrays("ilu0", "abc") is None
+            assert not cache.store_arrays("ilu0", "abc", {"x": np.arange(3)})
+        finally:
+            cache.set_artifacts_dir(old)
+
+    def test_roundtrip_and_counters(self, artifacts):
+        key = cache.artifact_key("levels", 7, np.arange(4), 1.5)
+        assert cache.load_arrays("levels", key) is None      # miss
+        assert cache.store_arrays("levels", key,
+                                  {"rows": np.arange(5, dtype=np.int32)},
+                                  cost_ms=12.5)
+        loaded = cache.load_arrays("levels", key)
+        assert loaded is not None
+        assert np.array_equal(loaded["rows"], np.arange(5, dtype=np.int32))
+        stats = cache.cold_start_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["stores"] == 1 and stats["errors"] == 0
+        assert stats["saved_ms"] == pytest.approx(12.5)
+        assert stats["by_kind"]["levels"]["hits"] == 1
+
+    def test_key_distinguishes_dtype_and_content(self):
+        a = cache.artifact_key("k", np.arange(4, dtype=np.int32))
+        b = cache.artifact_key("k", np.arange(4, dtype=np.int64))
+        c = cache.artifact_key("k", np.arange(5, dtype=np.int32))
+        assert len({a, b, c}) == 3
+
+    def test_corrupt_file_degrades_to_miss(self, artifacts):
+        key = cache.artifact_key("junk")
+        cache.store_arrays("ilu0", key, {"x": np.arange(3)})
+        path = artifacts / "ilu0" / (key + ".npz")
+        path.write_bytes(b"this is not a zip file")
+        assert cache.load_arrays("ilu0", key) is None
+        stats = cache.cold_start_stats()
+        assert stats["errors"] == 1 and stats["misses"] == 1
+
+    def test_truncated_file_degrades_to_miss(self, artifacts):
+        key = cache.artifact_key("trunc")
+        cache.store_arrays("ilu0", key, {"x": np.arange(100)})
+        path = artifacts / "ilu0" / (key + ".npz")
+        path.write_bytes(path.read_bytes()[:40])
+        assert cache.load_arrays("ilu0", key) is None
+
+    def test_version_mismatch_degrades_to_miss(self, artifacts):
+        key = cache.artifact_key("ver")
+        directory = artifacts / "ilu0"
+        directory.mkdir(parents=True)
+        np.savez(directory / (key + ".npz"),
+                 __version__=np.array([cache.ARTIFACT_VERSION + 1]),
+                 __cost_ms__=np.array([1.0]),
+                 x=np.arange(3))
+        assert cache.load_arrays("ilu0", key) is None
+        assert cache.cold_start_stats()["errors"] == 1
+
+    def test_unwritable_dir_is_nonfatal(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file, not a directory")
+        old = cache.set_artifacts_dir(str(target))
+        try:
+            assert not cache.store_arrays("ilu0", "k", {"x": np.arange(2)})
+        finally:
+            cache.set_artifacts_dir(old)
+
+
+class TestFactorAndLevelArtifacts:
+    def test_ilu0_factors_bit_identical_across_cache(self, artifacts):
+        A = random_spd(500, seed=3)
+        L1, U1 = ilu0_factor(A, alpha=1.1)
+        assert cache.cold_start_stats()["by_kind"]["ilu0"]["stores"] == 1
+        L2, U2 = ilu0_factor(A, alpha=1.1)
+        assert cache.cold_start_stats()["by_kind"]["ilu0"]["hits"] == 1
+        for X, Y in ((L1, L2), (U1, U2)):
+            assert np.array_equal(X.values, Y.values)
+            assert np.array_equal(X.indices, Y.indices)
+            assert np.array_equal(X.indptr, Y.indptr)
+
+    def test_ilu0_alpha_is_part_of_the_key(self, artifacts):
+        A = random_spd(300, seed=4)
+        _, U1 = ilu0_factor(A, alpha=1.0)
+        _, U2 = ilu0_factor(A, alpha=2.0)
+        assert not np.array_equal(U1.values, U2.values)
+        assert cache.cold_start_stats()["by_kind"]["ilu0"]["hits"] == 0
+
+    def test_corrupt_factor_payload_recomputes(self, artifacts):
+        A = random_spd(300, seed=5)
+        L1, _ = ilu0_factor(A)
+        for path in (artifacts / "ilu0").glob("*.npz"):
+            path.write_bytes(b"garbage")
+        L2, _ = ilu0_factor(A)
+        assert np.array_equal(L1.values, L2.values)
+
+    def test_level_schedule_roundtrip(self, artifacts):
+        A = poisson2d(30)
+        lower, _ = ilu0_factor(A)
+        ref = [lvl.copy() for lvl in
+               compute_levels(lower.indices, lower.indptr, lower=True)]
+        clear_levels_memo()
+        again = compute_levels(lower.indices, lower.indptr, lower=True)
+        assert cache.cold_start_stats()["by_kind"]["levels"]["hits"] >= 1
+        assert len(again) == len(ref)
+        for a, b in zip(again, ref):
+            assert a.dtype == np.int32
+            assert np.array_equal(a, b)
+
+    def test_levels_memo_dedups_without_artifacts(self):
+        old = cache.set_artifacts_dir("")
+        clear_levels_memo()
+        try:
+            A = poisson2d(25)
+            lower, _ = ilu0_factor(A)
+            first = compute_levels(lower.indices, lower.indptr, lower=True)
+            second = compute_levels(lower.indices, lower.indptr, lower=True)
+            assert all(np.array_equal(a, b) for a, b in zip(first, second))
+            factor = TriangularFactor(lower, lower=True, unit_diagonal=True)
+            assert all(np.array_equal(a, b)
+                       for a, b in zip(factor.levels, first))
+        finally:
+            cache.set_artifacts_dir(old)
+            clear_levels_memo()
+
+
+class TestDispatcherColdStart:
+    def test_prewarm_and_summary_counters(self, artifacts):
+        from repro.serve.dispatcher import BatchDispatcher
+
+        mats = [random_spd(400, seed=s) for s in range(2)]
+        rng = np.random.default_rng(0)
+        with BatchDispatcher(max_batch=2, cache_size=2, max_workers=2) as d:
+            d.prewarm(mats)
+            cold = d.stats.summary()["cold_start"]
+            assert cold["prewarms"] == 2
+            assert cold["artifacts"]["stores"] > 0
+            # prewarmed setups are cache hits for the first real batch
+            f = d.submit(mats[0], rng.standard_normal(400))
+            d.drain()
+            f.result()
+            assert d.stats.cache_hits >= 1
+            assert d.stats.cache_misses == 2          # the prewarm builds
+
+    def test_prewarm_after_close_raises(self, artifacts):
+        from repro.serve.dispatcher import BatchDispatcher, DispatcherClosed
+
+        d = BatchDispatcher()
+        d.close()
+        with pytest.raises(DispatcherClosed):
+            d.prewarm([random_spd(100, seed=0)])
+
+    def test_opportunistic_warmup_of_evicted_fingerprint(self, artifacts):
+        import time
+
+        from repro.serve.dispatcher import BatchDispatcher
+
+        mats = [random_spd(300, seed=s) for s in range(3)]
+        rng = np.random.default_rng(1)
+        with BatchDispatcher(max_batch=8, cache_size=1, max_workers=2) as d:
+            for m in mats:
+                d.submit(m, rng.standard_normal(300))
+            d.drain()                      # builds 3, evicts at least 2
+            d.submit(mats[0], rng.standard_normal(300))
+            deadline = time.monotonic() + 5.0
+            while (d.stats.opportunistic_warmups == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            d.drain()
+            assert d.stats.summary()["cold_start"]["opportunistic_warmups"] >= 1
+
+
+class TestRestartSkipsRecompute:
+    CHILD = textwrap.dedent("""
+        import json, sys
+        import numpy as np
+        import repro.cache as cache
+        from repro.matgen.poisson import poisson2d
+        from repro.precond.block_jacobi import BlockJacobiIC0
+
+        bj = BlockJacobiIC0(poisson2d(40), nblocks=4)
+        digest = 0.0
+        for block in bj._blocks:
+            digest += float(np.abs(block._lower.off_vals).sum())
+            digest += sum(int(lvl.sum()) for lvl in block._lower.levels)
+        stats = cache.cold_start_stats()
+        print(json.dumps({"digest": repr(digest),
+                          "hits": stats["hits"],
+                          "misses": stats["misses"],
+                          "stores": stats["stores"],
+                          "by_kind": stats["by_kind"]}))
+    """)
+
+    def test_restarted_process_skips_factorization(self, tmp_path):
+        env = _subprocess_env(REPRO_ARTIFACTS=str(tmp_path / "store"))
+        runs = []
+        for _ in range(2):
+            proc = subprocess.run([sys.executable, "-c", self.CHILD],
+                                  env=env, capture_output=True, text=True,
+                                  timeout=120)
+            assert proc.returncode == 0, proc.stderr
+            runs.append(json.loads(proc.stdout.strip().splitlines()[-1]))
+        first, second = runs
+        assert first["stores"] > 0
+        assert second["hits"] > 0, second
+        # the restart re-derived no ILU(0) factors and no level schedules
+        assert second["by_kind"]["ilu0"]["misses"] == 0
+        assert second["by_kind"]["levels"]["misses"] == 0
+        assert second["digest"] == first["digest"]
+
+    def test_unset_artifacts_reproduces_uncached_results(self, tmp_path):
+        env_cached = _subprocess_env(REPRO_ARTIFACTS=str(tmp_path / "store"))
+        env_plain = _subprocess_env()
+        digests = []
+        for env in (env_cached, env_cached, env_plain):
+            proc = subprocess.run([sys.executable, "-c", self.CHILD],
+                                  env=env, capture_output=True, text=True,
+                                  timeout=120)
+            assert proc.returncode == 0, proc.stderr
+            digests.append(
+                json.loads(proc.stdout.strip().splitlines()[-1])["digest"])
+        assert digests[0] == digests[1] == digests[2]
+
+
+class TestAutotuneDiskMerge:
+    WRITER = textwrap.dedent("""
+        import sys
+        from repro.plans import autotune
+
+        key = tuple(sys.argv[1].split("|"))
+        choice = sys.argv[2]
+        with autotune._LOCK:
+            autotune._CACHE[key] = choice
+            snapshot = dict(autotune._CACHE)
+        autotune._store_disk_cache(snapshot)
+    """)
+
+    def _write_verdict(self, env, key: str, choice: str) -> None:
+        proc = subprocess.run(
+            [sys.executable, "-c", self.WRITER, key, choice],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_two_processes_merge_instead_of_clobber(self, tmp_path):
+        cache_file = tmp_path / "tune.json"
+        env = _subprocess_env(REPRO_TUNE_CACHE=str(cache_file))
+        # process A writes its verdict, then process B — a fresh process that
+        # never loaded the file — writes a different one
+        self._write_verdict(env, "fpA|fast|fp64|1024", "csr")
+        self._write_verdict(env, "fpB|fast|fp64|1024", "ell")
+        stored = json.loads(cache_file.read_text())
+        assert stored["fpA|fast|fp64|1024"] == "csr"
+        assert stored["fpB|fast|fp64|1024"] == "ell"
+
+    def test_thread_verdicts_survive_merge(self, tmp_path):
+        cache_file = tmp_path / "tune.json"
+        env = _subprocess_env(REPRO_TUNE_CACHE=str(cache_file))
+        self._write_verdict(env, "fpA|fast|fp64|threads|spmv|8", "4")
+        self._write_verdict(env, "fpA|fast|fp64|1024", "csr")
+        stored = json.loads(cache_file.read_text())
+        assert stored["fpA|fast|fp64|threads|spmv|8"] == "4"
+        assert stored["fpA|fast|fp64|1024"] == "csr"
+
+    def test_corrupt_existing_file_is_overwritten(self, tmp_path):
+        cache_file = tmp_path / "tune.json"
+        cache_file.write_text("{not json")
+        env = _subprocess_env(REPRO_TUNE_CACHE=str(cache_file))
+        self._write_verdict(env, "fpA|fast|fp64|1024", "csr")
+        stored = json.loads(cache_file.read_text())
+        assert stored == {"fpA|fast|fp64|1024": "csr"}
+
+    def test_autotune_cache_falls_back_to_artifacts_dir(self, tmp_path):
+        from repro.plans import autotune
+
+        old = cache.set_artifacts_dir(str(tmp_path / "store"))
+        try:
+            assert autotune._cache_path() == str(
+                tmp_path / "store" / "autotune.json")
+        finally:
+            cache.set_artifacts_dir(old)

@@ -1,0 +1,178 @@
+"""MatrixMarket reader/writer tests: format tolerance + vectorized parse (PR 7).
+
+Pins the reader fixes — blank/comment lines anywhere the format allows them,
+duplicate-entry summing per the spec, clear truncation errors — and the
+writer/reader roundtrip at full fp64 precision (including gzip).
+"""
+
+import numpy as np
+import pytest
+
+from repro.matgen.poisson import poisson2d
+from repro.sparse import CSRMatrix
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+pytestmark = pytest.mark.tier1
+
+
+def _write(tmp_path, text, name="m.mtx"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def _dense(matrix: CSRMatrix) -> np.ndarray:
+    out = np.zeros(matrix.shape)
+    for i in range(matrix.nrows):
+        for k in range(matrix.indptr[i], matrix.indptr[i + 1]):
+            out[i, matrix.indices[k]] += matrix.values[k]
+    return out
+
+
+class TestReader:
+    def test_basic_general_real(self, tmp_path):
+        m = read_matrix_market(_write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 3 3\n"
+            "1 1 1.5\n"
+            "2 3 -2.0\n"
+            "1 2 4.0\n")))
+        assert m.shape == (2, 3)
+        expected = np.array([[1.5, 4.0, 0.0], [0.0, 0.0, -2.0]])
+        assert np.array_equal(_dense(m), expected)
+
+    def test_blank_lines_before_size_line(self, tmp_path):
+        m = read_matrix_market(_write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "\n"
+            "   \n"
+            "2 2 1\n"
+            "1 1 3.0\n")))
+        assert _dense(m)[0, 0] == 3.0
+
+    def test_blank_and_comment_lines_inside_data(self, tmp_path):
+        m = read_matrix_market(_write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 3\n"
+            "1 1 1.0\n"
+            "\n"
+            "% interior comment\n"
+            "2 2 2.0\n"
+            "\n"
+            "3 3 3.0\n"
+            "\n")))
+        assert np.array_equal(np.diag(_dense(m)), [1.0, 2.0, 3.0])
+
+    def test_duplicate_entries_are_summed(self, tmp_path):
+        m = read_matrix_market(_write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n"
+            "1 1 2.0\n"
+            "1 1 0.25\n"
+            "2 1 1.0\n")))
+        assert m.nnz == 2
+        assert _dense(m)[0, 0] == 2.25
+
+    def test_symmetric_expansion(self, tmp_path):
+        m = read_matrix_market(_write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n"
+            "1 1 4.0\n"
+            "2 1 -1.0\n")))
+        assert np.array_equal(_dense(m), [[4.0, -1.0], [-1.0, 0.0]])
+
+    def test_skew_symmetric_expansion(self, tmp_path):
+        m = read_matrix_market(_write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 5.0\n")))
+        assert np.array_equal(_dense(m), [[0.0, -5.0], [5.0, 0.0]])
+
+    def test_pattern_field(self, tmp_path):
+        m = read_matrix_market(_write(tmp_path, (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n")))
+        assert np.array_equal(_dense(m), [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_empty_matrix(self, tmp_path):
+        m = read_matrix_market(_write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "4 4 0\n")))
+        assert m.shape == (4, 4) and m.nnz == 0
+
+    def test_truncated_data_raises_clearly(self, tmp_path):
+        path = _write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 4\n"
+            "1 1 1.0\n"
+            "2 2 2.0\n"))
+        with pytest.raises(ValueError, match="promises 4 entries"):
+            read_matrix_market(path)
+
+    def test_missing_size_line_raises(self, tmp_path):
+        path = _write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% only comments\n"))
+        with pytest.raises(ValueError, match="no size line"):
+            read_matrix_market(path)
+
+    def test_malformed_size_line_raises(self, tmp_path):
+        path = _write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "three by three\n"))
+        with pytest.raises(ValueError, match="size line"):
+            read_matrix_market(path)
+
+    def test_malformed_data_raises(self, tmp_path):
+        path = _write(tmp_path, (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1 1.0\n"
+            "2 2 zero point five\n"))
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_not_matrix_market_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="not a MatrixMarket file"):
+            read_matrix_market(_write(tmp_path, "1 1 1\n"))
+
+    def test_unsupported_field_raises(self, tmp_path):
+        path = _write(tmp_path,
+                      "%%MatrixMarket matrix coordinate complex general\n")
+        with pytest.raises(ValueError, match="unsupported field"):
+            read_matrix_market(path)
+
+
+class TestWriterRoundtrip:
+    @pytest.mark.parametrize("suffix", [".mtx", ".mtx.gz"])
+    def test_roundtrip_bit_exact(self, tmp_path, suffix):
+        A = poisson2d(12)
+        path = tmp_path / ("a" + suffix)
+        write_matrix_market(A, path, comment="poisson\ntwo lines")
+        B = read_matrix_market(path)
+        assert B.shape == A.shape
+        assert np.array_equal(A.indptr, B.indptr)
+        assert np.array_equal(A.indices, B.indices)
+        assert np.array_equal(A.values, B.values)
+
+    def test_roundtrip_full_fp64_precision(self, tmp_path):
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal(5) * np.array(
+            [1e-300, 1e-10, 1.0, 1e10, 1e300])
+        A = CSRMatrix(values, np.arange(5, dtype=np.int32),
+                      np.arange(6, dtype=np.int32), (5, 5))
+        path = tmp_path / "p.mtx"
+        write_matrix_market(A, path)
+        B = read_matrix_market(path)
+        assert np.array_equal(A.values, B.values)
+
+    def test_roundtrip_empty(self, tmp_path):
+        A = CSRMatrix(np.zeros(0), np.zeros(0, dtype=np.int32),
+                      np.zeros(4, dtype=np.int32), (3, 3))
+        path = tmp_path / "e.mtx"
+        write_matrix_market(A, path)
+        B = read_matrix_market(path)
+        assert B.nnz == 0 and B.shape == (3, 3)

@@ -44,6 +44,10 @@ REQUIRED_MODULES = (
                                        # hardening, guarded parity (PR 6)
     "test_faults*.py",                 # fault-injection determinism and the
                                        # seeded 50-request hammer (PR 6)
+    "test_cache_artifacts*.py",        # artifact store: hit/miss, corruption
+                                       # tolerance, restart-skip, autotune
+                                       # disk-cache merge (PR 7)
+    "test_sparse_io*.py",              # MatrixMarket reader/writer fixes (PR 7)
 )
 
 
