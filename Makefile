@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all test-faults lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline bench-cold-smoke bench-cold-baseline
+.PHONY: test test-all test-faults lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline bench-cold-smoke bench-cold-baseline bench-procs-smoke bench-procs-baseline
 
 ## Tier-1 test suite (the CI gate): fast deterministic tests only
 ## (pytest.ini's addopts deselect the tier2 marker by default)
@@ -66,3 +66,14 @@ bench-cold-smoke:
 ## Regenerate the committed cold-start baseline (machine-dependent)
 bench-cold-baseline:
 	$(PYTHON) benchmarks/bench_cold_start.py --write-baseline
+
+## Process-tier benchmark at smoke scale: gateway throughput across
+## REPRO_PROCS, zero-copy shm accounting, warm-worker artifact hits;
+## bit-identity gated.  On a 1-core box the multi-process entries measure
+## spawn/queue overhead, so only the procs=1 throughput is floored.
+bench-procs-smoke:
+	$(PYTHON) benchmarks/bench_procs.py --check
+
+## Regenerate the committed process-tier baseline (machine-dependent)
+bench-procs-baseline:
+	$(PYTHON) benchmarks/bench_procs.py --write-baseline

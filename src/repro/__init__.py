@@ -49,9 +49,12 @@ from .operators import (
     as_operator,
 )
 from .par import (
+    configured_procs,
     configured_threads,
     pool_stats,
+    set_procs,
     set_threads,
+    use_procs,
     use_threads,
 )
 from .plans import (
@@ -70,6 +73,7 @@ from .serve import (
     CircuitOpen,
     DeadlineExceeded,
     DispatcherClosed,
+    ShardedGateway,
 )
 from .solvers import (
     BatchSolveResult,
@@ -97,9 +101,12 @@ if __import__("os").environ.get("REPRO_FAULTS", "").strip():
     from . import faults  # noqa: F401
 
 __all__ = [
+    "configured_procs",
     "configured_threads",
     "pool_stats",
+    "set_procs",
     "set_threads",
+    "use_procs",
     "use_threads",
     "F3RConfig",
     "F3RSolver",
@@ -117,6 +124,7 @@ __all__ = [
     "SolveResult",
     "BatchSolveResult",
     "BatchDispatcher",
+    "ShardedGateway",
     "DispatcherClosed",
     "DeadlineExceeded",
     "AdmissionRefused",

@@ -53,7 +53,8 @@ _STATS: dict = {}
 
 def _fresh_stats() -> dict:
     return {"hits": 0, "misses": 0, "stores": 0, "errors": 0,
-            "saved_ms": 0.0, "by_kind": {}}
+            "saved_ms": 0.0, "by_kind": {},
+            "gc": {"runs": 0, "removed": 0, "removed_bytes": 0}}
 
 
 _STATS = _fresh_stats()
@@ -150,6 +151,12 @@ def load_arrays(kind: str, key: str) -> dict[str, np.ndarray] | None:
         _STATS["hits"] += 1
         _kind_stats(kind)["hits"] += 1
         _STATS["saved_ms"] += cost_ms
+    try:
+        # LRU touch: the GC prunes by mtime recency, so a hit must refresh
+        # the artifact's clock or hot entries would age out with cold ones
+        os.utime(path)
+    except OSError:
+        pass
     return arrays
 
 
@@ -186,6 +193,9 @@ def store_arrays(kind: str, key: str, arrays: dict[str, np.ndarray],
             except OSError:
                 pass
     _count(kind, "stores")
+    from .gc import maybe_auto_gc
+
+    maybe_auto_gc()
     return True
 
 
@@ -194,6 +204,7 @@ def cold_start_stats() -> dict:
     with _LOCK:
         out = dict(_STATS)
         out["by_kind"] = {k: dict(v) for k, v in _STATS["by_kind"].items()}
+        out["gc"] = dict(_STATS["gc"])
         out["enabled"] = artifacts_enabled()
         return out
 

@@ -51,6 +51,7 @@ __all__ = [
     "install_from_env",
     "maybe_delay",
     "maybe_fail_worker",
+    "maybe_kill_process",
 ]
 
 #: kernel-method name -> fault site label
@@ -111,6 +112,11 @@ class FaultPlan:
         Corruption payloads drawn per fault: ``"nan"`` and/or ``"inf"``.
     worker_rate:
         Per-call probability that :func:`maybe_fail_worker` raises.
+    kill_rate:
+        Per-call probability that :func:`maybe_kill_process` hard-exits the
+        calling process (``os._exit``) — worker-death injection for the
+        process tier, where a "worker failure" must be a real process exit,
+        not a catchable exception.
     latency, latency_rate:
         :func:`maybe_delay` sleeps ``latency`` seconds with probability
         ``latency_rate`` per call.
@@ -123,7 +129,7 @@ class FaultPlan:
                  sites: tuple[str, ...] = ("spmv", "trsv"),
                  kinds: tuple[str, ...] = ("nan", "inf"),
                  worker_rate: float = 0.0, latency: float = 0.0,
-                 latency_rate: float = 0.0,
+                 latency_rate: float = 0.0, kill_rate: float = 0.0,
                  max_faults: int | None = None) -> None:
         self.seed = int(seed)
         self.rate = float(rate)
@@ -132,6 +138,7 @@ class FaultPlan:
         self.worker_rate = float(worker_rate)
         self.latency = float(latency)
         self.latency_rate = float(latency_rate)
+        self.kill_rate = float(kill_rate)
         self.max_faults = max_faults
         self.records: list[FaultRecord] = []
         self._counts: dict[str, int] = {}
@@ -180,6 +187,18 @@ class FaultPlan:
             return call
         return None
 
+    def kill_fires(self, site: str = "gateway.worker") -> int | None:
+        """Call index when a process kill fires this call, else ``None``."""
+        if self.kill_rate <= 0.0:
+            return None
+        call = self._next_call(site)
+        if self._rolls(site, call, 1)[0] < self.kill_rate:
+            with self._lock:
+                self.records.append(FaultRecord(site=site, call=call,
+                                                kind="kill"))
+            return call
+        return None
+
     def delay_fires(self, site: str = "dispatcher.latency") -> float | None:
         """Sleep duration for this call, or ``None``."""
         if self.latency_rate <= 0.0 or self.latency <= 0.0:
@@ -204,6 +223,29 @@ class FaultPlan:
         idx = zlib.crc32(f"{site}:{len(self.records)}".encode()) % flat.size
         flat[idx] = self._payload(kind)
         return out
+
+    def spec(self) -> str:
+        """The plan as a ``REPRO_FAULTS``-format string.
+
+        Round-trips through :func:`install_from_env`: the gateway ships the
+        active plan to spawned workers this way, so both sides replay the
+        same seeded schedule (call counters start fresh in each process —
+        per-process determinism, as with any multi-process ``REPRO_FAULTS``).
+        """
+        parts = [f"seed={self.seed}", f"rate={self.rate}",
+                 "sites=" + "+".join(self.sites),
+                 "kinds=" + "+".join(self.kinds)]
+        if self.worker_rate:
+            parts.append(f"worker_rate={self.worker_rate}")
+        if self.latency:
+            parts.append(f"latency={self.latency}")
+        if self.latency_rate:
+            parts.append(f"latency_rate={self.latency_rate}")
+        if self.kill_rate:
+            parts.append(f"kill_rate={self.kill_rate}")
+        if self.max_faults is not None:
+            parts.append(f"max={self.max_faults}")
+        return ",".join(parts)
 
     def summary(self) -> dict:
         return {
@@ -322,6 +364,20 @@ def maybe_fail_worker(site: str = "dispatcher.worker") -> None:
                             site=site, call=call)
 
 
+def maybe_kill_process(site: str = "gateway.worker") -> None:
+    """Hard-exit the calling process when the active plan schedules a kill.
+
+    ``os._exit`` (no cleanup, no exception) — the point is to present the
+    gateway with a *real* worker death: a closed queue and a dead pid, not a
+    pickled traceback.  No-op without an active plan or with ``kill_rate=0``.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    if plan.kill_fires(site) is not None:
+        os._exit(86)
+
+
 def maybe_delay(site: str = "dispatcher.latency") -> None:
     """Sleep when the active plan schedules latency at this call."""
     plan = _PLAN
@@ -352,7 +408,8 @@ def install_from_env(spec: str | None = None) -> FaultPlan | None:
             value = value.strip()
             if key in ("seed",):
                 kwargs["seed"] = int(value)
-            elif key in ("rate", "worker_rate", "latency", "latency_rate"):
+            elif key in ("rate", "worker_rate", "latency", "latency_rate",
+                         "kill_rate"):
                 kwargs[key] = float(value)
             elif key == "sites":
                 kwargs["sites"] = tuple(value.split("+"))

@@ -19,6 +19,11 @@ Layout:
   heuristic).
 * :mod:`repro.par.kernels` — the partitioned executors the ``fast``
   backend dispatches to.
+* :mod:`repro.par.procpool` — the ``REPRO_PROCS`` process tier: persistent
+  spawn-start workers executing whole batched solves past the GIL, fed by
+  :class:`repro.serve.ShardedGateway`.
+* :mod:`repro.par.shm` — zero-copy shared-memory operator storage for the
+  process tier (publish once, attach-on-first-use, refcounted registry).
 
 The :mod:`repro.plans` layer prebuilds partitions and autotunes
 per-(fingerprint, kernel) thread counts at plan-compile time, so small
@@ -36,6 +41,25 @@ from .partition import (
     par_state,
     span_partition,
 )
+from .procpool import (
+    ProcPool,
+    WorkerDied,
+    WorkerError,
+    configured_procs,
+    resolve_procs,
+    set_procs,
+    use_procs,
+)
+from .shm import (
+    AttachedArrays,
+    ShmDescriptor,
+    ShmRegistry,
+    attach_arrays,
+    operator_from_payload,
+    operator_payload,
+    publish_arrays,
+    segment_exists,
+)
 from .pool import (
     active_consumers,
     configured_threads,
@@ -52,9 +76,17 @@ from .pool import (
 
 __all__ = [
     "MIN_WORK_PER_THREAD",
+    "AttachedArrays",
     "ParState",
+    "ProcPool",
+    "ShmDescriptor",
+    "ShmRegistry",
+    "WorkerDied",
+    "WorkerError",
     "active_consumers",
+    "attach_arrays",
     "balanced_boundaries",
+    "configured_procs",
     "configured_threads",
     "csr_partition",
     "csr_slabs_from_boundaries",
@@ -63,12 +95,19 @@ __all__ = [
     "forced_threads",
     "kernel_threads",
     "level_partition",
+    "operator_from_payload",
+    "operator_payload",
     "par_state",
     "parallel_enabled",
     "pool_consumer",
     "pool_stats",
+    "publish_arrays",
+    "resolve_procs",
     "run_tasks",
+    "segment_exists",
+    "set_procs",
     "set_threads",
     "span_partition",
+    "use_procs",
     "use_threads",
 ]

@@ -1,0 +1,557 @@
+"""Persistent process-pool execution tier (``REPRO_PROCS``).
+
+PR 5's thread pool runs the *kernels* wide, but every Python-level step —
+level scheduling, plan dispatch, Givens rotations, the solver loop itself —
+serializes on the GIL, capping useful Python work at roughly one core per
+host.  This module runs whole batched solves in **worker processes**: each
+worker imports the package fresh (spawn start method — no forked locks, no
+inherited thread state), attaches operator storage zero-copy from
+:mod:`repro.par.shm`, warms its preconditioner factors / level schedules /
+partitions from the ``REPRO_ARTIFACTS`` store instead of refactorizing, and
+then serves batches for the fingerprints routed to it.
+
+Configuration mirrors ``REPRO_THREADS``: ``REPRO_PROCS`` (default ``1`` =
+in-process execution, ``auto`` = the core count), overridable with
+:func:`set_procs` / scoped with :func:`use_procs`.  The knob is read by
+:class:`repro.serve.ShardedGateway`; this module never spawns unless a
+gateway asks for more than one process.
+
+Determinism is the PR 5 contract one level up: a worker executes exactly
+the arithmetic the in-process dispatcher would — same operator bytes (the
+shared segment), same batch composition (the gateway groups per fingerprint
+before the queue hop), same solver construction — so results are
+bit-identical for every ``REPRO_PROCS`` value.
+
+Protocol (one queue hop per *batch*, never per request):
+
+==========================  =============================================
+to worker                   from worker
+==========================  =============================================
+``("solve", id, fp,         ``("result", wid, id, [SolveResult...],
+setup, rhs_block)``         stats-snapshot)`` or ``("error", wid, id,
+                            kind, type-name, message)``
+``("evict", fp)``           —  (drops solver/plans, closes the mapping)
+``("stats", token)``        ``("stats", wid, token, snapshot)``
+``("stop",)``               ``("stopped", wid)`` then exit
+==========================  =============================================
+
+``setup`` travels only on a worker's first batch for a fingerprint
+(attach-on-first-use): a :class:`~repro.par.shm.ShmDescriptor` for
+publishable operators, or a one-time pickled operator for families with no
+shared-memory form.  Worker death (injected via :func:`repro.faults.
+maybe_kill_process`, or real) fails the in-flight batches with
+:class:`WorkerDied`; the gateway respawns the slot and retries under its
+retry policy.  Respawned workers do not reinstall a gateway-shipped fault
+plan — a replacement worker models a repaired host (``REPRO_FAULTS`` in the
+environment still applies everywhere).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import Future
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ProcPool",
+    "WorkerDied",
+    "WorkerError",
+    "WorkerInit",
+    "configured_procs",
+    "resolve_procs",
+    "set_procs",
+    "use_procs",
+]
+
+
+def _parse_procs(spec: str | int | None) -> int:
+    """``REPRO_PROCS`` value → a positive process count (``auto`` = cores)."""
+    if spec is None:
+        return 1
+    if isinstance(spec, int):
+        return max(1, spec)
+    text = str(spec).strip().lower()
+    if text in ("", "1"):
+        return 1
+    if text in ("auto", "all", "0"):
+        return max(1, os.cpu_count() or 1)
+    try:
+        return max(1, int(text))
+    except ValueError as exc:
+        raise ValueError(f"REPRO_PROCS must be an integer or 'auto'; "
+                         f"got {spec!r}") from exc
+
+
+_CONFIGURED = _parse_procs(os.environ.get("REPRO_PROCS"))
+
+
+def configured_procs() -> int:
+    """The process-wide worker-process budget (``REPRO_PROCS`` / :func:`set_procs`)."""
+    return _CONFIGURED
+
+
+def set_procs(spec: str | int) -> int:
+    """Set the process budget (``'auto'`` = cores); returns the old budget."""
+    global _CONFIGURED
+    previous = _CONFIGURED
+    _CONFIGURED = _parse_procs(spec)
+    return previous
+
+
+@contextmanager
+def use_procs(spec: str | int):
+    """Scoped process-budget override (process-wide, like ``set_procs``)."""
+    previous = set_procs(spec)
+    try:
+        yield
+    finally:
+        set_procs(previous)
+
+
+def resolve_procs(procs: str | int | None) -> int:
+    """An explicit request (int/'auto') or ``None`` → the configured budget."""
+    return _CONFIGURED if procs is None else _parse_procs(procs)
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited while batches were in flight on it."""
+
+    def __init__(self, worker_id: int, exitcode: int | None = None) -> None:
+        super().__init__(f"worker {worker_id} died "
+                         f"(exitcode={exitcode!r}) with batches in flight")
+        self.worker_id = worker_id
+        self.exitcode = exitcode
+
+
+class WorkerError(RuntimeError):
+    """An exception raised inside a worker, relayed by (type, message).
+
+    ``kind`` distinguishes ``"setup"`` failures (solver construction — feeds
+    the gateway's per-fingerprint circuit breaker) from ``"solve"`` failures
+    (retryable like any died batch).
+    """
+
+    def __init__(self, kind: str, type_name: str, message: str) -> None:
+        super().__init__(f"worker {kind} error: {type_name}: {message}")
+        self.kind = kind
+        self.type_name = type_name
+
+
+@dataclass(frozen=True)
+class WorkerInit:
+    """Everything a spawned worker needs that is not in the environment.
+
+    Spawn inherits ``os.environ``, but process-wide *programmatic* overrides
+    (``set_artifacts_dir``, ``set_threads``, an active :mod:`repro.faults`
+    plan installed via ``inject()``) do not cross the spawn boundary — they
+    are shipped explicitly so a worker behaves like the parent would.
+    """
+
+    config: object                      # F3RConfig (frozen dataclass)
+    preconditioner: str | None = "auto"
+    nblocks: int | None = None
+    alpha: float = 1.0
+    backend: str | None = None
+    artifacts_dir: str | None = None
+    threads: int = 1
+    fault_spec: str | None = None
+
+
+# ---------------------------------------------------------------------- #
+# Worker process main
+# ---------------------------------------------------------------------- #
+def _worker_stats_snapshot(state: dict) -> dict:
+    """Point-in-time worker counters shipped with every result message."""
+    from ..cache import cold_start_stats
+    from ..plans import plan_cache_stats
+
+    artifacts = cold_start_stats()
+    warm = {kind: counts.get("hits", 0)
+            for kind, counts in artifacts.get("by_kind", {}).items()}
+    return {
+        "batches": state["batches"],
+        "requests": state["requests"],
+        "shm_attaches": state["shm_attaches"],
+        "shm_bytes": state["shm_bytes"],
+        "pickled_setups": state["pickled_setups"],
+        "warm_from_artifacts": warm,
+        "artifact_saved_ms": round(artifacts.get("saved_ms", 0.0), 3),
+        "plan_cache": plan_cache_stats().get("cached", 0),
+        "escalations": state["escalations"],
+    }
+
+
+def _worker_drop_fingerprint(state: dict, fp: str) -> None:
+    """Release everything a fingerprint pinned: solver, plans, shm views."""
+    import gc as _gc
+
+    from ..plans import drop_plans_for
+
+    state["solvers"].pop(fp, None)
+    state["operators"].pop(fp, None)
+    drop_plans_for(fp)
+    attachment = state["attachments"].pop(fp, None)
+    if attachment is not None:
+        _gc.collect()
+        if not attachment.close():
+            # a view is still referenced somewhere; park it for the final
+            # sweep at shutdown rather than leaking the mapping silently
+            state["stubborn"].append(attachment)
+
+
+def _worker_main(worker_id: int, init: WorkerInit, req_q, resp_q) -> None:
+    """Entry point of one spawned worker (module-level for picklability)."""
+    from .. import faults
+    from ..cache import set_artifacts_dir
+    from ..core import F3RSolver
+    from ..backends import use_backend
+    from .pool import set_threads
+    from .shm import attach_arrays, operator_from_payload
+
+    set_threads(init.threads)
+    if init.artifacts_dir is not None:
+        set_artifacts_dir(init.artifacts_dir)
+    if init.fault_spec:
+        faults.install_from_env(init.fault_spec)
+
+    state = {
+        "solvers": {}, "operators": {}, "attachments": {}, "stubborn": [],
+        "batches": 0, "requests": 0, "shm_attaches": 0, "shm_bytes": 0,
+        "pickled_setups": 0, "escalations": 0,
+    }
+
+    def build_solver(fp: str, setup) -> "F3RSolver":
+        solver = state["solvers"].get(fp)
+        if solver is not None:
+            return solver
+        if setup is None:
+            raise KeyError(f"no setup shipped for unknown fingerprint {fp}")
+        if "descriptor" in setup:
+            attachment = attach_arrays(setup["descriptor"])
+            state["attachments"][fp] = attachment
+            state["shm_attaches"] += 1
+            state["shm_bytes"] += attachment.nbytes
+            operator = operator_from_payload(attachment.arrays,
+                                             setup["descriptor"].meta)
+        else:
+            operator = pickle.loads(setup["pickle"])
+            state["pickled_setups"] += 1
+        state["operators"][fp] = operator
+        solver = F3RSolver(operator, preconditioner=init.preconditioner or "auto",
+                           config=init.config, nblocks=init.nblocks,
+                           alpha=init.alpha)
+        state["solvers"][fp] = solver
+        return solver
+
+    while True:
+        message = req_q.get()
+        op = message[0]
+        if op == "stop":
+            for fp in list(state["attachments"]):
+                _worker_drop_fingerprint(state, fp)
+            resp_q.put(("stopped", worker_id))
+            return
+        if op == "evict":
+            _worker_drop_fingerprint(state, message[1])
+            continue
+        if op == "stats":
+            resp_q.put(("stats", worker_id, message[1],
+                        _worker_stats_snapshot(state)))
+            continue
+        if op == "warm":
+            _, batch_id, fp, setup = message
+            try:
+                build_solver(fp, setup)
+            except BaseException as exc:   # noqa: BLE001 - relayed
+                resp_q.put(("error", worker_id, batch_id, "setup",
+                            type(exc).__name__, str(exc)))
+            else:
+                resp_q.put(("result", worker_id, batch_id, [],
+                            _worker_stats_snapshot(state)))
+            continue
+        if op != "solve":      # pragma: no cover - protocol guard
+            continue
+        _, batch_id, fp, setup, rhs_block = message
+        # injected process death: a FaultPlan shipped in WorkerInit (or from
+        # REPRO_FAULTS) can hard-kill this worker here, before any work, so
+        # the gateway's death-detection and retry path is exercised against
+        # a real process exit rather than a raised exception
+        faults.maybe_kill_process("gateway.worker")
+        try:
+            solver = build_solver(fp, setup)
+        except BaseException as exc:   # noqa: BLE001 - relayed to the gateway
+            resp_q.put(("error", worker_id, batch_id, "setup",
+                        type(exc).__name__, str(exc)))
+            continue
+        try:
+            if init.backend is not None:
+                with use_backend(init.backend):
+                    batch = solver.solve_batch(rhs_block)
+            else:
+                batch = solver.solve_batch(rhs_block)
+        except BaseException as exc:   # noqa: BLE001 - relayed to the gateway
+            resp_q.put(("error", worker_id, batch_id, "solve",
+                        type(exc).__name__, str(exc)))
+            continue
+        state["batches"] += 1
+        state["requests"] += rhs_block.shape[1]
+        for result in batch.results:
+            if result.recovery is not None:
+                state["escalations"] += int(result.recovery.escalations)
+        resp_q.put(("result", worker_id, batch_id, list(batch.results),
+                    _worker_stats_snapshot(state)))
+
+
+# ---------------------------------------------------------------------- #
+# The pool
+# ---------------------------------------------------------------------- #
+@dataclass
+class _Slot:
+    process: object = None
+    req_q: object = None
+    generation: int = 0
+    known: set = field(default_factory=set)
+    outstanding: int = 0
+    deaths: int = 0
+
+
+class ProcPool:
+    """``nprocs`` persistent spawn-start worker processes plus a collector.
+
+    The gateway is the only intended caller: :meth:`submit_batch` performs
+    the one queue hop per batch, resolving the returned future with
+    ``(results, stats-snapshot)`` from the worker or failing it with
+    :class:`WorkerDied` / :class:`WorkerError`.  Setup payloads are shipped
+    once per (worker generation, fingerprint) via ``setup_factory`` —
+    attach-on-first-use, so the hot path carries only the fingerprint.
+    """
+
+    _POLL = 0.05
+
+    def __init__(self, nprocs: int, init: WorkerInit) -> None:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.init = init
+        self._ctx = mp.get_context("spawn")
+        self._resp_q = self._ctx.Queue()
+        self._slots = [_Slot() for _ in range(nprocs)]
+        self._lock = threading.Lock()
+        self._pending: dict[int, tuple[Future, int]] = {}   # batch_id -> (future, worker)
+        self._next_batch = 0
+        self._closed = False
+        self.stats_snapshots: dict[int, dict] = {}
+        self.deaths = 0
+        for wid in range(nprocs):
+            self._spawn(wid, fault_spec=init.fault_spec)
+        self._collector = threading.Thread(target=self._collect,
+                                           name="repro-procpool-collector",
+                                           daemon=True)
+        self._collector.start()
+
+    # -------------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def _spawn(self, worker_id: int, fault_spec: str | None) -> None:
+        slot = self._slots[worker_id]
+        init = self.init if fault_spec == self.init.fault_spec else \
+            WorkerInit(**{**self.init.__dict__, "fault_spec": fault_spec})
+        slot.req_q = self._ctx.Queue()
+        slot.process = self._ctx.Process(
+            target=_worker_main, args=(worker_id, init, slot.req_q, self._resp_q),
+            name=f"repro-proc-{worker_id}", daemon=True)
+        slot.process.start()
+        slot.known = set()
+
+    def alive(self, worker_id: int) -> bool:
+        process = self._slots[worker_id].process
+        return process is not None and process.is_alive()
+
+    def ensure_worker(self, worker_id: int) -> None:
+        """Respawn a dead slot (fresh generation; no fault plan reinstalled)."""
+        with self._lock:
+            if self._closed or self.alive(worker_id):
+                return
+            slot = self._slots[worker_id]
+            slot.generation += 1
+            slot.deaths += 1
+            self.deaths += 1
+            self._spawn(worker_id, fault_spec=None)
+
+    def outstanding(self, worker_id: int) -> int:
+        return self._slots[worker_id].outstanding
+
+    def queue_depths(self) -> dict[int, int]:
+        return {wid: slot.outstanding for wid, slot in enumerate(self._slots)}
+
+    # -------------------------------------------------------------- #
+    def submit_batch(self, worker_id: int, fp: str, rhs_block,
+                     setup_factory) -> Future:
+        """One queue hop: dispatch a whole batch to ``worker_id``.
+
+        ``setup_factory()`` is invoked only when this worker generation has
+        never seen ``fp`` — it returns the setup payload (descriptor or
+        pickled operator) that rides along with the first batch.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ProcPool is closed")
+            slot = self._slots[worker_id]
+            if slot.process is None or not slot.process.is_alive():
+                raise WorkerDied(worker_id, getattr(slot.process, "exitcode", None))
+            batch_id = self._next_batch
+            self._next_batch += 1
+            setup = None
+            if fp not in slot.known:
+                setup = setup_factory()
+                slot.known.add(fp)
+            self._pending[batch_id] = (future, worker_id)
+            slot.outstanding += 1
+        slot.req_q.put(("solve", batch_id, fp, setup, rhs_block))
+        return future
+
+    def submit_warm(self, worker_id: int, fp: str, setup_factory) -> Future:
+        """Build the solver for ``fp`` on ``worker_id`` without solving.
+
+        The gateway's prewarm path: the worker factorizes (or warms from the
+        artifact store) before traffic arrives.  Resolves to ``([], stats)``.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ProcPool is closed")
+            slot = self._slots[worker_id]
+            if slot.process is None or not slot.process.is_alive():
+                raise WorkerDied(worker_id, getattr(slot.process, "exitcode", None))
+            batch_id = self._next_batch
+            self._next_batch += 1
+            setup = None
+            if fp not in slot.known:
+                setup = setup_factory()
+                slot.known.add(fp)
+            self._pending[batch_id] = (future, worker_id)
+            slot.outstanding += 1
+        slot.req_q.put(("warm", batch_id, fp, setup))
+        return future
+
+    def evict(self, fp: str) -> None:
+        """Tell every worker that attached ``fp`` to drop and close it."""
+        with self._lock:
+            targets = [slot for slot in self._slots if fp in slot.known]
+            for slot in targets:
+                slot.known.discard(fp)
+        for slot in targets:
+            if slot.process is not None and slot.process.is_alive():
+                slot.req_q.put(("evict", fp))
+
+    def request_stats(self, timeout: float = 5.0) -> dict[int, dict]:
+        """Fresh stats snapshots from every live worker (blocking poll)."""
+        token = f"stats-{time.monotonic_ns()}"
+        expected = 0
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                slot.req_q.put(("stats", token))
+                expected += 1
+        deadline = time.monotonic() + timeout
+        while expected > 0 and time.monotonic() < deadline:
+            with self._lock:
+                got = sum(1 for snap in self.stats_snapshots.values()
+                          if snap.get("__token__") == token)
+            if got >= expected:
+                break
+            time.sleep(self._POLL)
+        return dict(self.stats_snapshots)
+
+    # -------------------------------------------------------------- #
+    def _collect(self) -> None:
+        """Collector thread: route worker responses, detect worker deaths."""
+        import queue as _queue
+
+        while True:
+            try:
+                message = self._resp_q.get(timeout=self._POLL)
+            except _queue.Empty:
+                message = None
+            except (EOFError, OSError):   # pragma: no cover - teardown race
+                return
+            if message is not None:
+                self._handle(message)
+            dead = []
+            with self._lock:
+                if self._closed and not self._pending:
+                    return
+                for batch_id, (future, wid) in list(self._pending.items()):
+                    slot = self._slots[wid]
+                    process = slot.process
+                    if process is not None and not process.is_alive():
+                        dead.append((batch_id, future, wid, process.exitcode))
+                        del self._pending[batch_id]
+                        slot.outstanding -= 1
+            for _, future, wid, exitcode in dead:
+                future.set_exception(WorkerDied(wid, exitcode))
+
+    def _handle(self, message) -> None:
+        op = message[0]
+        if op == "result":
+            _, wid, batch_id, results, snapshot = message
+            with self._lock:
+                self.stats_snapshots[wid] = snapshot
+                entry = self._pending.pop(batch_id, None)
+                if entry is not None:
+                    self._slots[wid].outstanding -= 1
+            if entry is not None:
+                entry[0].set_result((results, snapshot))
+        elif op == "error":
+            _, wid, batch_id, kind, type_name, text = message
+            with self._lock:
+                entry = self._pending.pop(batch_id, None)
+                if entry is not None:
+                    self._slots[wid].outstanding -= 1
+            if entry is not None:
+                entry[0].set_exception(WorkerError(kind, type_name, text))
+        elif op == "stats":
+            _, wid, token, snapshot = message
+            snapshot["__token__"] = token
+            with self._lock:
+                self.stats_snapshots[wid] = snapshot
+        # "stopped" needs no action: close() joins the process
+
+    # -------------------------------------------------------------- #
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop every worker, join, and fail anything still pending."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+            for slot in self._slots:
+                slot.outstanding = 0
+        for future, wid in pending:
+            if not future.done():
+                future.set_exception(RuntimeError("ProcPool closed"))
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                try:
+                    slot.req_q.put(("stop",))
+                except (ValueError, OSError):   # pragma: no cover
+                    pass
+        deadline = time.monotonic() + timeout
+        for slot in self._slots:
+            if slot.process is None:
+                continue
+            slot.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=1.0)
+            slot.req_q.cancel_join_thread()
+            slot.req_q.close()
+        self._collector.join(timeout=2.0)
+        self._resp_q.cancel_join_thread()
+        self._resp_q.close()

@@ -30,6 +30,7 @@ from .plan import (
     SolvePlan,
     clear_plan_cache,
     compile_plan,
+    drop_plans_for,
     plan_cache_stats,
     plan_for,
     plans_enabled,
@@ -46,6 +47,7 @@ __all__ = [
     "use_plans",
     "plan_cache_stats",
     "clear_plan_cache",
+    "drop_plans_for",
     "tuning_enabled",
     "set_tuning_enabled",
     "measured_assembled_format",

@@ -5,6 +5,12 @@ it groups incoming ``(matrix, rhs)`` requests by matrix fingerprint, caches
 the per-matrix solver setups in an LRU, and executes each group as one
 batched multi-RHS solve on a thread pool.  See the README section "Batched
 solves & the dispatcher".
+
+:class:`ShardedGateway` is the same front door scaled past the GIL: it
+routes each fingerprint to one of ``REPRO_PROCS`` worker processes
+(rendezvous hashing, zero-copy shared-memory operators, warm-from-artifact
+setup) with bit-identical results for every process count.  See the README
+section "Sharded serving & the process tier".
 """
 
 from .dispatcher import (
@@ -15,6 +21,7 @@ from .dispatcher import (
     DispatchStats,
     DispatcherClosed,
 )
+from .gateway import GatewayStats, ShardedGateway, route_fingerprint
 
 __all__ = [
     "AdmissionRefused",
@@ -23,4 +30,7 @@ __all__ = [
     "DeadlineExceeded",
     "DispatchStats",
     "DispatcherClosed",
+    "GatewayStats",
+    "ShardedGateway",
+    "route_fingerprint",
 ]

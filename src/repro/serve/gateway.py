@@ -1,0 +1,564 @@
+"""Sharded serving gateway: the front door of the process tier.
+
+:class:`ShardedGateway` keeps the :class:`~repro.serve.BatchDispatcher`
+contract — submit/flush/drain/solve_many/prewarm/close, fingerprint
+grouping, deadline/retry/circuit-breaker semantics, ``stats.summary()`` —
+but executes batches on ``REPRO_PROCS`` worker *processes* instead of
+threads, so the Python-level solve path (level scheduling, plan dispatch,
+the FGMRES loop) is no longer serialized on one GIL.
+
+Architecture::
+
+    submit(op, rhs) ──► per-fingerprint pending groups   (gateway thread)
+                             │ max_batch / flush()
+                             ▼
+                     rendezvous route fp → shard         (stable hashing)
+                             │ one queue hop per batch
+                             ▼
+        worker process: attach shm operator ▸ warm from REPRO_ARTIFACTS
+                        ▸ F3RSolver.solve_batch ▸ ship SolveResults back
+
+* **Routing** — each operator fingerprint maps to one shard via
+  highest-random-weight (rendezvous) hashing: stable for any worker count,
+  deterministic across runs and processes (content hashes, not
+  ``hash()``).  Pinning a fingerprint to one shard is what preserves the
+  in-process dispatcher's semantics exactly: the shard sees the same
+  batch stream, in the same order, against one cached solver — so results
+  are bit-identical to ``REPRO_PROCS=1`` (the adaptive Richardson weights
+  evolve identically).
+* **Zero-copy operators** — on a fingerprint's first dispatch the gateway
+  publishes its storage into a :class:`~repro.par.shm.ShmRegistry` segment;
+  only the descriptor crosses the queue, once per (worker, fingerprint).
+  Operators with no shared-memory form (composites) fall back to a one-time
+  pickled setup.
+* **Default 1 = in-process** — with a resolved process count of one the
+  gateway *is* a :class:`BatchDispatcher` (same objects, same threads); the
+  process tier spins up only when ``REPRO_PROCS`` (or the ``procs=``
+  argument) asks for more.
+* **Failure model** — a worker death (real or injected via
+  ``kill_rate`` in :mod:`repro.faults`) fails the in-flight batches with
+  :class:`~repro.par.procpool.WorkerDied`; the gateway respawns the slot
+  and re-dispatches surviving requests under the PR 6 retry policy.
+  Worker-side *setup* failures feed the same per-fingerprint circuit
+  breaker as the dispatcher's.
+* **Stats** — ``stats.summary()`` gains a ``procs`` section (process
+  count, per-shard queue depth, shm registry bytes, merged worker counters
+  including warm-from-artifact hits) and folds worker-side recovery
+  escalations into ``recovery.escalations``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..core import F3RConfig
+from ..operators import LinearOperator
+from ..par.procpool import (
+    ProcPool,
+    WorkerDied,
+    WorkerError,
+    WorkerInit,
+    resolve_procs,
+)
+from ..par.shm import ShmRegistry, operator_payload
+from ..solvers import SolveResult
+from ..solvers.guards import InvalidInput
+from ..sparse import CSRMatrix
+from .dispatcher import (
+    BatchDispatcher,
+    CircuitOpen,
+    DeadlineExceeded,
+    DispatchStats,
+    DispatcherClosed,
+    AdmissionRefused,
+    _Breaker,
+    _Request,
+)
+
+__all__ = ["GatewayStats", "ShardedGateway", "route_fingerprint"]
+
+
+def route_fingerprint(fingerprint: str, nshards: int) -> int:
+    """Rendezvous-hash a fingerprint onto a shard in ``[0, nshards)``.
+
+    Highest random weight over ``blake2b(fp | shard)``: deterministic
+    across processes and runs, and minimally disruptive if the shard count
+    ever changes (only the moved fingerprints re-route).
+    """
+    if nshards <= 1:
+        return 0
+    best_shard, best_score = 0, b""
+    for shard in range(nshards):
+        score = hashlib.blake2b(f"{fingerprint}|{shard}".encode(),
+                                digest_size=8).digest()
+        if score > best_score:
+            best_shard, best_score = shard, score
+    return best_shard
+
+
+class GatewayStats(DispatchStats):
+    """Dispatcher counters plus the gateway's ``procs`` section.
+
+    ``summary()`` merges the worker processes' latest shipped snapshots:
+    their recovery escalations fold into ``recovery.escalations`` and their
+    shm/warm-from-artifact counters appear under ``procs.workers``.
+    """
+
+    def __init__(self, gateway: "ShardedGateway") -> None:
+        super().__init__()
+        self._gateway = gateway
+
+    def summary(self) -> dict:
+        base = super().summary()
+        return self._gateway._merge_summary(base)
+
+
+class ShardedGateway:
+    """Process-sharded drop-in for :class:`BatchDispatcher`.
+
+    Accepts the dispatcher's serving parameters plus ``procs`` (an int,
+    ``"auto"``, or ``None`` = the ``REPRO_PROCS`` configuration).  With a
+    resolved count of 1 every call delegates to an internal
+    :class:`BatchDispatcher` — identical behavior, zero new processes.
+
+    Usage::
+
+        with ShardedGateway(config, procs="auto", max_batch=8) as gateway:
+            futures = [gateway.submit(A, b) for b in rhs_stream]
+            gateway.flush()
+            results = [f.result() for f in futures]
+    """
+
+    def __init__(self, config: F3RConfig | None = None, preconditioner="auto",
+                 nblocks: int | None = None, alpha: float = 1.0,
+                 procs: int | str | None = None, max_batch: int = 8,
+                 max_workers: int = 2, cache_size: int = 8,
+                 backend: str | None = None, max_queue: int | None = None,
+                 max_retries: int = 1, retry_backoff: float = 0.05,
+                 breaker_threshold: int = 3, breaker_cooldown: float = 30.0,
+                 max_published: int = 64) -> None:
+        self.config = config or F3RConfig()
+        self.nprocs = resolve_procs(procs)
+        self.max_batch = int(max_batch)
+        self.max_queue = max_queue
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self._precond_spec = (preconditioner, nblocks, alpha)
+        self.backend = backend
+
+        if self.nprocs <= 1:
+            self._dispatcher = BatchDispatcher(
+                self.config, preconditioner=preconditioner, nblocks=nblocks,
+                alpha=alpha, max_batch=max_batch, cache_size=cache_size,
+                max_workers=max_workers, backend=backend, max_queue=max_queue,
+                max_retries=max_retries, retry_backoff=retry_backoff,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown=breaker_cooldown)
+            # graft the gateway stats view on so stats.summary() carries the
+            # procs section in both modes
+            self._dispatcher.stats = GatewayStats(self)
+            self.stats = self._dispatcher.stats
+            self.registry = None
+            self.pool = None
+            return
+
+        self._dispatcher = None
+        self.stats = GatewayStats(self)
+        self.registry = ShmRegistry(max_published=max_published)
+        self.pool = ProcPool(self.nprocs, self._worker_init())
+        self._lock = threading.Lock()
+        self._pending: OrderedDict[str, tuple[object, list[_Request]]] = OrderedDict()
+        self._inflight: list[tuple[Future, list[_Request]]] = []
+        self._retry_timers: list[threading.Timer] = []
+        self._retry_pending = 0
+        self._breakers: dict[str, _Breaker] = {}
+        self._outstanding = 0
+        self._closed = False
+
+    def _worker_init(self) -> WorkerInit:
+        """Snapshot the parent's effective execution settings for workers.
+
+        Spawn inherits the environment; programmatic overrides (artifact
+        dir, thread budget, an installed fault plan) are shipped explicitly.
+        """
+        from .. import faults
+        from ..cache import artifacts_dir
+        from ..par import configured_threads
+
+        preconditioner, nblocks, alpha = self._precond_spec
+        plan = faults.active_plan()
+        return WorkerInit(
+            config=self.config, preconditioner=preconditioner,
+            nblocks=nblocks, alpha=alpha, backend=self.backend,
+            artifacts_dir=artifacts_dir() or "", threads=configured_threads(),
+            fault_spec=plan.spec() if plan is not None else None)
+
+    # ------------------------------------------------------------------ #
+    # Submission (proc mode; nprocs==1 delegates wholesale)
+    # ------------------------------------------------------------------ #
+    def submit(self, matrix: CSRMatrix | LinearOperator, rhs: np.ndarray,
+               deadline: float | None = None) -> Future:
+        """Enqueue one solve request; future resolves to its
+        :class:`~repro.solvers.SolveResult`.  Semantics are exactly
+        :meth:`BatchDispatcher.submit` — validation, admission, deadlines,
+        fingerprint grouping at ``max_batch``."""
+        if self._dispatcher is not None:
+            return self._dispatcher.submit(matrix, rhs, deadline=deadline)
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.shape != (matrix.nrows,):
+            raise InvalidInput(
+                f"rhs has shape {rhs.shape}; expected ({matrix.nrows},)",
+                site="gateway.submit",
+                detail={"shape": tuple(rhs.shape), "expected_rows": matrix.nrows})
+        if not np.all(np.isfinite(rhs)):
+            bad = int(np.flatnonzero(~np.isfinite(rhs))[0])
+            raise InvalidInput(
+                f"rhs contains non-finite entries (first at index {bad})",
+                site="gateway.submit", detail={"first_bad_row": bad})
+        request = _Request(
+            rhs, None if deadline is None else time.monotonic() + float(deadline))
+        ready = None
+        with self._lock:
+            if self._closed:
+                raise DispatcherClosed("gateway is closed")
+            if (self.max_queue is not None
+                    and self._outstanding >= self.max_queue):
+                self.stats.rejected += 1
+                raise AdmissionRefused(
+                    f"outstanding requests at max_queue={self.max_queue}")
+            self.stats.requests += 1
+            self._outstanding += 1
+            key = matrix.fingerprint()
+            if key not in self._pending:
+                self._pending[key] = (matrix, [])
+            self._pending[key][1].append(request)
+            if len(self._pending[key][1]) >= self.max_batch:
+                ready = (key, *self._pending.pop(key))
+        if ready is not None:
+            self._dispatch(ready[0], ready[1], ready[2])
+        return request.future
+
+    def flush(self) -> None:
+        """Dispatch every pending group, regardless of its size."""
+        if self._dispatcher is not None:
+            self._dispatcher.flush()
+            return
+        with self._lock:
+            groups = [(fp, op, reqs) for fp, (op, reqs) in self._pending.items()]
+            self._pending.clear()
+        for fp, operator, requests in groups:
+            self._dispatch(fp, operator, requests)
+
+    def drain(self) -> None:
+        """Flush and block until every dispatched batch (and retry) resolves."""
+        if self._dispatcher is not None:
+            self._dispatcher.drain()
+            return
+        self.flush()
+        while True:
+            with self._lock:
+                self._inflight = [(f, reqs) for f, reqs in self._inflight
+                                  if not f.done()]
+                inflight = [f for f, _ in self._inflight]
+                retrying = self._retry_pending
+            if not inflight and retrying == 0:
+                return
+            for f in inflight:
+                f.exception()   # wait; per-request errors live on request futures
+            if not inflight:
+                time.sleep(0.01)
+
+    def solve_many(self, pairs) -> list[SolveResult]:
+        """Submit ``(operator, rhs)`` pairs, run everything, return results in order."""
+        futures = [self.submit(matrix, rhs) for matrix, rhs in pairs]
+        self.drain()
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------ #
+    def prewarm(self, operators, wait: bool = True,
+                timeout: float | None = None) -> list[Future]:
+        """Build solver setups on their routed shards before traffic arrives.
+
+        Each operator's shard factorizes — or warms from ``REPRO_ARTIFACTS``
+        — ahead of the first batch; completions count in
+        ``stats.summary()["cold_start"]``.
+        """
+        if self._dispatcher is not None:
+            return self._dispatcher.prewarm(operators, wait=wait,
+                                            timeout=timeout)
+        futures = []
+        for operator in operators:
+            fp = operator.fingerprint()
+            shard = route_fingerprint(fp, self.nprocs)
+            self.pool.ensure_worker(shard)
+            start = time.monotonic()
+            future = self.pool.submit_warm(
+                shard, fp, lambda op=operator, f=fp: self._setup_payload(op, f))
+
+            def _count(done, begun=start):
+                if done.exception() is None:
+                    with self._lock:
+                        self.stats.prewarms += 1
+                        self.stats.prewarm_ms += (time.monotonic() - begun) * 1e3
+
+            future.add_done_callback(_count)
+            futures.append(future)
+        if wait:
+            for future in futures:
+                future.result(timeout)
+        return futures
+
+    # ------------------------------------------------------------------ #
+    # Dispatch path
+    # ------------------------------------------------------------------ #
+    def _setup_payload(self, operator, fp: str) -> dict:
+        """First-contact payload for a (worker, fingerprint): publish the
+        operator's storage into the registry and hand out the descriptor,
+        or fall back to a one-time pickle for non-publishable families."""
+        payload = operator_payload(operator)
+        if payload is not None:
+            arrays, meta = payload
+            return {"descriptor": self.registry.publish(fp, arrays, meta)}
+        return {"pickle": pickle.dumps(operator)}
+
+    def _breaker_check(self, fp: str) -> None:
+        with self._lock:
+            breaker = self._breakers.get(fp)
+            if breaker is None or breaker.opened_at is None:
+                return
+            if time.monotonic() - breaker.opened_at >= self.breaker_cooldown:
+                breaker.opened_at = None
+                breaker.failures = self.breaker_threshold - 1
+                return
+        raise CircuitOpen(
+            f"setup circuit open for operator {fp!r} "
+            f"({self.breaker_threshold} consecutive failures)")
+
+    def _breaker_record(self, fp: str, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self._breakers.pop(fp, None)
+                return
+            breaker = self._breakers.setdefault(fp, _Breaker())
+            breaker.failures += 1
+            if (breaker.failures >= self.breaker_threshold
+                    and breaker.opened_at is None):
+                breaker.opened_at = time.monotonic()
+                self.stats.breaker_trips += 1
+
+    def _finish(self, request: _Request, result=None, exc=None) -> None:
+        if request.future.done():
+            return
+        with self._lock:
+            self._outstanding -= 1
+        if exc is not None:
+            request.future.set_exception(exc)
+        else:
+            request.future.set_result(result)
+
+    def _split_expired(self, requests: list[_Request]) -> list[_Request]:
+        now = time.monotonic()
+        live = []
+        for req in requests:
+            if req.deadline is not None and now > req.deadline:
+                with self._lock:
+                    self.stats.deadline_misses += 1
+                self._finish(req, exc=DeadlineExceeded(
+                    f"deadline passed {now - req.deadline:.3f}s before dispatch"))
+            else:
+                live.append(req)
+        return live
+
+    def _dispatch(self, fp: str, operator, requests: list[_Request],
+                  retry: bool = False) -> None:
+        requests = self._split_expired(requests)
+        if not requests:
+            return
+        with self._lock:
+            closed = self._closed
+        if closed and retry:
+            for req in requests:
+                self._finish(req, exc=DispatcherClosed(
+                    "gateway closed before dispatch"))
+            return
+        try:
+            self._breaker_check(fp)
+            shard = route_fingerprint(fp, self.nprocs)
+            self.pool.ensure_worker(shard)
+            rhs_block = np.stack([req.rhs for req in requests], axis=1)
+            batch_future = self.pool.submit_batch(
+                shard, fp, rhs_block,
+                lambda: self._setup_payload(operator, fp))
+        except BaseException as exc:   # noqa: BLE001 - routed to retry policy
+            self._retry_or_fail(fp, operator, requests, exc)
+            return
+        with self._lock:
+            self._inflight.append((batch_future, requests))
+            self.stats.batches += 1
+            self.stats.batched_requests += len(requests)
+            self.stats.largest_batch = max(self.stats.largest_batch,
+                                           len(requests))
+        batch_future.add_done_callback(
+            lambda done: self._on_batch_done(fp, operator, requests, done))
+
+    def _on_batch_done(self, fp: str, operator, requests: list[_Request],
+                       batch_future: Future) -> None:
+        """Collector-thread callback: distribute results or route failures."""
+        exc = batch_future.exception()
+        if exc is not None:
+            if isinstance(exc, WorkerDied):
+                # respawn the slot before the retry lands on it
+                self.pool.ensure_worker(exc.worker_id)
+            if isinstance(exc, WorkerError) and exc.kind == "setup":
+                self._breaker_record(fp, ok=False)
+            self._retry_or_fail(fp, operator, requests, exc)
+            return
+        results, _snapshot = batch_future.result()
+        self._breaker_record(fp, ok=True)
+        for req, result in zip(requests, results):
+            if result.recovery is not None:
+                with self._lock:
+                    self.stats.escalations += result.recovery.escalations
+            self._finish(req, result=result)
+
+    def _retry_or_fail(self, fp: str, operator, requests: list[_Request],
+                       exc: BaseException) -> None:
+        """PR 6 semantics: re-dispatch surviving requests, fail the exhausted."""
+        retryable, exhausted = [], []
+        for req in requests:
+            if req.attempts < self.max_retries and not isinstance(
+                    exc, (InvalidInput, DispatcherClosed, CircuitOpen)):
+                req.attempts += 1
+                retryable.append(req)
+            else:
+                exhausted.append(req)
+        for req in exhausted:
+            self._finish(req, exc=exc)
+        if not retryable:
+            return
+        delay = self.retry_backoff * max(r.attempts for r in retryable)
+        with self._lock:
+            self.stats.retries += len(retryable)
+            self._retry_pending += 1
+
+        # backoff on a timer: this path runs on the pool's collector thread,
+        # which must keep draining responses and watching for deaths
+        def _redispatch():
+            try:
+                self._dispatch(fp, operator, retryable, retry=True)
+            finally:
+                with self._lock:
+                    self._retry_pending -= 1
+
+        timer = threading.Timer(delay, _redispatch)
+        timer.daemon = True
+        with self._lock:
+            self._retry_timers = [t for t in self._retry_timers if t.is_alive()]
+            self._retry_timers.append(timer)
+        timer.start()
+
+    # ------------------------------------------------------------------ #
+    # Eviction and shutdown
+    # ------------------------------------------------------------------ #
+    def evict(self, fingerprint: str) -> bool:
+        """Evict one operator tier-wide: unlink its shm segment now and tell
+        every attached worker to drop its solver, plans, and mapping.
+        Returns whether a publication existed."""
+        if self._dispatcher is not None:
+            return False
+        descriptor = self.registry.evict(fingerprint)
+        self.pool.evict(fingerprint)
+        return descriptor is not None
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work, stop the workers, unlink every segment.
+
+        With ``wait=True`` in-flight batches complete first; pending
+        (never-dispatched) requests fail with :class:`DispatcherClosed`
+        either way.  After ``close`` returns no shared-memory segment
+        created by this gateway remains linked.
+        """
+        if self._dispatcher is not None:
+            self._dispatcher.close(wait=wait)
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            abandoned = [req for _, reqs in self._pending.values() for req in reqs]
+            self._pending.clear()
+            timers = list(self._retry_timers)
+        for req in abandoned:
+            self._finish(req, exc=DispatcherClosed(
+                "gateway closed before dispatch"))
+        for timer in timers:
+            timer.cancel()
+        if wait:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                with self._lock:
+                    self._inflight = [(f, r) for f, r in self._inflight
+                                      if not f.done()]
+                    busy = bool(self._inflight) or self._retry_pending > 0
+                if not busy:
+                    break
+                time.sleep(0.01)
+        self.pool.close()
+        self.registry.close()
+
+    def __enter__(self) -> "ShardedGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if exc_info[0] is None:
+            self.drain()
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Stats
+    # ------------------------------------------------------------------ #
+    def _merge_summary(self, base: dict) -> dict:
+        """Fold worker snapshots into the dispatcher-shaped summary."""
+        if self._dispatcher is not None or self.pool is None:
+            base["procs"] = {"procs": 1, "mode": "in-process"}
+            return base
+        snapshots = dict(self.pool.stats_snapshots)
+        warm: dict[str, int] = {}
+        workers = {"batches": 0, "requests": 0, "shm_attaches": 0,
+                   "shm_bytes": 0, "pickled_setups": 0, "plan_cache": 0,
+                   "artifact_saved_ms": 0.0}
+        escalations = 0
+        for snap in snapshots.values():
+            for field in ("batches", "requests", "shm_attaches", "shm_bytes",
+                          "pickled_setups", "plan_cache"):
+                workers[field] += snap.get(field, 0)
+            workers["artifact_saved_ms"] += snap.get("artifact_saved_ms", 0.0)
+            escalations += snap.get("escalations", 0)
+            for kind, hits in snap.get("warm_from_artifacts", {}).items():
+                warm[kind] = warm.get(kind, 0) + hits
+        workers["warm_from_artifacts"] = warm
+        workers["artifact_saved_ms"] = round(workers["artifact_saved_ms"], 3)
+        base["recovery"]["escalations"] += escalations
+        depths = self.pool.queue_depths()
+        base["procs"] = {
+            "procs": self.nprocs,
+            "mode": "process-pool",
+            "occupancy": {
+                "in_flight_batches": sum(depths.values()),
+                "busy_shards": sum(1 for d in depths.values() if d > 0),
+            },
+            "queue_depth": depths,
+            "shm": self.registry.stats(),
+            "workers": workers,
+            "worker_deaths": self.pool.deaths,
+        }
+        return base

@@ -332,3 +332,104 @@ class TestAutotuneDiskMerge:
                 tmp_path / "store" / "autotune.json")
         finally:
             cache.set_artifacts_dir(old)
+
+
+class TestArtifactGC:
+    """Size/age-bounded pruning of the store (``repro.cache.gc``)."""
+
+    def _fill(self, n=6, kind="ilu0", size=512):
+        rng = np.random.default_rng(7)
+        for i in range(n):
+            assert cache.store_arrays(kind, f"key{i}", {"v": rng.random(size)})
+            path = Path(cache.artifacts_dir()) / kind / f"key{i}.npz"
+            # stagger mtimes so LRU order is unambiguous (key0 oldest)
+            stamp = 1_000_000 + i * 1000
+            os.utime(path, (stamp, stamp))
+
+    def test_disabled_store_reports_inert(self):
+        old = cache.set_artifacts_dir("")
+        try:
+            report = cache.gc(max_mb=1)
+            assert report == {"enabled": False, "scanned": 0, "bytes": 0,
+                              "removed": 0, "removed_bytes": 0, "kept": 0,
+                              "kept_bytes": 0, "dry_run": False}
+        finally:
+            cache.set_artifacts_dir(old)
+
+    def test_size_prune_drops_least_recently_used(self, artifacts):
+        self._fill(6)
+        one = os.path.getsize(artifacts / "ilu0" / "key0.npz")
+        budget_mb = (2.5 * one) / (1024 * 1024)   # room for ~2 artifacts
+        report = cache.gc(max_mb=budget_mb)
+        assert report["scanned"] == 6
+        assert report["removed"] == 4
+        assert report["kept"] == 2
+        # the two *newest-touched* survive
+        assert not (artifacts / "ilu0" / "key0.npz").exists()
+        assert (artifacts / "ilu0" / "key4.npz").exists()
+        assert (artifacts / "ilu0" / "key5.npz").exists()
+        stats = cache.cold_start_stats()["gc"]
+        assert stats["runs"] == 1
+        assert stats["removed"] == 4
+        assert stats["removed_bytes"] == report["removed_bytes"]
+
+    def test_hit_touch_protects_hot_artifact(self, artifacts):
+        self._fill(4)
+        # a load hit refreshes key0's mtime, so it outranks key1..key3
+        assert cache.load_arrays("ilu0", "key0") is not None
+        one = os.path.getsize(artifacts / "ilu0" / "key1.npz")
+        report = cache.gc(max_mb=(1.5 * one) / (1024 * 1024))
+        assert report["removed"] == 3
+        assert (artifacts / "ilu0" / "key0.npz").exists()
+
+    def test_age_prune(self, artifacts):
+        self._fill(3)
+        fresh = artifacts / "ilu0" / "keyfresh.npz"
+        assert cache.store_arrays("ilu0", "keyfresh", {"v": np.ones(8)})
+        report = cache.gc(max_age_days=1)
+        assert report["removed"] == 3
+        assert fresh.exists()
+
+    def test_dry_run_removes_nothing(self, artifacts):
+        self._fill(3)
+        report = cache.gc(max_mb=0.0001, dry_run=True)
+        assert report["dry_run"] and report["removed"] == 3
+        assert sorted(p.name for p in (artifacts / "ilu0").iterdir()) == [
+            "key0.npz", "key1.npz", "key2.npz"]
+        assert cache.cold_start_stats()["gc"]["runs"] == 0
+
+    def test_env_bounds_and_validation(self, artifacts, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS_MAX_MB", "12.5")
+        monkeypatch.setenv("REPRO_ARTIFACTS_MAX_AGE_DAYS", "30")
+        assert cache.configured_max_mb() == 12.5
+        assert cache.configured_max_age_days() == 30
+        monkeypatch.setenv("REPRO_ARTIFACTS_MAX_MB", "not-a-number")
+        with pytest.raises(ValueError):
+            cache.configured_max_mb()
+        monkeypatch.setenv("REPRO_ARTIFACTS_MAX_MB", "0")
+        assert cache.configured_max_mb() is None   # non-positive = unbounded
+
+    def test_auto_gc_fires_on_write_path(self, artifacts, monkeypatch):
+        import importlib
+
+        gcmod = importlib.import_module("repro.cache.gc")
+        monkeypatch.setenv("REPRO_ARTIFACTS_MAX_MB", "0.001")  # ~1 KB budget
+        monkeypatch.setattr(gcmod, "_STORES_SINCE_GC", 0)
+        monkeypatch.setattr(gcmod, "AUTO_GC_EVERY", 4)
+        rng = np.random.default_rng(3)
+        for i in range(4):
+            cache.store_arrays("levels", f"auto{i}", {"v": rng.random(2048)})
+        stats = cache.cold_start_stats()["gc"]
+        assert stats["runs"] >= 1
+        assert stats["removed"] >= 1
+
+    def test_auto_gc_noop_without_bounds(self, artifacts, monkeypatch):
+        import importlib
+
+        gcmod = importlib.import_module("repro.cache.gc")
+        monkeypatch.delenv("REPRO_ARTIFACTS_MAX_MB", raising=False)
+        monkeypatch.delenv("REPRO_ARTIFACTS_MAX_AGE_DAYS", raising=False)
+        monkeypatch.setattr(gcmod, "_STORES_SINCE_GC", 0)
+        monkeypatch.setattr(gcmod, "AUTO_GC_EVERY", 1)
+        cache.store_arrays("levels", "nb", {"v": np.ones(64)})
+        assert cache.cold_start_stats()["gc"]["runs"] == 0

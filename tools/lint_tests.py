@@ -48,6 +48,8 @@ REQUIRED_MODULES = (
                                        # tolerance, restart-skip, autotune
                                        # disk-cache merge (PR 7)
     "test_sparse_io*.py",              # MatrixMarket reader/writer fixes (PR 7)
+    "test_procpool*.py",               # process tier: shm lifecycle, REPRO_PROCS
+                                       # bit-identity, crash recovery (PR 8)
 )
 
 
