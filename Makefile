@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all test-faults lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline bench-cold-smoke bench-cold-baseline bench-procs-smoke bench-procs-baseline
+.PHONY: test test-all test-faults test-chaos lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline bench-cold-smoke bench-cold-baseline bench-procs-smoke bench-procs-baseline
 
 ## Tier-1 test suite (the CI gate): fast deterministic tests only
 ## (pytest.ini's addopts deselect the tier2 marker by default)
@@ -17,6 +17,11 @@ test-all:
 ## recovery / dispatcher suites plus the seeded tier-2 hammer runs
 test-faults:
 	$(PYTHON) -m pytest -q -m "tier1 or tier2" tests/test_robustness.py tests/test_faults.py
+
+## Overload + chaos: priority shedding, brownout, worker watchdog, and the
+## hang/kill/corruption hammer against the process tier (tier-2 included)
+test-chaos:
+	$(PYTHON) -m pytest -q -m "tier1 or tier2" tests/test_overload.py tests/test_watchdog.py tests/test_faults.py
 
 ## Fail if any test file lacks a tier1/tier2 marker
 lint-tests:

@@ -1,0 +1,81 @@
+"""Serve dispatcher metrics over HTTP in the Prometheus text format.
+
+``repro.serve.render_metrics`` turns any ``stats.summary()`` dict into
+Prometheus exposition text, so a scrape endpoint is ~20 lines of stdlib:
+no client library, no registry, no dependencies.  This example stands up a
+:class:`~repro.serve.BatchDispatcher`, pushes a little traffic through it
+(including some shed and degraded requests so the overload counters are
+nonzero), and serves ``/metrics`` with ``http.server``.
+
+Run with:  PYTHONPATH=src python examples/metrics_server.py
+Then:      curl http://127.0.0.1:9464/metrics
+"""
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro import BatchDispatcher, F3RConfig, LoadShed, render_metrics
+from repro.matgen import poisson2d
+
+PORT = 9464
+
+
+class MetricsHandler(BaseHTTPRequestHandler):
+    dispatcher: BatchDispatcher = None   # installed by main()
+
+    def do_GET(self) -> None:
+        if self.path.rstrip("/") not in ("", "/metrics"):
+            self.send_error(404)
+            return
+        body = render_metrics(self.dispatcher.stats.summary()).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:   # keep the demo output clean
+        pass
+
+
+def generate_traffic(dispatcher: BatchDispatcher) -> None:
+    matrix = poisson2d(16)
+    rng = np.random.default_rng(7)
+    for i in range(64):
+        try:
+            dispatcher.submit(matrix, rng.uniform(-1, 1, matrix.nrows),
+                              priority=i % 3, degradable=(i % 2 == 0),
+                              deadline=5.0)
+        except LoadShed:
+            pass    # shed requests still show up in the metrics
+    dispatcher.flush()
+    dispatcher.drain()
+
+
+def main() -> None:
+    config = F3RConfig(variant="fp32", tol=1e-8)
+    with BatchDispatcher(config, max_batch=8, max_queue=16) as dispatcher:
+        generate_traffic(dispatcher)
+
+        MetricsHandler.dispatcher = dispatcher
+        server = ThreadingHTTPServer(("127.0.0.1", PORT), MetricsHandler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        print(f"serving metrics on http://127.0.0.1:{PORT}/metrics")
+
+        # scrape once ourselves so the example is self-contained
+        import urllib.request
+        with urllib.request.urlopen(f"http://127.0.0.1:{PORT}/metrics") as resp:
+            text = resp.read().decode()
+        wanted = ("repro_requests", "repro_overload_state",
+                  "repro_overload_shed", "repro_recovery_deadline_misses")
+        for line in text.splitlines():
+            if line.startswith(wanted):
+                print(line)
+        server.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -70,10 +70,15 @@ from .precond import make_primary_preconditioner
 from .serve import (
     AdmissionRefused,
     BatchDispatcher,
+    BrownoutConfig,
+    BrownoutController,
     CircuitOpen,
     DeadlineExceeded,
     DispatcherClosed,
+    LoadShed,
     ShardedGateway,
+    overload_enabled,
+    render_metrics,
 )
 from .solvers import (
     BatchSolveResult,
@@ -128,7 +133,12 @@ __all__ = [
     "DispatcherClosed",
     "DeadlineExceeded",
     "AdmissionRefused",
+    "LoadShed",
     "CircuitOpen",
+    "BrownoutConfig",
+    "BrownoutController",
+    "overload_enabled",
+    "render_metrics",
     "SolveEvent",
     "SolveBreakdown",
     "SolveStagnation",

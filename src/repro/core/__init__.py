@@ -6,6 +6,7 @@ from .recovery import (
     AttemptRecord,
     RecoveryPolicy,
     SolveReport,
+    degraded_variant,
     recovery_enabled,
     set_recovery_enabled,
     use_recovery,
@@ -37,6 +38,7 @@ __all__ = [
     "AttemptRecord",
     "RecoveryPolicy",
     "SolveReport",
+    "degraded_variant",
     "recovery_enabled",
     "set_recovery_enabled",
     "use_recovery",

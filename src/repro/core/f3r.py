@@ -149,6 +149,24 @@ class F3RSolver:
             self._escalated_cache[variant] = solver
         return solver
 
+    def degraded_sibling(self, variant: str) -> "F3RSolver":
+        """A sibling solver at a *cheaper* precision variant (cached).
+
+        The serve-time brownout knob: like :meth:`_escalated` it shares this
+        solver's matrix and preconditioner objects, but the recovery ladder
+        stays **active** on the sibling — a degraded solve that stagnates at
+        the cheaper tier re-escalates through the normal ladder, so brownout
+        trades per-iteration cost for iterations without ever weakening the
+        convergence contract.
+        """
+        key = f"degrade:{variant}"
+        solver = self._escalated_cache.get(key)
+        if solver is None:
+            solver = F3RSolver(self.matrix, self.preconditioner,
+                               config=self.config.with_params(variant=variant))
+            self._escalated_cache[key] = solver
+        return solver
+
     def _rebuilt_stronger(self, alpha_boost: float) -> "F3RSolver | None":
         """An fp64-variant solver over a stronger-αILU preconditioner rebuild.
 

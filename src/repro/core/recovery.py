@@ -48,6 +48,7 @@ __all__ = [
     "RecoveryPolicy",
     "AttemptRecord",
     "SolveReport",
+    "degraded_variant",
     "recovery_enabled",
     "set_recovery_enabled",
     "use_recovery",
@@ -60,6 +61,21 @@ _ENABLED = os.environ.get("REPRO_RECOVERY", "1").strip().lower() not in (
 
 #: precision-escalation order; a solve enters the ladder at its own variant
 _VARIANT_ORDER = ("fp16", "fp32", "fp64")
+
+
+def degraded_variant(variant: str) -> str | None:
+    """One precision tier *below* ``variant``, or ``None`` at the floor.
+
+    The serve-time brownout policy's knob: a degradable request starts one
+    tier cheaper (``fp64``→``fp32``→``fp16``), and this ladder — running in
+    the opposite direction — re-escalates it if the cheaper tier stagnates,
+    so degradation never changes what "converged" means.
+    """
+    try:
+        idx = _VARIANT_ORDER.index(variant)
+    except ValueError:
+        return None
+    return _VARIANT_ORDER[idx - 1] if idx > 0 else None
 
 
 def recovery_enabled() -> bool:

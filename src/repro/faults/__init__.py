@@ -51,6 +51,7 @@ __all__ = [
     "install_from_env",
     "maybe_delay",
     "maybe_fail_worker",
+    "maybe_hang",
     "maybe_kill_process",
 ]
 
@@ -120,6 +121,12 @@ class FaultPlan:
     latency, latency_rate:
         :func:`maybe_delay` sleeps ``latency`` seconds with probability
         ``latency_rate`` per call.
+    hang_rate, hang_ms:
+        :func:`maybe_hang` wedges the calling worker for ``hang_ms``
+        milliseconds with probability ``hang_rate`` per call — unlike
+        latency, a hang also suppresses the worker's heartbeat (via the
+        ``wedge`` hook), modeling a whole-process stall that the ProcPool
+        watchdog must classify as :class:`~repro.par.procpool.WorkerHung`.
     max_faults:
         Hard cap on the number of kernel corruptions (``None`` = no cap);
         worker failures and latency are not counted against it.
@@ -130,6 +137,7 @@ class FaultPlan:
                  kinds: tuple[str, ...] = ("nan", "inf"),
                  worker_rate: float = 0.0, latency: float = 0.0,
                  latency_rate: float = 0.0, kill_rate: float = 0.0,
+                 hang_rate: float = 0.0, hang_ms: float = 0.0,
                  max_faults: int | None = None) -> None:
         self.seed = int(seed)
         self.rate = float(rate)
@@ -139,6 +147,8 @@ class FaultPlan:
         self.latency = float(latency)
         self.latency_rate = float(latency_rate)
         self.kill_rate = float(kill_rate)
+        self.hang_rate = float(hang_rate)
+        self.hang_ms = float(hang_ms)
         self.max_faults = max_faults
         self.records: list[FaultRecord] = []
         self._counts: dict[str, int] = {}
@@ -199,6 +209,18 @@ class FaultPlan:
             return call
         return None
 
+    def hang_fires(self, site: str = "gateway.worker") -> float | None:
+        """Hang duration (seconds) when a wedge fires this call, else ``None``."""
+        if self.hang_rate <= 0.0 or self.hang_ms <= 0.0:
+            return None
+        call = self._next_call(site + ".hang")
+        if self._rolls(site + ".hang", call, 1)[0] < self.hang_rate:
+            with self._lock:
+                self.records.append(FaultRecord(site=site, call=call,
+                                                kind="hang"))
+            return self.hang_ms / 1e3
+        return None
+
     def delay_fires(self, site: str = "dispatcher.latency") -> float | None:
         """Sleep duration for this call, or ``None``."""
         if self.latency_rate <= 0.0 or self.latency <= 0.0:
@@ -243,6 +265,10 @@ class FaultPlan:
             parts.append(f"latency_rate={self.latency_rate}")
         if self.kill_rate:
             parts.append(f"kill_rate={self.kill_rate}")
+        if self.hang_rate:
+            parts.append(f"hang_rate={self.hang_rate}")
+        if self.hang_ms:
+            parts.append(f"hang_ms={self.hang_ms}")
         if self.max_faults is not None:
             parts.append(f"max={self.max_faults}")
         return ",".join(parts)
@@ -378,6 +404,27 @@ def maybe_kill_process(site: str = "gateway.worker") -> None:
         os._exit(86)
 
 
+def maybe_hang(site: str = "gateway.worker", wedge=None) -> float:
+    """Wedge the caller when the active plan schedules a hang at this call.
+
+    Models a whole-process stall (a C-level deadlock, a GIL-holding loop):
+    ``wedge(duration)``, when given, is invoked *before* the sleep so the
+    worker's heartbeat thread stops ticking for the duration — a plain
+    latency injection would keep heartbeating and must NOT be classified as
+    a hang by the watchdog.  Returns the seconds slept (0.0 when idle).
+    """
+    plan = _PLAN
+    if plan is None:
+        return 0.0
+    duration = plan.hang_fires(site)
+    if duration is None:
+        return 0.0
+    if wedge is not None:
+        wedge(duration)
+    time.sleep(duration)
+    return duration
+
+
 def maybe_delay(site: str = "dispatcher.latency") -> None:
     """Sleep when the active plan schedules latency at this call."""
     plan = _PLAN
@@ -393,7 +440,8 @@ def install_from_env(spec: str | None = None) -> FaultPlan | None:
 
     Format: comma-separated ``key=value`` pairs — ``seed``, ``rate``,
     ``sites`` (``+``-separated), ``kinds`` (``+``-separated),
-    ``worker_rate``, ``latency``, ``latency_rate``, ``max`` — e.g.
+    ``worker_rate``, ``latency``, ``latency_rate``, ``kill_rate``,
+    ``hang_rate``, ``hang_ms``, ``max`` — e.g.
     ``REPRO_FAULTS="seed=7,rate=0.02,sites=spmv+trsv,kinds=nan"``.
     A bare truthy value (``"1"``) installs the defaults.
     """
@@ -409,7 +457,7 @@ def install_from_env(spec: str | None = None) -> FaultPlan | None:
             if key in ("seed",):
                 kwargs["seed"] = int(value)
             elif key in ("rate", "worker_rate", "latency", "latency_rate",
-                         "kill_rate"):
+                         "kill_rate", "hang_rate", "hang_ms"):
                 kwargs[key] = float(value)
             elif key == "sites":
                 kwargs["sites"] = tuple(value.split("+"))

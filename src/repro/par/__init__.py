@@ -42,9 +42,11 @@ from .partition import (
     span_partition,
 )
 from .procpool import (
+    ExpiredRequest,
     ProcPool,
     WorkerDied,
     WorkerError,
+    WorkerHung,
     configured_procs,
     resolve_procs,
     set_procs,
@@ -77,12 +79,14 @@ from .pool import (
 __all__ = [
     "MIN_WORK_PER_THREAD",
     "AttachedArrays",
+    "ExpiredRequest",
     "ParState",
     "ProcPool",
     "ShmDescriptor",
     "ShmRegistry",
     "WorkerDied",
     "WorkerError",
+    "WorkerHung",
     "active_consumers",
     "attach_arrays",
     "balanced_boundaries",

@@ -27,23 +27,41 @@ Protocol (one queue hop per *batch*, never per request):
 ==========================  =============================================
 to worker                   from worker
 ==========================  =============================================
-``("solve", id, fp,         ``("result", wid, id, [SolveResult...],
-setup, rhs_block)``         stats-snapshot)`` or ``("error", wid, id,
-                            kind, type-name, message)``
+``("solve", id, fp, setup,  ``("result", wid, id, [SolveResult |
+rhs_block, deadlines,       ExpiredRequest...], stats-snapshot)`` or
+degrade)``                  ``("error", wid, id, kind, type-name, message)``
 ``("evict", fp)``           —  (drops solver/plans, closes the mapping)
 ``("stats", token)``        ``("stats", wid, token, snapshot)``
 ``("stop",)``               ``("stopped", wid)`` then exit
+—                           ``("hb", wid)``  (idle heartbeat tick)
 ==========================  =============================================
 
 ``setup`` travels only on a worker's first batch for a fingerprint
 (attach-on-first-use): a :class:`~repro.par.shm.ShmDescriptor` for
 publishable operators, or a one-time pickled operator for families with no
-shared-memory form.  Worker death (injected via :func:`repro.faults.
-maybe_kill_process`, or real) fails the in-flight batches with
-:class:`WorkerDied`; the gateway respawns the slot and retries under its
-retry policy.  Respawned workers do not reinstall a gateway-shipped fault
-plan — a replacement worker models a repaired host (``REPRO_FAULTS`` in the
-environment still applies everywhere).
+shared-memory form.  ``deadlines`` are per-request *wall-clock* absolutes
+(``time.time()`` — monotonic clocks are not comparable across processes);
+the worker checks them on dequeue and returns an :class:`ExpiredRequest`
+marker instead of burning solve time on a request nobody is waiting for.
+``degrade`` asks the worker to start the batch one precision tier lower
+(the gateway's brownout policy; the recovery ladder re-escalates if the
+cheap tier stagnates).
+
+Worker death (injected via :func:`repro.faults.maybe_kill_process`, or
+real) fails the in-flight batches with :class:`WorkerDied`; the gateway
+respawns the slot and retries under its retry policy.  A worker that is
+*alive but silent* — wedged in a C-level stall, injected via
+:func:`repro.faults.maybe_hang` — is caught by the **watchdog**: every
+worker heartbeats through the response queue (piggybacked on every reply,
+plus idle ticks every ``heartbeat_interval``), and the collector classifies
+a worker with work outstanding and no beat for ``hang_timeout`` seconds as
+:class:`WorkerHung` (a :class:`WorkerDied` subtype, so the gateway's
+respawn/retry path needs no new cases), SIGKILLs it, and fails its in-flight
+batches.  Respawned workers do not reinstall a gateway-shipped fault plan —
+a replacement worker models a repaired host (``REPRO_FAULTS`` in the
+environment still applies everywhere); first-generation workers offset the
+shipped plan's seed by their worker id so a fleet does not fire faults in
+lockstep.
 """
 
 from __future__ import annotations
@@ -53,14 +71,18 @@ import os
 import pickle
 import threading
 import time
+
+import numpy as np
 from concurrent.futures import Future
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 __all__ = [
+    "ExpiredRequest",
     "ProcPool",
     "WorkerDied",
     "WorkerError",
+    "WorkerHung",
     "WorkerInit",
     "configured_procs",
     "resolve_procs",
@@ -128,12 +150,39 @@ class WorkerDied(RuntimeError):
         self.exitcode = exitcode
 
 
+class WorkerHung(WorkerDied):
+    """A worker stayed alive but heartbeat-silent past ``hang_timeout``.
+
+    Raised by the watchdog after SIGKILLing the wedged process; subclassing
+    :class:`WorkerDied` keeps the gateway's respawn/retry path unchanged.
+    """
+
+    def __init__(self, worker_id: int, silent_s: float) -> None:
+        RuntimeError.__init__(
+            self, f"worker {worker_id} hung: alive but heartbeat-silent for "
+                  f"{silent_s:.2f}s with batches in flight (killed)")
+        self.worker_id = worker_id
+        self.exitcode = None
+        self.silent_s = silent_s
+
+
+@dataclass(frozen=True)
+class ExpiredRequest:
+    """Per-request marker in a result list: its deadline passed before the
+    worker dequeued the batch, so no solve was attempted (picklable)."""
+
+    overshoot_s: float
+
+
 class WorkerError(RuntimeError):
     """An exception raised inside a worker, relayed by (type, message).
 
     ``kind`` distinguishes ``"setup"`` failures (solver construction — feeds
     the gateway's per-fingerprint circuit breaker) from ``"solve"`` failures
-    (retryable like any died batch).
+    (retryable like any died batch) and ``"stale"`` bookkeeping misses (the
+    worker never received the fingerprint's setup because the batch carrying
+    it died first — the caller forgets the fingerprint and retries, without
+    charging the breaker).
     """
 
     def __init__(self, kind: str, type_name: str, message: str) -> None:
@@ -183,6 +232,8 @@ def _worker_stats_snapshot(state: dict) -> dict:
         "artifact_saved_ms": round(artifacts.get("saved_ms", 0.0), 3),
         "plan_cache": plan_cache_stats().get("cached", 0),
         "escalations": state["escalations"],
+        "expired": state["expired"],
+        "degraded_batches": state["degraded_batches"],
     }
 
 
@@ -204,11 +255,51 @@ def _worker_drop_fingerprint(state: dict, fp: str) -> None:
             state["stubborn"].append(attachment)
 
 
-def _worker_main(worker_id: int, init: WorkerInit, req_q, resp_q) -> None:
+class _Heartbeat:
+    """Worker-side heartbeat: idle ticks on the response queue.
+
+    A daemon thread puts ``("hb", wid)`` every ``interval`` seconds so the
+    collector can tell *alive-but-wedged* from *alive-and-slow*.
+    :meth:`wedge` suppresses ticks for a duration — the hang-injection hook
+    models a whole-process stall (which would stop a real heartbeat thread
+    too, since a C-level wedge holds the GIL).
+    """
+
+    def __init__(self, resp_q, worker_id: int, interval: float) -> None:
+        self._q = resp_q
+        self._wid = worker_id
+        self._interval = interval
+        self._wedged_until = 0.0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"repro-proc-{worker_id}-hb")
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def wedge(self, duration: float) -> None:
+        self._wedged_until = max(self._wedged_until,
+                                 time.monotonic() + float(duration))
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if time.monotonic() < self._wedged_until:
+                continue
+            try:
+                self._q.put(("hb", self._wid))
+            except (ValueError, OSError):   # pragma: no cover - teardown race
+                return
+
+
+def _worker_main(worker_id: int, init: WorkerInit, req_q, resp_q,
+                 hb_interval: float = 1.0) -> None:
     """Entry point of one spawned worker (module-level for picklability)."""
     from .. import faults
     from ..cache import set_artifacts_dir
-    from ..core import F3RSolver
+    from ..core import F3RSolver, degraded_variant
     from ..backends import use_backend
     from .pool import set_threads
     from .shm import attach_arrays, operator_from_payload
@@ -217,12 +308,23 @@ def _worker_main(worker_id: int, init: WorkerInit, req_q, resp_q) -> None:
     if init.artifacts_dir is not None:
         set_artifacts_dir(init.artifacts_dir)
     if init.fault_spec:
-        faults.install_from_env(init.fault_spec)
+        plan = faults.install_from_env(init.fault_spec)
+        if plan is not None:
+            # decorrelate the fleet: identical seeds would fire the same
+            # fault at the same call index in every worker (lockstep), which
+            # no real deployment does
+            plan.seed += 7919 * worker_id
+
+    heartbeat = None
+    if hb_interval and hb_interval > 0:
+        heartbeat = _Heartbeat(resp_q, worker_id, hb_interval)
+        heartbeat.start()
 
     state = {
         "solvers": {}, "operators": {}, "attachments": {}, "stubborn": [],
         "batches": 0, "requests": 0, "shm_attaches": 0, "shm_bytes": 0,
-        "pickled_setups": 0, "escalations": 0,
+        "pickled_setups": 0, "escalations": 0, "expired": 0,
+        "degraded_batches": 0,
     }
 
     def build_solver(fp: str, setup) -> "F3RSolver":
@@ -252,6 +354,8 @@ def _worker_main(worker_id: int, init: WorkerInit, req_q, resp_q) -> None:
         message = req_q.get()
         op = message[0]
         if op == "stop":
+            if heartbeat is not None:
+                heartbeat.stop()
             for fp in list(state["attachments"]):
                 _worker_drop_fingerprint(state, fp)
             resp_q.put(("stopped", worker_id))
@@ -276,34 +380,73 @@ def _worker_main(worker_id: int, init: WorkerInit, req_q, resp_q) -> None:
             continue
         if op != "solve":      # pragma: no cover - protocol guard
             continue
-        _, batch_id, fp, setup, rhs_block = message
+        _, batch_id, fp, setup, rhs_block, deadlines, degrade = message
+        # worker-side deadline enforcement: a batch that sat in the shard
+        # queue past its requests' deadlines must not burn solve time —
+        # wall-clock absolutes, because monotonic clocks are per-process
+        now = time.time()
+        slots: list = [None] * rhs_block.shape[1]
+        live = []
+        for i in range(rhs_block.shape[1]):
+            wall = deadlines[i] if deadlines is not None else None
+            if wall is not None and now > wall:
+                slots[i] = ExpiredRequest(overshoot_s=now - wall)
+                state["expired"] += 1
+            else:
+                live.append(i)
+        if not live:
+            resp_q.put(("result", worker_id, batch_id, slots,
+                        _worker_stats_snapshot(state)))
+            continue
         # injected process death: a FaultPlan shipped in WorkerInit (or from
         # REPRO_FAULTS) can hard-kill this worker here, before any work, so
         # the gateway's death-detection and retry path is exercised against
         # a real process exit rather than a raised exception
         faults.maybe_kill_process("gateway.worker")
+        # injected hang: wedge the whole worker (heartbeat suppressed) so the
+        # watchdog path is exercised; injected latency models a merely *slow*
+        # worker, whose heartbeat keeps ticking and must NOT trip the watchdog
+        faults.maybe_hang("gateway.worker",
+                          wedge=heartbeat.wedge if heartbeat else None)
+        faults.maybe_delay("gateway.latency")
+        if setup is None and fp not in state["solvers"]:
+            # the caller believed this worker knew the fingerprint but the
+            # setup never arrived (a predecessor batch died with it): a
+            # bookkeeping staleness, not a setup failure — the caller
+            # forgets the fingerprint and the retry reships the setup
+            resp_q.put(("error", worker_id, batch_id, "stale", "KeyError",
+                        f"no setup shipped for unknown fingerprint {fp}"))
+            continue
         try:
             solver = build_solver(fp, setup)
         except BaseException as exc:   # noqa: BLE001 - relayed to the gateway
             resp_q.put(("error", worker_id, batch_id, "setup",
                         type(exc).__name__, str(exc)))
             continue
+        if degrade:
+            lower = degraded_variant(init.config.variant)
+            if lower is not None:
+                solver = solver.degraded_sibling(lower)
+                state["degraded_batches"] += 1
+        block = (rhs_block if len(live) == rhs_block.shape[1]
+                 else np.ascontiguousarray(rhs_block[:, live]))
         try:
             if init.backend is not None:
                 with use_backend(init.backend):
-                    batch = solver.solve_batch(rhs_block)
+                    batch = solver.solve_batch(block)
             else:
-                batch = solver.solve_batch(rhs_block)
+                batch = solver.solve_batch(block)
         except BaseException as exc:   # noqa: BLE001 - relayed to the gateway
             resp_q.put(("error", worker_id, batch_id, "solve",
                         type(exc).__name__, str(exc)))
             continue
         state["batches"] += 1
-        state["requests"] += rhs_block.shape[1]
-        for result in batch.results:
+        state["requests"] += len(live)
+        for i, result in zip(live, batch.results):
+            slots[i] = result
             if result.recovery is not None:
                 state["escalations"] += int(result.recovery.escalations)
-        resp_q.put(("result", worker_id, batch_id, list(batch.results),
+        resp_q.put(("result", worker_id, batch_id, slots,
                     _worker_stats_snapshot(state)))
 
 
@@ -318,6 +461,9 @@ class _Slot:
     known: set = field(default_factory=set)
     outstanding: int = 0
     deaths: int = 0
+    hangs: int = 0
+    last_beat: float = 0.0
+    heard: bool = False     # any message this generation (arms the watchdog)
 
 
 class ProcPool:
@@ -329,14 +475,39 @@ class ProcPool:
     :class:`WorkerDied` / :class:`WorkerError`.  Setup payloads are shipped
     once per (worker generation, fingerprint) via ``setup_factory`` —
     attach-on-first-use, so the hot path carries only the fingerprint.
+
+    ``hang_timeout`` arms the watchdog: a worker with batches outstanding
+    and no heartbeat for that many seconds is classified as
+    :class:`WorkerHung`, SIGKILLed, and its in-flight batches failed (the
+    caller's retry path re-routes them).  The tight timeout applies only
+    once a worker generation has produced its first message — spawn +
+    import can exceed it, and a still-starting worker is not hung; a
+    never-heard generation is still classified after an additional
+    ``_STARTUP_GRACE`` seconds, and a worker that *crashes* during startup
+    is caught by death detection.
+    ``heartbeat_interval`` is the worker's idle-tick period (default:
+    ``min(1, hang_timeout / 4)``); ``hang_timeout=None`` disables the
+    watchdog entirely.
     """
 
     _POLL = 0.05
+    #: extra silence allowed before a never-heard worker generation is
+    #: classified (spawn + package import can dwarf a tight hang_timeout)
+    _STARTUP_GRACE = 20.0
 
-    def __init__(self, nprocs: int, init: WorkerInit) -> None:
+    def __init__(self, nprocs: int, init: WorkerInit,
+                 hang_timeout: float | None = 30.0,
+                 heartbeat_interval: float | None = None) -> None:
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError("hang_timeout must be > 0 (or None to disable)")
         self.init = init
+        self.hang_timeout = hang_timeout
+        if heartbeat_interval is None:
+            heartbeat_interval = (min(1.0, hang_timeout / 4.0)
+                                  if hang_timeout is not None else 1.0)
+        self.heartbeat_interval = float(heartbeat_interval)
         self._ctx = mp.get_context("spawn")
         self._resp_q = self._ctx.Queue()
         self._slots = [_Slot() for _ in range(nprocs)]
@@ -346,6 +517,7 @@ class ProcPool:
         self._closed = False
         self.stats_snapshots: dict[int, dict] = {}
         self.deaths = 0
+        self.hangs = 0
         for wid in range(nprocs):
             self._spawn(wid, fault_spec=init.fault_spec)
         self._collector = threading.Thread(target=self._collect,
@@ -363,10 +535,13 @@ class ProcPool:
             WorkerInit(**{**self.init.__dict__, "fault_spec": fault_spec})
         slot.req_q = self._ctx.Queue()
         slot.process = self._ctx.Process(
-            target=_worker_main, args=(worker_id, init, slot.req_q, self._resp_q),
+            target=_worker_main, args=(worker_id, init, slot.req_q,
+                                       self._resp_q, self.heartbeat_interval),
             name=f"repro-proc-{worker_id}", daemon=True)
         slot.process.start()
         slot.known = set()
+        slot.last_beat = time.monotonic()
+        slot.heard = False
 
     def alive(self, worker_id: int) -> bool:
         process = self._slots[worker_id].process
@@ -391,12 +566,16 @@ class ProcPool:
 
     # -------------------------------------------------------------- #
     def submit_batch(self, worker_id: int, fp: str, rhs_block,
-                     setup_factory) -> Future:
+                     setup_factory, deadlines=None,
+                     degrade: bool = False) -> Future:
         """One queue hop: dispatch a whole batch to ``worker_id``.
 
         ``setup_factory()`` is invoked only when this worker generation has
         never seen ``fp`` — it returns the setup payload (descriptor or
         pickled operator) that rides along with the first batch.
+        ``deadlines`` are optional per-request *wall-clock* absolutes the
+        worker enforces on dequeue; ``degrade`` asks the worker to start
+        this batch one precision tier lower (brownout).
         """
         future: Future = Future()
         with self._lock:
@@ -413,7 +592,11 @@ class ProcPool:
                 slot.known.add(fp)
             self._pending[batch_id] = (future, worker_id)
             slot.outstanding += 1
-        slot.req_q.put(("solve", batch_id, fp, setup, rhs_block))
+            # enqueue under the lock: concurrent submitters (the gateway's
+            # retry timers) must not slip a no-setup batch into the queue
+            # ahead of the batch that carries the fingerprint's setup
+            slot.req_q.put(("solve", batch_id, fp, setup, rhs_block,
+                            deadlines, degrade))
         return future
 
     def submit_warm(self, worker_id: int, fp: str, setup_factory) -> Future:
@@ -437,8 +620,16 @@ class ProcPool:
                 slot.known.add(fp)
             self._pending[batch_id] = (future, worker_id)
             slot.outstanding += 1
-        slot.req_q.put(("warm", batch_id, fp, setup))
+            slot.req_q.put(("warm", batch_id, fp, setup))
         return future
+
+    def forget(self, fp: str) -> None:
+        """Drop ``fp`` from every slot's known set so the next batch reships
+        its setup (recovery from a ``stale`` worker error — the setup-carrying
+        batch died before the worker could build the solver)."""
+        with self._lock:
+            for slot in self._slots:
+                slot.known.discard(fp)
 
     def evict(self, fp: str) -> None:
         """Tell every worker that attached ``fp`` to drop and close it."""
@@ -470,7 +661,7 @@ class ProcPool:
 
     # -------------------------------------------------------------- #
     def _collect(self) -> None:
-        """Collector thread: route worker responses, detect worker deaths."""
+        """Collector thread: route responses, detect deaths, watch for hangs."""
         import queue as _queue
 
         while True:
@@ -481,8 +672,16 @@ class ProcPool:
             except (EOFError, OSError):   # pragma: no cover - teardown race
                 return
             if message is not None:
+                # every message is a heartbeat: index 1 is the worker id for
+                # all response types, including the dedicated ("hb", wid) tick
+                wid = message[1]
+                if 0 <= wid < len(self._slots):
+                    self._slots[wid].last_beat = time.monotonic()
+                    self._slots[wid].heard = True
                 self._handle(message)
             dead = []
+            hung = []
+            now = time.monotonic()
             with self._lock:
                 if self._closed and not self._pending:
                     return
@@ -493,8 +692,43 @@ class ProcPool:
                         dead.append((batch_id, future, wid, process.exitcode))
                         del self._pending[batch_id]
                         slot.outstanding -= 1
+                if self.hang_timeout is not None:
+                    for wid, slot in enumerate(self._slots):
+                        process = slot.process
+                        if (slot.outstanding <= 0 or process is None
+                                or not process.is_alive()):
+                            continue
+                        # the tight timeout applies only once this generation
+                        # has produced any message: spawn + import can exceed
+                        # it, and a still-starting worker is not hung.  A
+                        # never-heard worker still gets classified after the
+                        # startup grace, so a wedge before the first beat
+                        # cannot strand its batches forever.
+                        silent = now - slot.last_beat
+                        limit = (self.hang_timeout if slot.heard
+                                 else self.hang_timeout + self._STARTUP_GRACE)
+                        if silent <= limit:
+                            continue
+                        # alive but heartbeat-silent past the timeout with
+                        # work in flight: classify as hung, reap its batches
+                        victims = [(bid, self._pending.pop(bid)[0])
+                                   for bid in list(self._pending)
+                                   if self._pending[bid][1] == wid]
+                        slot.outstanding = 0
+                        slot.hangs += 1
+                        self.hangs += 1
+                        slot.last_beat = now
+                        hung.append((process, wid, silent,
+                                     [f for _, f in victims]))
             for _, future, wid, exitcode in dead:
                 future.set_exception(WorkerDied(wid, exitcode))
+            for process, wid, silent, futures in hung:
+                process.kill()          # SIGKILL: a wedged worker won't exit
+                # reap before failing the futures so the respawn path
+                # (ensure_worker, from the caller's retry) sees a dead slot
+                process.join(timeout=2.0)
+                for future in futures:
+                    future.set_exception(WorkerHung(wid, silent))
 
     def _handle(self, message) -> None:
         op = message[0]

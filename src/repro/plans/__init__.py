@@ -23,6 +23,8 @@ from .autotune import (
     autotune_stats,
     clear_autotune_cache,
     measured_assembled_format,
+    measurement_suppressed,
+    set_measurement_suppressed,
     set_tuning_enabled,
     tuning_enabled,
 )
@@ -53,4 +55,6 @@ __all__ = [
     "measured_assembled_format",
     "autotune_stats",
     "clear_autotune_cache",
+    "measurement_suppressed",
+    "set_measurement_suppressed",
 ]

@@ -35,6 +35,8 @@ from ..perf.counters import counters_disabled
 __all__ = [
     "tuning_enabled",
     "set_tuning_enabled",
+    "measurement_suppressed",
+    "set_measurement_suppressed",
     "measured_assembled_format",
     "measured_plan_threads",
     "autotune_stats",
@@ -43,6 +45,10 @@ __all__ = [
 
 _ENABLED = os.environ.get("REPRO_TUNE", "1").strip().lower() not in (
     "0", "off", "false", "no")
+
+#: transient measurement pause (brownout): cached verdicts keep serving but
+#: no new timing runs start while the serving tier is shedding load
+_SUPPRESSED = False
 
 #: matrices larger than this measure too slowly relative to their setup
 #: budget; the analytic model handles them
@@ -81,6 +87,25 @@ def set_tuning_enabled(enabled: bool) -> bool:
     return previous
 
 
+def measurement_suppressed() -> bool:
+    """Whether measurement is transiently paused (serving-tier brownout)."""
+    return _SUPPRESSED
+
+
+def set_measurement_suppressed(suppressed: bool) -> bool:
+    """Pause/resume new timing runs (process-wide); returns the old state.
+
+    Unlike :func:`set_tuning_enabled` this is a *transient* signal — the
+    :class:`~repro.serve.BrownoutController` raises it while the serving
+    tier is under pressure so measurement never competes with paying
+    traffic; cached verdicts keep being served either way.
+    """
+    global _SUPPRESSED
+    previous = _SUPPRESSED
+    _SUPPRESSED = bool(suppressed)
+    return previous
+
+
 def autotune_stats() -> dict:
     """Counters describing the tuner's cache behaviour (for tests/serving).
 
@@ -97,7 +122,8 @@ def autotune_stats() -> dict:
                 verdicts[choice] = verdicts.get(choice, 0) + 1
             else:
                 formats += 1
-        return dict(_STATS, cached=formats, thread_verdicts=verdicts)
+        return dict(_STATS, cached=formats, thread_verdicts=verdicts,
+                    suppressed=_SUPPRESSED)
 
 
 def clear_autotune_cache() -> None:
@@ -216,6 +242,9 @@ def measured_assembled_format(operator, backend) -> str | None:
         if cached is not None:
             _STATS["hits"] += 1
             return cached
+    if _SUPPRESSED:
+        # brownout: no new timing runs while serving is under pressure
+        return None
 
     try:
         from ..sparse.ell import SlicedEllMatrix
@@ -308,6 +337,9 @@ def measured_plan_threads(plan) -> int | None:
             if cached is not None:
                 _STATS["thread_hits"] += 1
                 return adopt(int(cached))
+    if _SUPPRESSED:
+        # brownout: no new timing runs while serving is under pressure
+        return None
 
     try:
         x = (np.random.default_rng(nrows)

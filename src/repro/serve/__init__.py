@@ -11,6 +11,13 @@ routes each fingerprint to one of ``REPRO_PROCS`` worker processes
 (rendezvous hashing, zero-copy shared-memory operators, warm-from-artifact
 setup) with bit-identical results for every process count.  See the README
 section "Sharded serving & the process tier".
+
+Both front doors share the overload-resilience layer
+(:mod:`repro.serve.overload`): priority admission with load shedding
+(:class:`LoadShed`), a hysteresis :class:`BrownoutController` that degrades
+service progressively under pressure, and worker watchdogs in the process
+tier.  :func:`render_metrics` exports ``stats.summary()`` in the Prometheus
+text format.  See the README section "Overload & graceful degradation".
 """
 
 from .dispatcher import (
@@ -20,17 +27,33 @@ from .dispatcher import (
     DeadlineExceeded,
     DispatchStats,
     DispatcherClosed,
+    LoadShed,
 )
 from .gateway import GatewayStats, ShardedGateway, route_fingerprint
+from .metrics import render_metrics
+from .overload import (
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutTransition,
+    overload_enabled,
+    resolve_controller,
+)
 
 __all__ = [
     "AdmissionRefused",
     "BatchDispatcher",
+    "BrownoutConfig",
+    "BrownoutController",
+    "BrownoutTransition",
     "CircuitOpen",
     "DeadlineExceeded",
     "DispatchStats",
     "DispatcherClosed",
     "GatewayStats",
+    "LoadShed",
     "ShardedGateway",
+    "overload_enabled",
+    "render_metrics",
+    "resolve_controller",
     "route_fingerprint",
 ]

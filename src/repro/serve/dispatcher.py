@@ -46,6 +46,20 @@ Hardening (the serving failure model):
 * **Admission** — ``max_queue`` bounds the outstanding (accepted, not yet
   completed) requests; beyond it :meth:`~BatchDispatcher.submit` raises
   :class:`AdmissionRefused` instead of queueing unboundedly.
+* **Priorities & load shedding** — ``submit(..., priority=)`` ranks
+  requests; when ``max_queue`` fills, the brownout controller sheds the
+  lowest-priority-oldest-deadline *pending* request (typed
+  :class:`LoadShed`, a subclass of :class:`AdmissionRefused`) to admit
+  higher-priority work instead of refusing everything at the wall.
+  ``priority_depths`` adds per-priority outstanding bounds.
+* **Brownout** — a :class:`~repro.serve.overload.BrownoutController`
+  (default on; ``REPRO_OVERLOAD=0`` disables) watches queue fill,
+  deadline-miss/breaker-trip rates, and pool occupancy; under pressure it
+  starts ``degradable=True`` requests one precision tier lower (the
+  recovery ladder is the safety net), suppresses opportunistic warm-ups
+  and autotune measurement, and at the SHED level refuses work below its
+  priority floor at admission.  ``stats.summary()["overload"]`` carries
+  the state, the shed/degraded counters, and every transition.
 * **Deadlines** — ``submit(..., deadline=seconds)`` attaches a per-request
   deadline; a request still undispatched past it fails with
   :class:`DeadlineExceeded` instead of occupying a batch slot.
@@ -71,17 +85,18 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..backends import use_backend
-from ..core import F3RConfig, F3RSolver
+from ..core import F3RConfig, F3RSolver, degraded_variant
 from ..faults import maybe_delay, maybe_fail_worker
 from ..operators import LinearOperator
 from ..solvers import SolveResult
 from ..solvers.guards import InvalidInput
 from ..sparse import CSRMatrix
+from .overload import resolve_controller
 
 __all__ = [
     "AdmissionRefused",
@@ -90,6 +105,7 @@ __all__ = [
     "DeadlineExceeded",
     "DispatchStats",
     "DispatcherClosed",
+    "LoadShed",
 ]
 
 
@@ -103,6 +119,22 @@ class DeadlineExceeded(RuntimeError):
 
 class AdmissionRefused(RuntimeError):
     """The dispatcher's outstanding-request bound (``max_queue``) is full."""
+
+
+class LoadShed(AdmissionRefused):
+    """This request was shed under overload (priority admission policy).
+
+    Raised on a *pending* request's future when a higher-priority arrival
+    displaces it from a full queue, and at :meth:`BatchDispatcher.submit`
+    when the incoming request itself is the lowest-priority work in sight
+    (or falls below the SHED-state priority floor).  Subclasses
+    :class:`AdmissionRefused`: pre-priority callers that catch the hard
+    admission wall keep working unchanged.
+    """
+
+    def __init__(self, message: str, priority: int | None = None) -> None:
+        super().__init__(message)
+        self.priority = priority
 
 
 class CircuitOpen(RuntimeError):
@@ -128,9 +160,16 @@ class DispatchStats:
     breaker_trips: int = 0
     deadline_misses: int = 0
     rejected: int = 0
+    shed: int = 0
+    degraded: int = 0
+    shed_by_priority: dict = field(default_factory=dict)
     prewarms: int = 0
     opportunistic_warmups: int = 0
     prewarm_ms: float = 0.0
+
+    #: the owning dispatcher's BrownoutController (set post-init; None when
+    #: the controller is disabled) — summary() folds its state in
+    controller: object = None
 
     def summary(self) -> dict:
         """Dispatcher counters plus the plan-layer state a production
@@ -145,6 +184,16 @@ class DispatchStats:
         from ..plans import autotune_stats, plan_cache_stats
 
         artifacts = cold_start_stats()
+        if self.controller is not None:
+            overload = dict(self.controller.summary())
+        else:
+            overload = {"state": "disabled", "pressure": 0.0,
+                        "observations": 0, "transitions": 0,
+                        "entries": {}, "last_transitions": []}
+        overload["shed"] = self.shed
+        overload["degraded"] = self.degraded
+        overload["shed_by_priority"] = {
+            str(p): n for p, n in sorted(self.shed_by_priority.items())}
         return {
             "requests": self.requests,
             "batches": self.batches,
@@ -159,6 +208,7 @@ class DispatchStats:
                 "deadline_misses": self.deadline_misses,
                 "rejected": self.rejected,
             },
+            "overload": overload,
             "plan_cache": plan_cache_stats(),
             "autotune": autotune_stats(),
             "pool": pool_stats(),
@@ -180,14 +230,33 @@ class _Breaker:
     opened_at: float | None = None
 
 
-class _Request:
-    __slots__ = ("rhs", "future", "deadline", "attempts")
+def _resolve_once(future: Future, result=None, exc=None) -> None:
+    """Resolve a future, tolerating a concurrent resolution (close vs task)."""
+    if future.done():
+        return
+    try:
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+    except Exception:      # InvalidStateError: the race lost — already resolved
+        pass
 
-    def __init__(self, rhs: np.ndarray, deadline: float | None = None) -> None:
+
+class _Request:
+    __slots__ = ("rhs", "future", "deadline", "attempts", "priority",
+                 "degradable", "seq")
+
+    def __init__(self, rhs: np.ndarray, deadline: float | None = None,
+                 priority: int = 0, degradable: bool = False,
+                 seq: int = 0) -> None:
         self.rhs = rhs
         self.future: Future = Future()
         self.deadline = deadline          # absolute time.monotonic(), or None
         self.attempts = 0
+        self.priority = priority
+        self.degradable = degradable
+        self.seq = seq                    # admission order (shed tie-break)
 
 
 class BatchDispatcher:
@@ -223,6 +292,16 @@ class BatchDispatcher:
         Consecutive setup failures for one operator fingerprint that open
         its circuit breaker, and the seconds before a probe attempt is
         allowed through again.
+    priority_depths:
+        Optional per-priority outstanding bounds, e.g. ``{0: 16}`` caps
+        priority-0 work at 16 outstanding requests (typed :class:`LoadShed`
+        beyond it) regardless of ``max_queue`` headroom.
+    overload:
+        The brownout controller: ``None`` (default) builds one unless
+        ``REPRO_OVERLOAD=0``; ``False`` disables it (restoring the hard
+        pre-priority admission wall exactly); ``True`` forces a default
+        controller; a :class:`~repro.serve.overload.BrownoutController` or
+        :class:`~repro.serve.overload.BrownoutConfig` is used as given.
 
     Usage::
 
@@ -238,7 +317,9 @@ class BatchDispatcher:
                  backend: str | None = None, max_queue: int | None = None,
                  max_retries: int = 1, retry_backoff: float = 0.05,
                  breaker_threshold: int = 3,
-                 breaker_cooldown: float = 30.0) -> None:
+                 breaker_cooldown: float = 30.0,
+                 priority_depths: dict[int, int] | None = None,
+                 overload=None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if cache_size < 1:
@@ -254,6 +335,9 @@ class BatchDispatcher:
         self.retry_backoff = float(retry_backoff)
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_cooldown = float(breaker_cooldown)
+        self.priority_depths = (None if priority_depths is None
+                                else dict(priority_depths))
+        self._overload = resolve_controller(overload)
         self._precond_spec = (preconditioner, nblocks, alpha)
         self._max_workers = int(max_workers)
         self._pool = ThreadPoolExecutor(max_workers=max_workers,
@@ -274,12 +358,64 @@ class BatchDispatcher:
         self._evicted: OrderedDict[tuple, None] = OrderedDict()
         self._busy_workers = 0
         self._outstanding = 0
+        self._by_priority: dict[int, int] = {}
+        self._seq = 0
+        self._warm_pending: list[Future] = []
         self._closed = False
         self.stats = DispatchStats()
+        self.stats.controller = self._overload
 
     # ------------------------------------------------------------------ #
+    def _observe_locked(self) -> None:
+        """Feed the brownout controller one snapshot (caller holds the lock)."""
+        controller = self._overload
+        if controller is None:
+            return
+        queue_fill = (self._outstanding / self.max_queue
+                      if self.max_queue else 0.0)
+        controller.observe(
+            queue_fill=queue_fill,
+            occupancy=self._busy_workers / max(1, self._max_workers),
+            deadline_misses=self.stats.deadline_misses,
+            breaker_trips=self.stats.breaker_trips,
+            requests=self.stats.requests)
+
+    def _shed_mark_locked(self, priority: int) -> None:
+        self.stats.shed += 1
+        self.stats.shed_by_priority[priority] = \
+            self.stats.shed_by_priority.get(priority, 0) + 1
+
+    def _shed_victim_locked(self, priority: int) -> _Request | None:
+        """Pop the lowest-priority-oldest-deadline pending request strictly
+        below ``priority``, releasing its admission slot; ``None`` when every
+        pending request is at least as important as the arrival."""
+        best_key, best = None, None
+        for fp, (_, reqs) in self._pending.items():
+            for req in reqs:
+                if req.priority >= priority:
+                    continue
+                order = (req.priority,
+                         req.deadline if req.deadline is not None
+                         else float("inf"),
+                         req.seq)
+                if best_key is None or order < best_key:
+                    best_key, best = order, (fp, req)
+        if best is None:
+            return None
+        fp, victim = best
+        group = self._pending[fp]
+        group[1].remove(victim)
+        if not group[1]:
+            del self._pending[fp]
+        self._outstanding -= 1
+        self._by_priority[victim.priority] = \
+            self._by_priority.get(victim.priority, 0) - 1
+        self._shed_mark_locked(victim.priority)
+        return victim
+
     def submit(self, matrix: CSRMatrix | LinearOperator, rhs: np.ndarray,
-               deadline: float | None = None) -> Future:
+               deadline: float | None = None, priority: int = 0,
+               degradable: bool = False) -> Future:
         """Enqueue one solve request; returns a future resolving to its
         :class:`~repro.solvers.SolveResult`.
 
@@ -291,10 +427,18 @@ class BatchDispatcher:
 
         ``deadline`` is seconds from now; a request whose deadline passes
         before its batch executes fails with :class:`DeadlineExceeded`.
+        ``priority`` (higher = more important) ranks the request for load
+        shedding: when ``max_queue`` is full a lower-priority pending
+        request is shed (its future fails with :class:`LoadShed`) to admit
+        this one; with nothing less important pending, *this* call raises
+        :class:`LoadShed`.  ``degradable=True`` permits the brownout
+        controller to start the solve one precision tier lower under
+        pressure (the recovery ladder re-escalates on stagnation).
+
         Raises :class:`~repro.solvers.InvalidInput` for a mis-shaped or
-        non-finite right-hand side, :class:`AdmissionRefused` when the
-        ``max_queue`` bound is full, and :class:`DispatcherClosed` after
-        :meth:`close`.
+        non-finite right-hand side, :class:`AdmissionRefused` (or its
+        :class:`LoadShed` subtype) when admission fails, and
+        :class:`DispatcherClosed` after :meth:`close`.
         """
         rhs = np.asarray(rhs, dtype=np.float64)
         if rhs.shape != (matrix.nrows,):
@@ -308,18 +452,50 @@ class BatchDispatcher:
                 f"rhs contains non-finite entries (first at index {bad})",
                 site="dispatcher.submit", detail={"first_bad_row": bad})
         request = _Request(
-            rhs, None if deadline is None else time.monotonic() + float(deadline))
+            rhs, None if deadline is None else time.monotonic() + float(deadline),
+            priority=int(priority), degradable=bool(degradable))
         ready = None
+        victim = None
         with self._lock:
             if self._closed:
                 raise DispatcherClosed("dispatcher is closed")
+            self._seq += 1
+            request.seq = self._seq
+            controller = self._overload
+            self._observe_locked()
+            if controller is not None and not controller.admits(request.priority):
+                self._shed_mark_locked(request.priority)
+                raise LoadShed(
+                    f"shedding priority {request.priority} below floor "
+                    f"{controller.config.shed_priority_floor} "
+                    f"(overload state {controller.state!r})",
+                    priority=request.priority)
+            if self.priority_depths is not None:
+                bound = self.priority_depths.get(request.priority)
+                if (bound is not None
+                        and self._by_priority.get(request.priority, 0) >= bound):
+                    self._shed_mark_locked(request.priority)
+                    raise LoadShed(
+                        f"priority {request.priority} outstanding bound "
+                        f"{bound} is full", priority=request.priority)
             if (self.max_queue is not None
                     and self._outstanding >= self.max_queue):
-                self.stats.rejected += 1
-                raise AdmissionRefused(
-                    f"outstanding requests at max_queue={self.max_queue}")
+                if controller is not None:
+                    victim = self._shed_victim_locked(request.priority)
+                if victim is None:
+                    self.stats.rejected += 1
+                    if controller is None:
+                        raise AdmissionRefused(
+                            f"outstanding requests at max_queue={self.max_queue}")
+                    self._shed_mark_locked(request.priority)
+                    raise LoadShed(
+                        f"outstanding requests at max_queue={self.max_queue} "
+                        f"and nothing below priority {request.priority} to shed",
+                        priority=request.priority)
             self.stats.requests += 1
             self._outstanding += 1
+            self._by_priority[request.priority] = \
+                self._by_priority.get(request.priority, 0) + 1
             key = matrix.fingerprint()
             if key not in self._pending:
                 self._pending[key] = (matrix, [])
@@ -329,14 +505,22 @@ class BatchDispatcher:
             # opportunistic warm-up: this fingerprint was evicted from the
             # solver LRU and is back — rebuild its setup on an idle worker
             # while the group waits to fill, instead of inside the batch
+            # (suppressed while the brownout controller reports pressure)
             rewarm = None
             setup_key = (key, self.config)
             if (setup_key in self._evicted
                     and setup_key not in self._solvers
                     and setup_key not in self._building
-                    and self._busy_workers < self._max_workers):
+                    and self._busy_workers < self._max_workers
+                    and (controller is None
+                         or not controller.suppress_background())):
                 self._evicted.pop(setup_key, None)
                 rewarm = matrix
+        if victim is not None:
+            victim.future.set_exception(LoadShed(
+                f"shed at priority {victim.priority}: displaced by a "
+                f"priority {request.priority} arrival under queue pressure",
+                priority=victim.priority))
         if rewarm is not None:
             self._pool.submit(self._warm_one, rewarm, opportunistic=True)
         if ready is not None:
@@ -388,16 +572,42 @@ class BatchDispatcher:
         it returns the build futures immediately.
 
         Completions are counted in ``stats.summary()["cold_start"]``.
+
+        The returned futures are tracked: if :meth:`close` runs before a
+        warm-up did (``close(wait=False)`` cancels queued pool work), the
+        future fails with :class:`DispatcherClosed` instead of being left
+        cancelled or forever pending.
         """
-        with self._lock:
-            if self._closed:
-                raise DispatcherClosed("dispatcher is closed")
-        futures = [self._pool.submit(self._warm_one, operator)
-                   for operator in operators]
+        futures = []
+        for operator in operators:
+            outer: Future = Future()
+            with self._lock:
+                if self._closed:
+                    raise DispatcherClosed("dispatcher is closed")
+                self._warm_pending = [f for f in self._warm_pending
+                                      if not f.done()]
+                self._warm_pending.append(outer)
+            try:
+                self._pool.submit(self._warm_task, operator, outer)
+            except RuntimeError:
+                # the executor shut down between the check and the submit
+                _resolve_once(outer, exc=DispatcherClosed(
+                    "dispatcher closed before warm-up"))
+            futures.append(outer)
         if wait:
             for future in futures:
                 future.result(timeout)
         return futures
+
+    def _warm_task(self, operator, outer: Future) -> None:
+        """Pool-side prewarm wrapper: relay the outcome onto the tracked
+        future exactly once (close() may have failed it typed already)."""
+        try:
+            self._warm_one(operator)
+        except BaseException as exc:   # noqa: BLE001 - relayed to the future
+            _resolve_once(outer, exc=exc)
+        else:
+            _resolve_once(outer)
 
     def _warm_one(self, matrix, opportunistic: bool = False) -> None:
         """Worker-side warm-up: build (or revalidate) one operator's setup."""
@@ -430,6 +640,11 @@ class BatchDispatcher:
             return
         with self._lock:
             self._outstanding -= 1
+            self._by_priority[request.priority] = \
+                self._by_priority.get(request.priority, 0) - 1
+            # completions are observations too: pressure recovers as the
+            # queue drains even if no new submissions arrive
+            self._observe_locked()
         if exc is not None:
             request.future.set_exception(exc)
         else:
@@ -560,23 +775,44 @@ class BatchDispatcher:
             # guard between inter-request workers and partitioned kernels
             with pool_consumer():
                 solver = self._solver_for(matrix)
-                rhs_block = np.stack([req.rhs for req in requests], axis=1)
-                if self.backend is not None:
-                    with use_backend(self.backend):
-                        batch = solver.solve_batch(rhs_block)
-                else:
-                    batch = solver.solve_batch(rhs_block)
+                # brownout degradation: degradable requests solve one
+                # precision tier lower on a cached sibling (recovery ladder
+                # active there, so stagnation re-escalates)
+                degrade_to = None
+                controller = self._overload
+                if controller is not None and controller.should_degrade():
+                    degrade_to = degraded_variant(self.config.variant)
+                degraded = ([r for r in requests if r.degradable]
+                            if degrade_to is not None else [])
+                parts = []
+                if len(degraded) < len(requests):
+                    ids = set(map(id, degraded))
+                    parts.append(([r for r in requests if id(r) not in ids],
+                                  solver))
+                if degraded:
+                    parts.append((degraded, solver.degraded_sibling(degrade_to)))
+                    with self._lock:
+                        self.stats.degraded += len(degraded)
+                batches = []
+                for part, part_solver in parts:
+                    rhs_block = np.stack([req.rhs for req in part], axis=1)
+                    if self.backend is not None:
+                        with use_backend(self.backend):
+                            batches.append((part, part_solver.solve_batch(rhs_block)))
+                    else:
+                        batches.append((part, part_solver.solve_batch(rhs_block)))
         except BaseException as exc:   # noqa: BLE001 - retried or propagated
             self._retry_or_fail(matrix, requests, exc)
             return
         finally:
             with self._lock:
                 self._busy_workers -= 1
-        for req, result in zip(requests, batch.results):
-            if result.recovery is not None:
-                with self._lock:
-                    self.stats.escalations += result.recovery.escalations
-            self._finish(req, result=result)
+        for part, batch in batches:
+            for req, result in zip(part, batch.results):
+                if result.recovery is not None:
+                    with self._lock:
+                        self.stats.escalations += result.recovery.escalations
+                self._finish(req, result=result)
 
     def _retry_or_fail(self, matrix, requests: list[_Request],
                        exc: BaseException) -> None:
@@ -629,6 +865,14 @@ class BatchDispatcher:
                     for req in reqs:
                         self._finish(req, exc=DispatcherClosed(
                             "dispatcher closed before dispatch"))
+        # warm-ups whose pool task was cancelled (or never ran) must fail
+        # typed, not leak as forever-pending / CancelledError futures
+        with self._lock:
+            warm_pending = list(self._warm_pending)
+            self._warm_pending.clear()
+        for outer in warm_pending:
+            _resolve_once(outer, exc=DispatcherClosed(
+                "dispatcher closed before warm-up completed"))
 
     def __enter__(self) -> "BatchDispatcher":
         return self

@@ -40,7 +40,19 @@ Architecture::
   :class:`~repro.par.procpool.WorkerDied`; the gateway respawns the slot
   and re-dispatches surviving requests under the PR 6 retry policy.
   Worker-side *setup* failures feed the same per-fingerprint circuit
-  breaker as the dispatcher's.
+  breaker as the dispatcher's.  A worker that is alive but silent
+  (wedged; injected via ``hang_rate``) is killed by the pool's watchdog
+  (:class:`~repro.par.procpool.WorkerHung`, a ``WorkerDied`` subtype) and
+  handled by the very same respawn/retry path.
+* **Overload** — the dispatcher's priority admission and brownout
+  controller apply unchanged: ``submit(..., priority=, degradable=)``,
+  load shedding at a full ``max_queue`` (typed
+  :class:`~repro.serve.dispatcher.LoadShed`), precision degradation for
+  ``degradable`` batches under pressure, and request deadlines enforced a
+  second time *inside* the worker (wall-clock absolutes cross the process
+  boundary; a batch that sat in a shard queue past its deadlines returns
+  typed :class:`~repro.serve.dispatcher.DeadlineExceeded` failures
+  instead of burning solve time).
 * **Stats** — ``stats.summary()`` gains a ``procs`` section (process
   count, per-shard queue depth, shm registry bytes, merged worker counters
   including warm-from-artifact hits) and folds worker-side recovery
@@ -58,9 +70,10 @@ from concurrent.futures import Future
 
 import numpy as np
 
-from ..core import F3RConfig
+from ..core import F3RConfig, degraded_variant
 from ..operators import LinearOperator
 from ..par.procpool import (
+    ExpiredRequest,
     ProcPool,
     WorkerDied,
     WorkerError,
@@ -78,9 +91,12 @@ from .dispatcher import (
     DispatchStats,
     DispatcherClosed,
     AdmissionRefused,
+    LoadShed,
     _Breaker,
     _Request,
+    _resolve_once,
 )
+from .overload import resolve_controller
 
 __all__ = ["GatewayStats", "ShardedGateway", "route_fingerprint"]
 
@@ -124,9 +140,14 @@ class ShardedGateway:
     """Process-sharded drop-in for :class:`BatchDispatcher`.
 
     Accepts the dispatcher's serving parameters plus ``procs`` (an int,
-    ``"auto"``, or ``None`` = the ``REPRO_PROCS`` configuration).  With a
-    resolved count of 1 every call delegates to an internal
-    :class:`BatchDispatcher` — identical behavior, zero new processes.
+    ``"auto"``, or ``None`` = the ``REPRO_PROCS`` configuration) and the
+    watchdog knobs ``hang_timeout`` / ``heartbeat_interval`` (forwarded to
+    :class:`~repro.par.procpool.ProcPool`; inert in in-process mode, where
+    no process can wedge independently of the gateway).  The overload
+    knobs ``priority_depths`` and ``overload`` mean exactly what they do
+    on :class:`BatchDispatcher`.  With a resolved count of 1 every call
+    delegates to an internal :class:`BatchDispatcher` — identical
+    behavior, zero new processes.
 
     Usage::
 
@@ -143,7 +164,10 @@ class ShardedGateway:
                  backend: str | None = None, max_queue: int | None = None,
                  max_retries: int = 1, retry_backoff: float = 0.05,
                  breaker_threshold: int = 3, breaker_cooldown: float = 30.0,
-                 max_published: int = 64) -> None:
+                 max_published: int = 64,
+                 priority_depths: dict[int, int] | None = None,
+                 overload=None, hang_timeout: float | None = 30.0,
+                 heartbeat_interval: float | None = None) -> None:
         self.config = config or F3RConfig()
         self.nprocs = resolve_procs(procs)
         self.max_batch = int(max_batch)
@@ -162,19 +186,28 @@ class ShardedGateway:
                 max_workers=max_workers, backend=backend, max_queue=max_queue,
                 max_retries=max_retries, retry_backoff=retry_backoff,
                 breaker_threshold=breaker_threshold,
-                breaker_cooldown=breaker_cooldown)
+                breaker_cooldown=breaker_cooldown,
+                priority_depths=priority_depths, overload=overload)
             # graft the gateway stats view on so stats.summary() carries the
-            # procs section in both modes
+            # procs section in both modes (re-attaching the controller the
+            # dispatcher wired onto the stats object it just replaced)
             self._dispatcher.stats = GatewayStats(self)
+            self._dispatcher.stats.controller = self._dispatcher._overload
             self.stats = self._dispatcher.stats
             self.registry = None
             self.pool = None
             return
 
         self._dispatcher = None
+        self.priority_depths = (None if priority_depths is None
+                                else dict(priority_depths))
+        self._overload = resolve_controller(overload)
         self.stats = GatewayStats(self)
+        self.stats.controller = self._overload
         self.registry = ShmRegistry(max_published=max_published)
-        self.pool = ProcPool(self.nprocs, self._worker_init())
+        self.pool = ProcPool(self.nprocs, self._worker_init(),
+                             hang_timeout=hang_timeout,
+                             heartbeat_interval=heartbeat_interval)
         self._lock = threading.Lock()
         self._pending: OrderedDict[str, tuple[object, list[_Request]]] = OrderedDict()
         self._inflight: list[tuple[Future, list[_Request]]] = []
@@ -182,6 +215,9 @@ class ShardedGateway:
         self._retry_pending = 0
         self._breakers: dict[str, _Breaker] = {}
         self._outstanding = 0
+        self._by_priority: dict[int, int] = {}
+        self._seq = 0
+        self._warm_pending: list[Future] = []
         self._closed = False
 
     def _worker_init(self) -> WorkerInit:
@@ -205,14 +241,67 @@ class ShardedGateway:
     # ------------------------------------------------------------------ #
     # Submission (proc mode; nprocs==1 delegates wholesale)
     # ------------------------------------------------------------------ #
+    def _observe_locked(self) -> None:
+        """Feed the brownout controller one snapshot (caller holds the lock).
+
+        Occupancy is the shard-level analogue of the dispatcher's busy
+        workers: in-flight batches over the process count."""
+        controller = self._overload
+        if controller is None:
+            return
+        inflight = sum(1 for f, _ in self._inflight if not f.done())
+        controller.observe(
+            queue_fill=(self._outstanding / self.max_queue
+                        if self.max_queue else 0.0),
+            occupancy=min(1.0, inflight / max(1, self.nprocs)),
+            deadline_misses=self.stats.deadline_misses,
+            breaker_trips=self.stats.breaker_trips,
+            requests=self.stats.requests)
+
+    def _shed_mark_locked(self, priority: int) -> None:
+        self.stats.shed += 1
+        self.stats.shed_by_priority[priority] = \
+            self.stats.shed_by_priority.get(priority, 0) + 1
+
+    def _shed_victim_locked(self, priority: int) -> _Request | None:
+        """Pop the lowest-priority-oldest-deadline pending request strictly
+        below ``priority`` (same policy as the dispatcher's)."""
+        best_key, best = None, None
+        for fp, (_, reqs) in self._pending.items():
+            for req in reqs:
+                if req.priority >= priority:
+                    continue
+                order = (req.priority,
+                         req.deadline if req.deadline is not None
+                         else float("inf"),
+                         req.seq)
+                if best_key is None or order < best_key:
+                    best_key, best = order, (fp, req)
+        if best is None:
+            return None
+        fp, victim = best
+        group = self._pending[fp]
+        group[1].remove(victim)
+        if not group[1]:
+            del self._pending[fp]
+        self._outstanding -= 1
+        self._by_priority[victim.priority] = \
+            self._by_priority.get(victim.priority, 0) - 1
+        self._shed_mark_locked(victim.priority)
+        return victim
+
     def submit(self, matrix: CSRMatrix | LinearOperator, rhs: np.ndarray,
-               deadline: float | None = None) -> Future:
+               deadline: float | None = None, priority: int = 0,
+               degradable: bool = False) -> Future:
         """Enqueue one solve request; future resolves to its
         :class:`~repro.solvers.SolveResult`.  Semantics are exactly
-        :meth:`BatchDispatcher.submit` — validation, admission, deadlines,
-        fingerprint grouping at ``max_batch``."""
+        :meth:`BatchDispatcher.submit` — validation, admission with
+        priority shedding, deadlines, degradation eligibility, fingerprint
+        grouping at ``max_batch``."""
         if self._dispatcher is not None:
-            return self._dispatcher.submit(matrix, rhs, deadline=deadline)
+            return self._dispatcher.submit(matrix, rhs, deadline=deadline,
+                                           priority=priority,
+                                           degradable=degradable)
         rhs = np.asarray(rhs, dtype=np.float64)
         if rhs.shape != (matrix.nrows,):
             raise InvalidInput(
@@ -225,24 +314,61 @@ class ShardedGateway:
                 f"rhs contains non-finite entries (first at index {bad})",
                 site="gateway.submit", detail={"first_bad_row": bad})
         request = _Request(
-            rhs, None if deadline is None else time.monotonic() + float(deadline))
+            rhs, None if deadline is None else time.monotonic() + float(deadline),
+            priority=int(priority), degradable=bool(degradable))
         ready = None
+        victim = None
         with self._lock:
             if self._closed:
                 raise DispatcherClosed("gateway is closed")
+            self._seq += 1
+            request.seq = self._seq
+            controller = self._overload
+            self._observe_locked()
+            if controller is not None and not controller.admits(request.priority):
+                self._shed_mark_locked(request.priority)
+                raise LoadShed(
+                    f"shedding priority {request.priority} below floor "
+                    f"{controller.config.shed_priority_floor} "
+                    f"(overload state {controller.state!r})",
+                    priority=request.priority)
+            if self.priority_depths is not None:
+                bound = self.priority_depths.get(request.priority)
+                if (bound is not None
+                        and self._by_priority.get(request.priority, 0) >= bound):
+                    self._shed_mark_locked(request.priority)
+                    raise LoadShed(
+                        f"priority {request.priority} outstanding bound "
+                        f"{bound} is full", priority=request.priority)
             if (self.max_queue is not None
                     and self._outstanding >= self.max_queue):
-                self.stats.rejected += 1
-                raise AdmissionRefused(
-                    f"outstanding requests at max_queue={self.max_queue}")
+                if controller is not None:
+                    victim = self._shed_victim_locked(request.priority)
+                if victim is None:
+                    self.stats.rejected += 1
+                    if controller is None:
+                        raise AdmissionRefused(
+                            f"outstanding requests at max_queue={self.max_queue}")
+                    self._shed_mark_locked(request.priority)
+                    raise LoadShed(
+                        f"outstanding requests at max_queue={self.max_queue} "
+                        f"and nothing below priority {request.priority} to shed",
+                        priority=request.priority)
             self.stats.requests += 1
             self._outstanding += 1
+            self._by_priority[request.priority] = \
+                self._by_priority.get(request.priority, 0) + 1
             key = matrix.fingerprint()
             if key not in self._pending:
                 self._pending[key] = (matrix, [])
             self._pending[key][1].append(request)
             if len(self._pending[key][1]) >= self.max_batch:
                 ready = (key, *self._pending.pop(key))
+        if victim is not None:
+            victim.future.set_exception(LoadShed(
+                f"shed at priority {victim.priority}: displaced by a "
+                f"priority {request.priority} arrival under queue pressure",
+                priority=victim.priority))
         if ready is not None:
             self._dispatch(ready[0], ready[1], ready[2])
         return request.future
@@ -301,17 +427,37 @@ class ShardedGateway:
             shard = route_fingerprint(fp, self.nprocs)
             self.pool.ensure_worker(shard)
             start = time.monotonic()
-            future = self.pool.submit_warm(
-                shard, fp, lambda op=operator, f=fp: self._setup_payload(op, f))
+            # callers get a tracked wrapper, not the pool future: if close()
+            # wins the race the wrapper fails typed (DispatcherClosed)
+            # instead of surfacing the pool's generic shutdown error
+            outer: Future = Future()
+            with self._lock:
+                if self._closed:
+                    raise DispatcherClosed("gateway is closed")
+                self._warm_pending = [f for f in self._warm_pending
+                                      if not f.done()]
+                self._warm_pending.append(outer)
+            try:
+                inner = self.pool.submit_warm(
+                    shard, fp,
+                    lambda op=operator, f=fp: self._setup_payload(op, f))
+            except BaseException as exc:   # noqa: BLE001 - relayed typed
+                _resolve_once(outer, exc=exc)
+                futures.append(outer)
+                continue
 
-            def _count(done, begun=start):
-                if done.exception() is None:
+            def _relay(done, begun=start, tracked=outer):
+                exc = done.exception()
+                if exc is None:
                     with self._lock:
                         self.stats.prewarms += 1
                         self.stats.prewarm_ms += (time.monotonic() - begun) * 1e3
+                    _resolve_once(tracked, result=done.result())
+                else:
+                    _resolve_once(tracked, exc=exc)
 
-            future.add_done_callback(_count)
-            futures.append(future)
+            inner.add_done_callback(_relay)
+            futures.append(outer)
         if wait:
             for future in futures:
                 future.result(timeout)
@@ -360,6 +506,11 @@ class ShardedGateway:
             return
         with self._lock:
             self._outstanding -= 1
+            self._by_priority[request.priority] = \
+                self._by_priority.get(request.priority, 0) - 1
+            # completions are observations too: pressure recovers as the
+            # queue drains even if no new submissions arrive
+            self._observe_locked()
         if exc is not None:
             request.future.set_exception(exc)
         else:
@@ -390,14 +541,43 @@ class ShardedGateway:
                 self._finish(req, exc=DispatcherClosed(
                     "gateway closed before dispatch"))
             return
+        # brownout degradation happens at batch granularity here: the
+        # degrade decision rides the queue hop as a flag, so degradable
+        # requests split into their own batch for the same shard
+        controller = self._overload
+        degrade_to = (degraded_variant(self.config.variant)
+                      if controller is not None and controller.should_degrade()
+                      else None)
+        parts: list[tuple[list[_Request], bool]] = [(requests, False)]
+        if degrade_to is not None:
+            degraded = [r for r in requests if r.degradable]
+            if degraded:
+                ids = set(map(id, degraded))
+                normal = [r for r in requests if id(r) not in ids]
+                parts = ([(normal, False)] if normal else []) + [(degraded, True)]
+                with self._lock:
+                    self.stats.degraded += len(degraded)
+        for part, degrade in parts:
+            self._dispatch_part(fp, operator, part, degrade)
+
+    def _dispatch_part(self, fp: str, operator, requests: list[_Request],
+                       degrade: bool) -> None:
         try:
             self._breaker_check(fp)
             shard = route_fingerprint(fp, self.nprocs)
             self.pool.ensure_worker(shard)
             rhs_block = np.stack([req.rhs for req in requests], axis=1)
+            deadlines = None
+            if any(req.deadline is not None for req in requests):
+                # re-express monotonic deadlines as wall-clock absolutes:
+                # monotonic clocks are not comparable across processes
+                offset = time.time() - time.monotonic()
+                deadlines = [None if req.deadline is None
+                             else req.deadline + offset for req in requests]
             batch_future = self.pool.submit_batch(
                 shard, fp, rhs_block,
-                lambda: self._setup_payload(operator, fp))
+                lambda: self._setup_payload(operator, fp),
+                deadlines=deadlines, degrade=degrade)
         except BaseException as exc:   # noqa: BLE001 - routed to retry policy
             self._retry_or_fail(fp, operator, requests, exc)
             return
@@ -418,13 +598,26 @@ class ShardedGateway:
             if isinstance(exc, WorkerDied):
                 # respawn the slot before the retry lands on it
                 self.pool.ensure_worker(exc.worker_id)
-            if isinstance(exc, WorkerError) and exc.kind == "setup":
+            if isinstance(exc, WorkerError) and exc.kind == "stale":
+                # the setup-carrying batch died before the worker could build
+                # the solver: reship setup on the retry, no breaker charge
+                self.pool.forget(fp)
+            elif isinstance(exc, WorkerError) and exc.kind == "setup":
                 self._breaker_record(fp, ok=False)
             self._retry_or_fail(fp, operator, requests, exc)
             return
         results, _snapshot = batch_future.result()
         self._breaker_record(fp, ok=True)
         for req, result in zip(requests, results):
+            if isinstance(result, ExpiredRequest):
+                # the worker refused to solve a request whose deadline had
+                # already passed when it dequeued the batch
+                with self._lock:
+                    self.stats.deadline_misses += 1
+                self._finish(req, exc=DeadlineExceeded(
+                    f"deadline passed {result.overshoot_s:.3f}s before the "
+                    f"worker dequeued the batch"))
+                continue
             if result.recovery is not None:
                 with self._lock:
                     self.stats.escalations += result.recovery.escalations
@@ -508,10 +701,21 @@ class ShardedGateway:
                 with self._lock:
                     self._inflight = [(f, r) for f, r in self._inflight
                                       if not f.done()]
-                    busy = bool(self._inflight) or self._retry_pending > 0
+                    self._warm_pending = [f for f in self._warm_pending
+                                          if not f.done()]
+                    busy = (bool(self._inflight) or self._retry_pending > 0
+                            or bool(self._warm_pending))
                 if not busy:
                     break
                 time.sleep(0.01)
+        # warm-ups that did not complete (close(wait=False), or a stuck
+        # worker) must fail typed, not leak as forever-pending futures
+        with self._lock:
+            warm_pending = list(self._warm_pending)
+            self._warm_pending.clear()
+        for outer in warm_pending:
+            _resolve_once(outer, exc=DispatcherClosed(
+                "gateway closed before warm-up completed"))
         self.pool.close()
         self.registry.close()
 
@@ -535,11 +739,13 @@ class ShardedGateway:
         warm: dict[str, int] = {}
         workers = {"batches": 0, "requests": 0, "shm_attaches": 0,
                    "shm_bytes": 0, "pickled_setups": 0, "plan_cache": 0,
+                   "expired": 0, "degraded_batches": 0,
                    "artifact_saved_ms": 0.0}
         escalations = 0
         for snap in snapshots.values():
             for field in ("batches", "requests", "shm_attaches", "shm_bytes",
-                          "pickled_setups", "plan_cache"):
+                          "pickled_setups", "plan_cache", "expired",
+                          "degraded_batches"):
                 workers[field] += snap.get(field, 0)
             workers["artifact_saved_ms"] += snap.get("artifact_saved_ms", 0.0)
             escalations += snap.get("escalations", 0)
@@ -560,5 +766,6 @@ class ShardedGateway:
             "shm": self.registry.stats(),
             "workers": workers,
             "worker_deaths": self.pool.deaths,
+            "worker_hangs": self.pool.hangs,
         }
         return base

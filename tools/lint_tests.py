@@ -50,6 +50,11 @@ REQUIRED_MODULES = (
     "test_sparse_io*.py",              # MatrixMarket reader/writer fixes (PR 7)
     "test_procpool*.py",               # process tier: shm lifecycle, REPRO_PROCS
                                        # bit-identity, crash recovery (PR 8)
+    "test_overload*.py",               # priority admission / load shedding,
+                                       # brownout hysteresis, metrics export,
+                                       # the tier-2 overload hammer (PR 9)
+    "test_watchdog*.py",               # worker heartbeats, hang classification,
+                                       # respawn semantics (PR 9)
 )
 
 
