@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all test-faults test-chaos lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline bench-cold-smoke bench-cold-baseline bench-procs-smoke bench-procs-baseline
+.PHONY: test test-all test-faults test-chaos test-remote lint-tests bench-smoke bench-kernels bench-baseline bench-solves-smoke bench-solves-baseline bench-parallel-smoke bench-parallel-baseline bench-cold-smoke bench-cold-baseline bench-procs-smoke bench-procs-baseline
 
 ## Tier-1 test suite (the CI gate): fast deterministic tests only
 ## (pytest.ini's addopts deselect the tier2 marker by default)
@@ -22,6 +22,13 @@ test-faults:
 ## hang/kill/corruption hammer against the process tier (tier-2 included)
 test-chaos:
 	$(PYTHON) -m pytest -q -m "tier1 or tier2" tests/test_overload.py tests/test_watchdog.py tests/test_faults.py
+	REPRO_FAULTS="seed=11,rate=0,drop_rate=0.08,dup_rate=0.05,disconnect_rate=0.04,net_delay_ms=2" \
+		$(PYTHON) -m pytest -q -m "tier1 or tier2" tests/test_remote.py -k env_plan
+
+## Remote shard tier: frame codec, reconnect + replay, dedup, hedging,
+## failover, and the tier-2 two-replica partition-chaos hammer
+test-remote:
+	$(PYTHON) -m pytest -q -m "tier1 or tier2" tests/test_remote.py
 
 ## Fail if any test file lacks a tier1/tier2 marker
 lint-tests:

@@ -72,10 +72,16 @@ from .serve import (
     BatchDispatcher,
     BrownoutConfig,
     BrownoutController,
+    BrownoutTransition,
     CircuitOpen,
+    ClusterConfig,
+    ClusterGateway,
     DeadlineExceeded,
     DispatcherClosed,
     LoadShed,
+    RemoteShard,
+    ShardServer,
+    ShardUnreachable,
     ShardedGateway,
     overload_enabled,
     render_metrics,
@@ -130,6 +136,11 @@ __all__ = [
     "BatchSolveResult",
     "BatchDispatcher",
     "ShardedGateway",
+    "ClusterGateway",
+    "ClusterConfig",
+    "RemoteShard",
+    "ShardServer",
+    "ShardUnreachable",
     "DispatcherClosed",
     "DeadlineExceeded",
     "AdmissionRefused",
@@ -137,6 +148,7 @@ __all__ = [
     "CircuitOpen",
     "BrownoutConfig",
     "BrownoutController",
+    "BrownoutTransition",
     "overload_enabled",
     "render_metrics",
     "SolveEvent",

@@ -14,6 +14,12 @@ end instead of waiting for a real fp16 overflow:
   exercising the retry/backoff path.
 * **Latency** — :func:`maybe_delay` sleeps a configured amount at seeded
   call counts, exercising deadlines.
+* **Network faults** — :func:`maybe_net` tells a transport what to do with
+  the message it is about to send: deliver, ``drop`` it silently, ``dup``
+  it (send twice), or ``disconnect`` the link abruptly, plus a per-message
+  injected delay drawn from ``net_delay_ms``.  The remote shard tier
+  (:mod:`repro.serve.remote`) consults it on every frame, so partitions,
+  lost replies, and duplicated deliveries replay exactly from a seed.
 
 Determinism: every decision is a pure function of ``(seed, site,
 call-count)`` — the per-site call counter plus a ``Philox``-style seed
@@ -53,6 +59,7 @@ __all__ = [
     "maybe_fail_worker",
     "maybe_hang",
     "maybe_kill_process",
+    "maybe_net",
 ]
 
 #: kernel-method name -> fault site label
@@ -127,9 +134,17 @@ class FaultPlan:
         latency, a hang also suppresses the worker's heartbeat (via the
         ``wedge`` hook), modeling a whole-process stall that the ProcPool
         watchdog must classify as :class:`~repro.par.procpool.WorkerHung`.
+    drop_rate, dup_rate, disconnect_rate, net_delay_ms:
+        Network-message faults consulted by :func:`maybe_net` per frame:
+        probability the message is silently dropped, delivered twice, or
+        the link is torn down mid-send, plus a per-message delay drawn
+        uniformly from ``[0, net_delay_ms)`` milliseconds.  At most one of
+        drop/dup/disconnect fires per message (disconnect wins over drop
+        over dup); the delay composes with any of them.
     max_faults:
         Hard cap on the number of kernel corruptions (``None`` = no cap);
-        worker failures and latency are not counted against it.
+        worker failures, latency, and network faults are not counted
+        against it.
     """
 
     def __init__(self, seed: int = 0, rate: float = 0.01,
@@ -138,6 +153,8 @@ class FaultPlan:
                  worker_rate: float = 0.0, latency: float = 0.0,
                  latency_rate: float = 0.0, kill_rate: float = 0.0,
                  hang_rate: float = 0.0, hang_ms: float = 0.0,
+                 drop_rate: float = 0.0, dup_rate: float = 0.0,
+                 disconnect_rate: float = 0.0, net_delay_ms: float = 0.0,
                  max_faults: int | None = None) -> None:
         self.seed = int(seed)
         self.rate = float(rate)
@@ -149,6 +166,10 @@ class FaultPlan:
         self.kill_rate = float(kill_rate)
         self.hang_rate = float(hang_rate)
         self.hang_ms = float(hang_ms)
+        self.drop_rate = float(drop_rate)
+        self.dup_rate = float(dup_rate)
+        self.disconnect_rate = float(disconnect_rate)
+        self.net_delay_ms = float(net_delay_ms)
         self.max_faults = max_faults
         self.records: list[FaultRecord] = []
         self._counts: dict[str, int] = {}
@@ -221,6 +242,34 @@ class FaultPlan:
             return self.hang_ms / 1e3
         return None
 
+    def net_fires(self, site: str = "net.link") -> tuple[str | None, float]:
+        """Network-fault decision for the message about to cross ``site``.
+
+        Returns ``(event, delay_seconds)`` where ``event`` is one of
+        ``"drop"``, ``"dup"``, ``"disconnect"`` or ``None`` (deliver
+        normally).  Deterministic per ``(seed, site, call-count)`` like
+        every other decision; fired events land in :attr:`records`.
+        """
+        if (self.drop_rate <= 0.0 and self.dup_rate <= 0.0
+                and self.disconnect_rate <= 0.0 and self.net_delay_ms <= 0.0):
+            return None, 0.0
+        call = self._next_call(site)
+        r_disc, r_drop, r_dup, r_delay = self._rolls(site, call, 4)
+        delay = (r_delay * self.net_delay_ms / 1e3
+                 if self.net_delay_ms > 0.0 else 0.0)
+        event = None
+        if self.disconnect_rate > 0.0 and r_disc < self.disconnect_rate:
+            event = "disconnect"
+        elif self.drop_rate > 0.0 and r_drop < self.drop_rate:
+            event = "drop"
+        elif self.dup_rate > 0.0 and r_dup < self.dup_rate:
+            event = "dup"
+        if event is not None:
+            with self._lock:
+                self.records.append(FaultRecord(site=site, call=call,
+                                                kind=event))
+        return event, delay
+
     def delay_fires(self, site: str = "dispatcher.latency") -> float | None:
         """Sleep duration for this call, or ``None``."""
         if self.latency_rate <= 0.0 or self.latency <= 0.0:
@@ -269,6 +318,14 @@ class FaultPlan:
             parts.append(f"hang_rate={self.hang_rate}")
         if self.hang_ms:
             parts.append(f"hang_ms={self.hang_ms}")
+        if self.drop_rate:
+            parts.append(f"drop_rate={self.drop_rate}")
+        if self.dup_rate:
+            parts.append(f"dup_rate={self.dup_rate}")
+        if self.disconnect_rate:
+            parts.append(f"disconnect_rate={self.disconnect_rate}")
+        if self.net_delay_ms:
+            parts.append(f"net_delay_ms={self.net_delay_ms}")
         if self.max_faults is not None:
             parts.append(f"max={self.max_faults}")
         return ",".join(parts)
@@ -435,13 +492,27 @@ def maybe_delay(site: str = "dispatcher.latency") -> None:
         time.sleep(duration)
 
 
+def maybe_net(site: str = "net.link") -> tuple[str | None, float]:
+    """Network-fault decision for the frame about to cross ``site``.
+
+    ``(event, delay_seconds)`` — ``event`` is ``"drop"``, ``"dup"``,
+    ``"disconnect"``, or ``None``; the transport owns applying it (skip the
+    send, send twice, tear the socket down).  ``(None, 0.0)`` when idle.
+    """
+    plan = _PLAN
+    if plan is None:
+        return None, 0.0
+    return plan.net_fires(site)
+
+
 def install_from_env(spec: str | None = None) -> FaultPlan | None:
     """Parse ``REPRO_FAULTS`` (or ``spec``) and install the described plan.
 
     Format: comma-separated ``key=value`` pairs — ``seed``, ``rate``,
     ``sites`` (``+``-separated), ``kinds`` (``+``-separated),
     ``worker_rate``, ``latency``, ``latency_rate``, ``kill_rate``,
-    ``hang_rate``, ``hang_ms``, ``max`` — e.g.
+    ``hang_rate``, ``hang_ms``, ``drop_rate``, ``dup_rate``,
+    ``disconnect_rate``, ``net_delay_ms``, ``max`` — e.g.
     ``REPRO_FAULTS="seed=7,rate=0.02,sites=spmv+trsv,kinds=nan"``.
     A bare truthy value (``"1"``) installs the defaults.
     """
@@ -457,7 +528,8 @@ def install_from_env(spec: str | None = None) -> FaultPlan | None:
             if key in ("seed",):
                 kwargs["seed"] = int(value)
             elif key in ("rate", "worker_rate", "latency", "latency_rate",
-                         "kill_rate", "hang_rate", "hang_ms"):
+                         "kill_rate", "hang_rate", "hang_ms", "drop_rate",
+                         "dup_rate", "disconnect_rate", "net_delay_ms"):
                 kwargs[key] = float(value)
             elif key == "sites":
                 kwargs["sites"] = tuple(value.split("+"))

@@ -12,7 +12,14 @@ routes each fingerprint to one of ``REPRO_PROCS`` worker processes
 setup) with bit-identical results for every process count.  See the README
 section "Sharded serving & the process tier".
 
-Both front doors share the overload-resilience layer
+:class:`ClusterGateway` takes the same front door across hosts: each ring
+member is either a local dispatcher or a :class:`RemoteShard` speaking the
+length-prefixed batch protocol to a :class:`ShardServer` elsewhere, with
+heartbeats, reconnect + replay, request-id dedup, hedged dispatch, and
+replica failover (:mod:`repro.serve.remote`, :mod:`repro.serve.cluster`).
+See the README section "Remote shards & multi-host serving".
+
+The front doors share the overload-resilience layer
 (:mod:`repro.serve.overload`): priority admission with load shedding
 (:class:`LoadShed`), a hysteresis :class:`BrownoutController` that degrades
 service progressively under pressure, and worker watchdogs in the process
@@ -29,8 +36,15 @@ from .dispatcher import (
     DispatcherClosed,
     LoadShed,
 )
-from .gateway import GatewayStats, ShardedGateway, route_fingerprint
+from .cluster import ClusterConfig, ClusterGateway, ClusterStats
+from .gateway import (
+    GatewayStats,
+    ShardedGateway,
+    rank_members,
+    route_fingerprint,
+)
 from .metrics import render_metrics
+from .remote import RemoteError, RemoteShard, ShardServer, ShardUnreachable
 from .overload import (
     BrownoutConfig,
     BrownoutController,
@@ -46,13 +60,21 @@ __all__ = [
     "BrownoutController",
     "BrownoutTransition",
     "CircuitOpen",
+    "ClusterConfig",
+    "ClusterGateway",
+    "ClusterStats",
     "DeadlineExceeded",
     "DispatchStats",
     "DispatcherClosed",
     "GatewayStats",
     "LoadShed",
+    "RemoteError",
+    "RemoteShard",
+    "ShardServer",
+    "ShardUnreachable",
     "ShardedGateway",
     "overload_enabled",
+    "rank_members",
     "render_metrics",
     "resolve_controller",
     "route_fingerprint",

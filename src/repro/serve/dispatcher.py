@@ -28,8 +28,16 @@ step) hit with ever-changing right-hand sides.  The
   scratch state (matrices, factors, solver levels) carries per-thread
   workspaces (:class:`~repro.backends.workspace.ThreadLocalWorkspace`), so
   one cached solver may execute batches on several workers concurrently.
-  The adaptive Richardson weights remain algorithmically shared state, as in
-  any concurrent use of a shared solver.
+* **Ordered execution per fingerprint** — the adaptive Richardson weights
+  are shared solver state that evolves across batches, so batches against
+  *the same* operator execute in dispatch order (a per-fingerprint ticket
+  taken at dispatch time; a worker whose batch is not next in line for its
+  fingerprint waits for its turn).  Batches against different operators
+  still run fully in parallel.  Result: ``max_workers=N`` is bit-identical
+  to ``max_workers=1`` for any fixed dispatch order — the former PR 8
+  caveat that concurrent same-fingerprint batches race the weights is
+  closed.  Ordering is abandoned (never deadlocked on) once :meth:`close`
+  begins tearing the pool down.
 * **Pool awareness** — when intra-kernel threading is on
   (``REPRO_THREADS`` > 1, :mod:`repro.par`), each executing batch registers
   as one budget consumer, so its kernels fan across
@@ -356,6 +364,15 @@ class BatchDispatcher:
         # of these triggers an opportunistic warm-up on an idle worker
         # (bounded insertion-ordered set)
         self._evicted: OrderedDict[tuple, None] = OrderedDict()
+        # per-fingerprint execution ordering (see module docstring): tickets
+        # are issued under self._lock at pool-submit time, so every
+        # fingerprint's ticket order is consistent with the executor's FIFO
+        # start order — a batch waiting for its turn always has its
+        # predecessor already running (no deadlock possible)
+        self._order_cond = threading.Condition()
+        self._fp_next: dict[str, int] = {}
+        self._fp_turn: dict[str, int] = {}
+        self._order_abandoned = False
         self._busy_workers = 0
         self._outstanding = 0
         self._by_priority: dict[int, int] = {}
@@ -733,7 +750,12 @@ class BatchDispatcher:
                 pending_fail = list(requests)
             else:
                 pending_fail = None
-                future = self._pool.submit(self._execute, matrix, requests)
+                fp = matrix.fingerprint()
+                with self._order_cond:
+                    ticket = self._fp_next.get(fp, 0)
+                    self._fp_next[fp] = ticket + 1
+                future = self._pool.submit(self._execute, matrix, requests,
+                                           fp, ticket)
                 self._inflight.append((future, requests))
                 self.stats.batches += 1
                 self.stats.batched_requests += len(requests)
@@ -758,7 +780,34 @@ class BatchDispatcher:
                 live.append(req)
         return live
 
-    def _execute(self, matrix, requests: list[_Request]) -> None:
+    def _order_wait(self, fp: str, ticket: int) -> None:
+        """Block until ``ticket`` is the next batch for ``fp`` (or ordering
+        has been abandoned by a closing dispatcher)."""
+        with self._order_cond:
+            while (not self._order_abandoned and not self._closed
+                   and self._fp_turn.get(fp, 0) < ticket):
+                self._order_cond.wait(timeout=1.0)
+
+    def _order_advance(self, fp: str, ticket: int) -> None:
+        with self._order_cond:
+            self._fp_turn[fp] = max(self._fp_turn.get(fp, 0), ticket + 1)
+            if self._fp_turn[fp] >= self._fp_next.get(fp, 0):
+                # every issued ticket consumed: drop the bookkeeping
+                self._fp_turn.pop(fp, None)
+                self._fp_next.pop(fp, None)
+            self._order_cond.notify_all()
+
+    def _execute(self, matrix, requests: list[_Request],
+                 fp: str | None = None, ticket: int | None = None) -> None:
+        if ticket is not None:
+            self._order_wait(fp, ticket)
+        try:
+            self._execute_batch(matrix, requests)
+        finally:
+            if ticket is not None:
+                self._order_advance(fp, ticket)
+
+    def _execute_batch(self, matrix, requests: list[_Request]) -> None:
         from ..par import pool_consumer
 
         requests = self._split_expired(requests)
@@ -856,6 +905,12 @@ class BatchDispatcher:
         for req in abandoned:
             self._finish(req, exc=DispatcherClosed(
                 "dispatcher closed before dispatch"))
+        if not wait:
+            # cancelled batches never advance their ordering ticket: release
+            # any worker waiting for a turn that will never come
+            with self._order_cond:
+                self._order_abandoned = True
+                self._order_cond.notify_all()
         self._pool.shutdown(wait=wait, cancel_futures=not wait)
         if not wait:
             with self._lock:

@@ -98,25 +98,37 @@ from .dispatcher import (
 )
 from .overload import resolve_controller
 
-__all__ = ["GatewayStats", "ShardedGateway", "route_fingerprint"]
+__all__ = ["GatewayStats", "ShardedGateway", "rank_members",
+           "route_fingerprint"]
+
+
+def rank_members(fingerprint: str, names) -> list:
+    """Rendezvous-rank ``names`` for a fingerprint, best first.
+
+    Highest random weight over ``blake2b(fp | name)``: deterministic across
+    processes and runs, minimally disruptive when membership changes (only
+    the moved fingerprints re-route), and the ranking *tail* is the natural
+    failover/hedge order — when the primary dies, the fingerprint's traffic
+    moves to the second-ranked member, exactly where a fresh rendezvous over
+    the survivors would place it.  Ties keep input order (stable sort).
+    """
+    names = list(names)
+    return sorted(
+        names,
+        key=lambda name: hashlib.blake2b(f"{fingerprint}|{name}".encode(),
+                                         digest_size=8).digest(),
+        reverse=True)
 
 
 def route_fingerprint(fingerprint: str, nshards: int) -> int:
     """Rendezvous-hash a fingerprint onto a shard in ``[0, nshards)``.
 
-    Highest random weight over ``blake2b(fp | shard)``: deterministic
-    across processes and runs, and minimally disruptive if the shard count
-    ever changes (only the moved fingerprints re-route).
+    The integer-shard special case of :func:`rank_members` (shard ``i``
+    participates under the name ``str(i)``).
     """
     if nshards <= 1:
         return 0
-    best_shard, best_score = 0, b""
-    for shard in range(nshards):
-        score = hashlib.blake2b(f"{fingerprint}|{shard}".encode(),
-                                digest_size=8).digest()
-        if score > best_score:
-            best_shard, best_score = shard, score
-    return best_shard
+    return int(rank_members(fingerprint, [str(s) for s in range(nshards)])[0])
 
 
 class GatewayStats(DispatchStats):

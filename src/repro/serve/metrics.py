@@ -42,6 +42,10 @@ _COUNTERS = frozenset({
     "degraded_batches", "shm_attaches", "pickled_setups", "measured",
     "hits", "disk_hits", "thread_measured", "thread_hits", "saves",
     "misses", "evictions",
+    # remote shard / cluster tier
+    "reconnects", "resends", "replays", "late_results", "heartbeat_misses",
+    "stale_recoveries", "dedup_hits", "replayed_running", "stale_misses",
+    "connections", "hedges", "hedge_wins", "failovers",
 })
 
 #: parent keys whose scalar-valued dict children render as one labeled
@@ -56,12 +60,29 @@ _LABELED = {
     "by_site": "site",
 }
 
+#: parent keys whose dict-of-dicts children render as per-leaf families
+#: labeled by the child key (e.g. cluster.members.alpha.reconnects ->
+#: repro_cluster_members_reconnects{member="alpha"}): parent -> label name
+_LABELED_NESTED = {
+    "members": "member",
+}
+
 #: path components dropped from metric names (pure presentation nesting)
 _SKIPPED_KEYS = frozenset({"last_transitions", "__token__"})
 
 
 def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and newline must be escaped inside ``"..."``.
+    Fingerprints and shard addresses are arbitrary strings — without this,
+    a hostile (or merely unlucky) label value corrupts the exposition."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
 
 
 def _scalar(value) -> float | None:
@@ -91,14 +112,36 @@ def _walk(prefix: str, node: dict, samples: list) -> None:
         if _is_labeled_family(key, value):
             label = _LABELED[key]
             for lkey, lval in sorted(value.items(), key=lambda kv: str(kv[0])):
-                samples.append((name, key, f'{label}="{lkey}"', _scalar(lval)))
+                samples.append((name, key,
+                                f'{label}="{_escape_label(str(lkey))}"',
+                                _scalar(lval)))
+        elif (key in _LABELED_NESTED and isinstance(value, dict) and value
+                and all(isinstance(v, dict) for v in value.values())):
+            # one family per leaf, labeled by the member/worker name, so a
+            # cluster's per-link series share a metric name across links
+            label = _LABELED_NESTED[key]
+            for mkey, mdict in sorted(value.items(),
+                                      key=lambda kv: str(kv[0])):
+                pair = f'{label}="{_escape_label(str(mkey))}"'
+                for lkey, lval in mdict.items():
+                    if lkey in _SKIPPED_KEYS or isinstance(lval, dict):
+                        continue
+                    scalar = _scalar(lval)
+                    leaf_name = f"{name}_{_sanitize(str(lkey))}"
+                    if scalar is not None:
+                        samples.append((leaf_name, lkey, pair, scalar))
+                    elif isinstance(lval, str):
+                        samples.append(
+                            (leaf_name, lkey,
+                             f'{pair},state="{_escape_label(lval)}"', 1.0))
         elif isinstance(value, dict):
             _walk(name, value, samples)
         else:
             scalar = _scalar(value)
             if scalar is None and isinstance(value, str):
                 # string states (e.g. overload.state) become labeled 1-samples
-                samples.append((name, key, f'state="{value}"', 1.0))
+                samples.append((name, key,
+                                f'state="{_escape_label(value)}"', 1.0))
             elif scalar is not None:
                 samples.append((name, key, None, scalar))
 

@@ -55,6 +55,10 @@ REQUIRED_MODULES = (
                                        # the tier-2 overload hammer (PR 9)
     "test_watchdog*.py",               # worker heartbeats, hang classification,
                                        # respawn semantics (PR 9)
+    "test_remote*.py",                 # remote shard tier: frame codec, net
+                                       # faults, reconnect + replay, dedup,
+                                       # hedging, failover, the tier-2
+                                       # cluster chaos hammer (PR 10)
 )
 
 
